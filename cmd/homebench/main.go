@@ -1,0 +1,123 @@
+// Command homebench regenerates the paper's evaluation: the
+// detection-accuracy table (Table I), the per-benchmark execution-time
+// figures (Figures 4-6), the average-overhead figure (Figure 7), and
+// the static-filter ablation described in DESIGN.md.
+//
+// Usage:
+//
+//	homebench -exp all                # everything (the default)
+//	homebench -exp table1
+//	homebench -exp fig4|fig5|fig6|fig7
+//	homebench -exp ablation
+//	homebench -exp fig7 -class C      # heavier workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"home/internal/harness"
+	"home/internal/npb"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table1, fig4, fig5, fig6, fig7, ablation, scale")
+	class := flag.String("class", "A", "workload class: S, W, A, B, C")
+	seed := flag.Int64("seed", 3, "simulation seed")
+	procsFlag := flag.String("procs", "2,4,8,16,32,64", "comma-separated process counts for the figures")
+	threads := flag.Int("threads", 2, "OpenMP threads per rank")
+	flag.Parse()
+
+	var procs []int
+	for _, f := range strings.Split(*procsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "homebench: bad -procs entry %q\n", f)
+			os.Exit(2)
+		}
+		procs = append(procs, n)
+	}
+	cfg := harness.Config{
+		Class:   npb.Class((*class)[0]),
+		Seed:    *seed,
+		Procs:   procs,
+		Threads: *threads,
+	}
+
+	run := func(name string, f func() error) {
+		// "scale" goes past 64 ranks and is opt-in.
+		if *exp != name && (*exp != "all" || name == "scale") {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "homebench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table1", func() error {
+		rows, err := harness.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table I: violations detected (6 injected per benchmark) ==")
+		fmt.Print(harness.RenderTable1(rows))
+		fmt.Println()
+		return nil
+	})
+	figures := []struct {
+		name  string
+		bench npb.Benchmark
+		num   int
+	}{
+		{"fig4", npb.LU, 4},
+		{"fig5", npb.BT, 5},
+		{"fig6", npb.SP, 6},
+	}
+	for _, fig := range figures {
+		fig := fig
+		run(fig.name, func() error {
+			fs, err := harness.Figure(fig.bench, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Figure %d: %s ==\n", fig.num, fig.bench)
+			fmt.Print(harness.RenderFigure(fs))
+			fmt.Println(harness.Chart(fs))
+			return nil
+		})
+	}
+	run("fig7", func() error {
+		pts, err := harness.Figure7(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 7: overhead ==")
+		fmt.Print(harness.RenderFigure7(pts))
+		fmt.Println(harness.OverheadChart(pts))
+		return nil
+	})
+	run("scale", func() error {
+		pts, err := harness.Scalability(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Scalability: HOME beyond the paper's 64 processes ==")
+		fmt.Print(harness.RenderScalability(pts))
+		fmt.Println()
+		return nil
+	})
+	run("ablation", func() error {
+		pts, err := harness.Ablation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Ablation: value of the static filter ==")
+		fmt.Print(harness.RenderAblation(pts))
+		fmt.Println()
+		return nil
+	})
+}

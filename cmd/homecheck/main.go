@@ -1,0 +1,27 @@
+// Command homecheck runs the HOME thread-safety checker on a MiniHPC
+// hybrid MPI/OpenMP source file.
+//
+// Usage:
+//
+//	homecheck [flags] program.c
+//
+// Exit status is 0 when no violations are found, 1 when violations
+// are reported, and 2 on usage or program errors.
+//
+// Examples:
+//
+//	homecheck -procs 4 app.c
+//	homecheck -static app.c            # static phase only (plan + warnings)
+//	homecheck -cfg app.c               # dump the CFGs in Graphviz dot
+//	homecheck -all -procs 8 app.c      # disable the static filter
+package main
+
+import (
+	"os"
+
+	"home/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.HomeCheck(os.Args[1:], os.Stdout, os.Stderr))
+}

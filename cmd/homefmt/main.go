@@ -1,0 +1,19 @@
+// Command homefmt formats MiniHPC source files in the canonical style
+// of the repository's printer (the gofmt of MiniHPC).
+//
+// Usage:
+//
+//	homefmt file.c          # print the formatted source to stdout
+//	homefmt -w file.c ...   # rewrite files in place
+//	homefmt -l file.c ...   # list files whose formatting differs
+package main
+
+import (
+	"os"
+
+	"home/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.HomeFmt(os.Args[1:], os.Stdout, os.Stderr))
+}

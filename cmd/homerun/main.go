@@ -1,0 +1,21 @@
+// Command homerun executes a MiniHPC hybrid MPI/OpenMP program on the
+// simulated cluster without any checking — useful for trying programs
+// out and for timing baselines.
+//
+// Usage:
+//
+//	homerun [flags] program.c
+//
+// The program's print output goes to stdout; the virtual makespan,
+// deadlock wait-for snapshots and per-rank errors go to stderr.
+package main
+
+import (
+	"os"
+
+	"home/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.HomeRun(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,26 @@
+// Command hometrace records and replays instrumentation traces,
+// supporting the offline analysis mode the paper describes ("the
+// observed events can be online analysis (i.e., during executions) or
+// offline (i.e., after executions terminate)").
+//
+// Usage:
+//
+//	hometrace record [-procs N] [-all] program.c > trace.jsonl
+//	hometrace analyze [-mode combined|lockset|hb] [-ignore-locks] trace.jsonl
+//
+// record executes the program with HOME's instrumentation and writes
+// the event stream as newline-delimited JSON. analyze re-runs the
+// dynamic analyses and the specification matcher over a saved stream
+// — so one recorded execution can be examined under different
+// analysis configurations without re-running the program.
+package main
+
+import (
+	"os"
+
+	"home/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.HomeTrace(os.Args[1:], os.Stdout, os.Stderr))
+}

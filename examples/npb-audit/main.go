@@ -1,0 +1,112 @@
+// NPB audit: run HOME and the two baseline tool models over an
+// NPB-MZ-style benchmark with the paper's six injected violations,
+// and compare what each tool reports — a one-benchmark slice of the
+// paper's Table I, with timings.
+//
+// Run with: go run ./examples/npb-audit [-bench LU|BT|SP] [-procs N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"home"
+	"home/internal/baseline"
+	"home/internal/npb"
+)
+
+func main() {
+	benchName := flag.String("bench", "LU", "benchmark: LU, BT, or SP")
+	procs := flag.Int("procs", 4, "MPI ranks to simulate")
+	flag.Parse()
+
+	var bench npb.Benchmark
+	switch *benchName {
+	case "LU":
+		bench = npb.LU
+	case "BT":
+		bench = npb.BT
+	case "SP":
+		bench = npb.SP
+	default:
+		log.Fatalf("unknown benchmark %q", *benchName)
+	}
+
+	o := npb.PaperInjections(bench)
+	o.Class = 'W'
+	src := npb.Generate(bench, o)
+	fmt.Printf("generated %s with %d injected violations (%d lines)\n\n",
+		bench, len(o.Inject), countLines(src.Text))
+
+	prog, err := home.Parse(src.Text)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := baseline.RunBase(prog, baseline.Options{Procs: *procs, Threads: 2, Seed: 3})
+	fmt.Printf("Base run: %.6f virtual s\n\n", secs(base.Makespan))
+
+	rep, err := home.CheckProgram(prog, home.Options{Procs: *procs, Threads: 2, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HOME: %.6f virtual s (%.1f%% overhead), %d/%d sites instrumented\n",
+		secs(rep.Makespan), overhead(rep.Makespan, base.Makespan),
+		rep.Plan.Instrumented, rep.Plan.TotalMPICalls)
+	printByKind(rep.Violations)
+
+	marmot := baseline.RunMarmot(prog, baseline.Options{Procs: *procs, Threads: 2, Seed: 3})
+	fmt.Printf("\nMARMOT: %.6f virtual s (%.1f%% overhead)\n",
+		secs(marmot.Makespan), overhead(marmot.Makespan, base.Makespan))
+	printByKind(marmot.Violations)
+
+	itc := baseline.RunITC(prog, baseline.Options{Procs: *procs, Threads: 2, Seed: 3})
+	fmt.Printf("\nITC: %.6f virtual s (%.1f%% overhead)\n",
+		secs(itc.Makespan), overhead(itc.Makespan, base.Makespan))
+	printByKind(itc.Violations)
+}
+
+// printByKind summarizes reports per violation class with one
+// representative message each.
+func printByKind(vs []home.Violation) {
+	if len(vs) == 0 {
+		fmt.Println("  no violations reported")
+		return
+	}
+	for _, kind := range home.AllViolationKinds() {
+		var count int
+		var sample *home.Violation
+		for i := range vs {
+			if vs[i].Kind == kind {
+				count++
+				if sample == nil {
+					sample = &vs[i]
+				}
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		fmt.Printf("  %-27s x%-3d e.g. rank %d lines %v\n", kind, count, sample.Rank, sample.Lines)
+	}
+}
+
+func secs(ns int64) float64 { return float64(ns) / 1e9 }
+
+func overhead(t, base int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(t-base) / float64(base)
+}
+
+func countLines(s string) int {
+	n := 1
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			n++
+		}
+	}
+	return n
+}

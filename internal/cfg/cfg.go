@@ -1,0 +1,379 @@
+// Package cfg builds control-flow graphs for MiniHPC functions.
+//
+// HOME's static phase (paper §IV-C, Algorithm 1) walks the CFG node
+// list of the hybrid source program: when it sees an `omp parallel`
+// begin marker it instruments every MPI call node until the matching
+// end marker. To support that literally, the graph exposes both the
+// usual successor/predecessor structure (for reachability questions)
+// and an ordered node list in program order with OmpBegin/OmpEnd
+// marker nodes and one node per call site.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"home/internal/minic"
+)
+
+// NodeKind classifies CFG nodes.
+type NodeKind int
+
+const (
+	// NodeEntry and NodeExit delimit the function.
+	NodeEntry NodeKind = iota
+	NodeExit
+	// NodeStmt is a plain statement (declaration, assignment, ...).
+	NodeStmt
+	// NodeCond is a branching condition (if/for/while test).
+	NodeCond
+	// NodeCall is one call site (MPI routines, omp_* runtime calls,
+	// user functions, intrinsics). Statements containing several calls
+	// yield several call nodes.
+	NodeCall
+	// NodeOmpBegin and NodeOmpEnd bracket an OpenMP construct.
+	NodeOmpBegin
+	NodeOmpEnd
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case NodeEntry:
+		return "entry"
+	case NodeExit:
+		return "exit"
+	case NodeStmt:
+		return "stmt"
+	case NodeCond:
+		return "cond"
+	case NodeCall:
+		return "call"
+	case NodeOmpBegin:
+		return "omp-begin"
+	case NodeOmpEnd:
+		return "omp-end"
+	}
+	return fmt.Sprintf("NodeKind(%d)", int(k))
+}
+
+// Node is one CFG node.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	Line int
+
+	// Call is set for NodeCall.
+	Call *minic.Call
+	// Omp is set for NodeOmpBegin/NodeOmpEnd.
+	Omp *minic.OmpStmt
+	// Stmt is the associated statement for NodeStmt/NodeCond.
+	Stmt minic.Stmt
+
+	// ParallelDepth counts enclosing `omp parallel` constructs (a
+	// node with depth > 0 is in the hybrid region Algorithm 1 marks
+	// as potentially erroneous).
+	ParallelDepth int
+
+	Succs []*Node
+	Preds []*Node
+}
+
+func (n *Node) String() string {
+	switch n.Kind {
+	case NodeCall:
+		return fmt.Sprintf("#%d call %s (line %d)", n.ID, n.Call.Name, n.Line)
+	case NodeOmpBegin:
+		return fmt.Sprintf("#%d omp-begin %s (line %d)", n.ID, n.Omp.Kind, n.Line)
+	case NodeOmpEnd:
+		return fmt.Sprintf("#%d omp-end %s (line %d)", n.ID, n.Omp.Kind, n.Line)
+	default:
+		return fmt.Sprintf("#%d %s (line %d)", n.ID, n.Kind, n.Line)
+	}
+}
+
+// Graph is a function's control-flow graph.
+type Graph struct {
+	Func  *minic.FuncDecl
+	Entry *Node
+	Exit  *Node
+	// Nodes lists every node in program order (the "srcCFG list" the
+	// paper's Algorithm 1 iterates).
+	Nodes []*Node
+}
+
+// builder carries construction state.
+type builder struct {
+	g        *Graph
+	parDepth int
+	// loop stack for break/continue targets
+	breaks    []*Node
+	continues []*Node
+}
+
+// Build constructs the CFG of one function.
+func Build(f *minic.FuncDecl) *Graph {
+	g := &Graph{Func: f}
+	b := &builder{g: g}
+	g.Entry = b.node(NodeEntry, f.Line)
+	g.Exit = &Node{Kind: NodeExit, Line: f.Line}
+	last := b.stmt(f.Body, g.Entry)
+	// Exit gets the final ID so program order ends with it.
+	g.Exit.ID = len(g.Nodes)
+	g.Nodes = append(g.Nodes, g.Exit)
+	if last != nil {
+		connect(last, g.Exit)
+	}
+	return g
+}
+
+// BuildProgram builds CFGs for every function.
+func BuildProgram(p *minic.Program) map[string]*Graph {
+	out := make(map[string]*Graph, len(p.Funcs))
+	for _, f := range p.Funcs {
+		out[f.Name] = Build(f)
+	}
+	return out
+}
+
+func (b *builder) node(kind NodeKind, line int) *Node {
+	n := &Node{ID: len(b.g.Nodes), Kind: kind, Line: line, ParallelDepth: b.parDepth}
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+func connect(from, to *Node) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// callNodes emits a NodeCall for every call site in an expression (or
+// statement fragment), chained from prev, returning the new tail.
+func (b *builder) callNodes(n minic.Node, prev *Node) *Node {
+	if n == nil {
+		return prev
+	}
+	for _, c := range minic.Calls(n) {
+		cn := b.node(NodeCall, c.Line)
+		cn.Call = c
+		connect(prev, cn)
+		prev = cn
+	}
+	return prev
+}
+
+// stmt lowers a statement, chaining from prev; it returns the tail
+// node control flows out of (nil if the statement never falls
+// through, e.g. return).
+func (b *builder) stmt(s minic.Stmt, prev *Node) *Node {
+	switch v := s.(type) {
+	case *minic.Block:
+		cur := prev
+		for _, inner := range v.Stmts {
+			cur = b.stmt(inner, cur)
+			if cur == nil {
+				return nil
+			}
+		}
+		return cur
+
+	case *minic.DeclStmt, *minic.ExprStmt:
+		cur := b.callNodes(v, prev)
+		n := b.node(NodeStmt, v.Pos())
+		n.Stmt = v
+		connect(cur, n)
+		return n
+
+	case *minic.IfStmt:
+		cur := b.callNodes(v.Cond, prev)
+		cond := b.node(NodeCond, v.Line)
+		cond.Stmt = v
+		connect(cur, cond)
+		join := &Node{Kind: NodeStmt, Line: v.Line} // placeholder; registered below
+		thenTail := b.stmt(v.Then, cond)
+		var elseTail *Node = cond
+		if v.Else != nil {
+			elseTail = b.stmt(v.Else, cond)
+		}
+		join.ID = len(b.g.Nodes)
+		join.ParallelDepth = b.parDepth
+		b.g.Nodes = append(b.g.Nodes, join)
+		connect(thenTail, join)
+		connect(elseTail, join)
+		if thenTail == nil && elseTail == nil {
+			return nil
+		}
+		return join
+
+	case *minic.ForStmt:
+		cur := prev
+		if v.Init != nil {
+			cur = b.stmt(v.Init, cur)
+		}
+		cond := b.node(NodeCond, v.Line)
+		cond.Stmt = v
+		cur = b.callNodes(v.Cond, cur)
+		connect(cur, cond)
+		exit := &Node{Kind: NodeStmt, Line: v.Line}
+		b.breaks = append(b.breaks, exit)
+		b.continues = append(b.continues, cond)
+		bodyTail := b.stmt(v.Body, cond)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		if v.Post != nil {
+			bodyTail = b.callNodes(v.Post, bodyTail)
+		}
+		connect(bodyTail, cond) // back edge
+		exit.ID = len(b.g.Nodes)
+		exit.ParallelDepth = b.parDepth
+		b.g.Nodes = append(b.g.Nodes, exit)
+		connect(cond, exit)
+		return exit
+
+	case *minic.WhileStmt:
+		cond := b.node(NodeCond, v.Line)
+		cond.Stmt = v
+		cur := b.callNodes(v.Cond, prev)
+		connect(cur, cond)
+		exit := &Node{Kind: NodeStmt, Line: v.Line}
+		b.breaks = append(b.breaks, exit)
+		b.continues = append(b.continues, cond)
+		bodyTail := b.stmt(v.Body, cond)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		connect(bodyTail, cond)
+		exit.ID = len(b.g.Nodes)
+		exit.ParallelDepth = b.parDepth
+		b.g.Nodes = append(b.g.Nodes, exit)
+		connect(cond, exit)
+		return exit
+
+	case *minic.ReturnStmt:
+		cur := b.callNodes(v.X, prev)
+		n := b.node(NodeStmt, v.Line)
+		n.Stmt = v
+		connect(cur, n)
+		connect(n, b.g.Exit)
+		return nil
+
+	case *minic.BreakStmt:
+		n := b.node(NodeStmt, v.Line)
+		n.Stmt = v
+		connect(prev, n)
+		if len(b.breaks) > 0 {
+			connect(n, b.breaks[len(b.breaks)-1])
+		}
+		return nil
+
+	case *minic.ContinueStmt:
+		n := b.node(NodeStmt, v.Line)
+		n.Stmt = v
+		connect(prev, n)
+		if len(b.continues) > 0 {
+			connect(n, b.continues[len(b.continues)-1])
+		}
+		return nil
+
+	case *minic.OmpStmt:
+		begin := b.node(NodeOmpBegin, v.Line)
+		begin.Omp = v
+		connect(prev, begin)
+		entersParallel := v.Kind == minic.PragmaParallel || v.Kind == minic.PragmaParallelFor
+		if entersParallel {
+			b.parDepth++
+		}
+		var tail *Node = begin
+		if len(v.Sections) > 0 {
+			// Sections are parallel paths from begin to end.
+			var tails []*Node
+			for _, sec := range v.Sections {
+				st := b.stmt(sec, begin)
+				tails = append(tails, st)
+			}
+			end := b.node(NodeOmpEnd, v.Line)
+			end.Omp = v
+			for _, tl := range tails {
+				connect(tl, end)
+			}
+			if entersParallel {
+				b.parDepth--
+				end.ParallelDepth = b.parDepth
+			}
+			return end
+		}
+		if v.Body != nil {
+			tail = b.stmt(v.Body, begin)
+		}
+		if entersParallel {
+			b.parDepth--
+		}
+		end := b.node(NodeOmpEnd, v.Line)
+		end.Omp = v
+		end.ParallelDepth = b.parDepth
+		connect(tail, end)
+		return end
+	}
+	// Unknown statement kinds fall through unchanged.
+	return prev
+}
+
+// MPICallNodes returns the call nodes whose callee is an MPI routine,
+// in program order.
+func (g *Graph) MPICallNodes() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if n.Kind == NodeCall && IsMPICall(n.Call.Name) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// IsMPICall reports whether a callee name is an MPI routine.
+func IsMPICall(name string) bool { return strings.HasPrefix(name, "MPI_") }
+
+// Dot renders the graph in Graphviz dot syntax (diagnostics and the
+// homecheck -cfg flag).
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Func.Name)
+	for _, n := range g.Nodes {
+		label := n.String()
+		shape := "box"
+		switch n.Kind {
+		case NodeCond:
+			shape = "diamond"
+		case NodeOmpBegin, NodeOmpEnd:
+			shape = "hexagon"
+		case NodeEntry, NodeExit:
+			shape = "oval"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", n.ID, label, shape)
+	}
+	for _, n := range g.Nodes {
+		for _, s := range n.Succs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", n.ID, s.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Reachable returns the set of node IDs reachable from entry.
+func (g *Graph) Reachable() map[int]bool {
+	seen := map[int]bool{}
+	var stack []*Node
+	stack = append(stack, g.Entry)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n.ID] {
+			continue
+		}
+		seen[n.ID] = true
+		stack = append(stack, n.Succs...)
+	}
+	return seen
+}

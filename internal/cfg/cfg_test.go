@@ -1,0 +1,217 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"home/internal/minic"
+)
+
+func buildMain(t *testing.T, src string) *Graph {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Build(prog.Func("main"))
+}
+
+func TestLinearFlow(t *testing.T) {
+	g := buildMain(t, `int main() { int a = 1; a = a + 1; return a; }`)
+	if g.Entry == nil || g.Exit == nil {
+		t.Fatal("missing entry/exit")
+	}
+	// entry -> decl -> assign -> return -> exit reachable.
+	reach := g.Reachable()
+	if !reach[g.Exit.ID] {
+		t.Fatal("exit unreachable")
+	}
+	if len(g.Nodes) < 5 {
+		t.Fatalf("nodes = %d", len(g.Nodes))
+	}
+}
+
+func TestIfBranchesMerge(t *testing.T) {
+	g := buildMain(t, `int main() { int a = 0; if (a) { a = 1; } else { a = 2; } a = 3; return a; }`)
+	var cond *Node
+	for _, n := range g.Nodes {
+		if n.Kind == NodeCond {
+			cond = n
+		}
+	}
+	if cond == nil {
+		t.Fatal("no cond node")
+	}
+	if len(cond.Succs) < 2 {
+		t.Fatalf("cond successors = %d, want >= 2", len(cond.Succs))
+	}
+}
+
+func TestLoopHasBackEdge(t *testing.T) {
+	g := buildMain(t, `int main() { for (int i = 0; i < 3; i++) { compute(i); } return 0; }`)
+	var cond *Node
+	for _, n := range g.Nodes {
+		if n.Kind == NodeCond {
+			cond = n
+			break
+		}
+	}
+	if cond == nil {
+		t.Fatal("no loop cond")
+	}
+	// Some path from cond leads back to cond.
+	seen := map[int]bool{}
+	stack := append([]*Node{}, cond.Succs...)
+	back := false
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == cond {
+			back = true
+			break
+		}
+		if seen[n.ID] {
+			continue
+		}
+		seen[n.ID] = true
+		stack = append(stack, n.Succs...)
+	}
+	if !back {
+		t.Fatal("no back edge to loop condition")
+	}
+}
+
+func TestBreakTargetsLoopExit(t *testing.T) {
+	g := buildMain(t, `int main() { while (1) { break; } return 0; }`)
+	if !g.Reachable()[g.Exit.ID] {
+		t.Fatal("exit unreachable despite break")
+	}
+}
+
+func TestReturnConnectsToExit(t *testing.T) {
+	g := buildMain(t, `int main() { if (1) { return 1; } return 0; }`)
+	if len(g.Exit.Preds) < 2 {
+		t.Fatalf("exit preds = %d, want 2 returns", len(g.Exit.Preds))
+	}
+}
+
+func TestOmpMarkersAndParallelDepth(t *testing.T) {
+	g := buildMain(t, `
+int main() {
+  MPI_Barrier(MPI_COMM_WORLD);
+  #pragma omp parallel
+  {
+    MPI_Send(0, 1, 1, 0, MPI_COMM_WORLD);
+    #pragma omp critical
+    { MPI_Recv(0, 1, 1, 0, MPI_COMM_WORLD); }
+  }
+  MPI_Finalize();
+  return 0;
+}`)
+	var begins, ends int
+	depths := map[string]int{}
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case NodeOmpBegin:
+			begins++
+		case NodeOmpEnd:
+			ends++
+		case NodeCall:
+			depths[n.Call.Name] = n.ParallelDepth
+		}
+	}
+	if begins != 2 || ends != 2 {
+		t.Fatalf("omp markers: %d begins, %d ends", begins, ends)
+	}
+	if depths["MPI_Barrier"] != 0 || depths["MPI_Finalize"] != 0 {
+		t.Fatalf("outside-region depth wrong: %v", depths)
+	}
+	if depths["MPI_Send"] != 1 || depths["MPI_Recv"] != 1 {
+		t.Fatalf("inside-region depth wrong: %v", depths)
+	}
+}
+
+func TestMPICallNodesOrder(t *testing.T) {
+	g := buildMain(t, `
+int main() {
+  MPI_Init();
+  MPI_Send(0, 1, 1, 0, MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}`)
+	calls := g.MPICallNodes()
+	if len(calls) != 3 {
+		t.Fatalf("mpi calls = %d", len(calls))
+	}
+	want := []string{"MPI_Init", "MPI_Send", "MPI_Finalize"}
+	for i, n := range calls {
+		if n.Call.Name != want[i] {
+			t.Fatalf("order = %v", calls)
+		}
+	}
+}
+
+func TestSectionsAreParallelPaths(t *testing.T) {
+	g := buildMain(t, `
+int main() {
+  #pragma omp parallel
+  {
+    #pragma omp sections
+    {
+      #pragma omp section
+      { compute(1); }
+      #pragma omp section
+      { compute(2); }
+    }
+  }
+  return 0;
+}`)
+	// The sections begin node should have >= 2 successors (one per
+	// section path).
+	var secBegin *Node
+	for _, n := range g.Nodes {
+		if n.Kind == NodeOmpBegin && n.Omp.Kind == minic.PragmaSections {
+			secBegin = n
+		}
+	}
+	if secBegin == nil {
+		t.Fatal("no sections begin marker")
+	}
+	if len(secBegin.Succs) < 2 {
+		t.Fatalf("sections begin successors = %d", len(secBegin.Succs))
+	}
+}
+
+func TestCallsInConditionsBecomeNodes(t *testing.T) {
+	g := buildMain(t, `int main() { if (MPI_Comm_rank(MPI_COMM_WORLD) == 0) { compute(1); } return 0; }`)
+	found := false
+	for _, n := range g.Nodes {
+		if n.Kind == NodeCall && n.Call.Name == "MPI_Comm_rank" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("call in condition missing from CFG")
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	g := buildMain(t, `int main() { return 0; }`)
+	dot := g.Dot()
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "->") {
+		t.Fatalf("dot = %q", dot)
+	}
+}
+
+func TestBuildProgramCoversAllFunctions(t *testing.T) {
+	prog, err := minic.Parse(`
+void helper() { compute(1); }
+int main() { helper(); return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := BuildProgram(prog)
+	if len(gs) != 2 || gs["helper"] == nil || gs["main"] == nil {
+		t.Fatalf("graphs = %v", gs)
+	}
+}

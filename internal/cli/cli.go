@@ -1,0 +1,356 @@
+// Package cli implements the command-line tools (homecheck, homerun,
+// homefmt, hometrace) as testable functions: each takes its argument
+// vector and output streams and returns a process exit code. The
+// cmd/* mains are thin wrappers.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"home"
+	"home/internal/cfg"
+	"home/internal/detect"
+	"home/internal/interp"
+	"home/internal/minic"
+	"home/internal/spec"
+	"home/internal/static"
+	"home/internal/trace"
+)
+
+// parseMode maps the -mode flag value.
+func parseMode(mode string) (detect.Mode, bool) {
+	switch mode {
+	case "combined":
+		return detect.ModeCombined, true
+	case "lockset":
+		return detect.ModeLocksetOnly, true
+	case "hb":
+		return detect.ModeHappensBeforeOnly, true
+	}
+	return 0, false
+}
+
+// HomeCheck implements the homecheck command. Exit codes: 0 clean,
+// 1 violations found, 2 usage/program error.
+func HomeCheck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("homecheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	procs := fs.Int("procs", 2, "number of MPI ranks to simulate")
+	threads := fs.Int("threads", 2, "OpenMP threads per rank")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	all := fs.Bool("all", false, "instrument every MPI call (disable the static filter)")
+	inter := fs.Bool("interprocedural", false, "follow user calls out of parallel regions (extension)")
+	enforce := fs.Bool("enforce-thread-level", false, "make the runtime misbehave on thread-level violations")
+	mode := fs.String("mode", "combined", "dynamic analysis: combined, lockset, or hb")
+	staticOnly := fs.Bool("static", false, "run only the static phase")
+	dumpCFG := fs.Bool("cfg", false, "print the control-flow graphs in dot syntax and exit")
+	races := fs.Bool("races", false, "also print the raw concurrency reports")
+	msgRaces := fs.Bool("msgrace", false, "also run the cross-rank message-race extension analysis")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: homecheck [flags] program.c")
+		fs.PrintDefaults()
+		return 2
+	}
+	srcBytes, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "homecheck:", err)
+		return 2
+	}
+	src := string(srcBytes)
+
+	opts := home.Options{
+		Procs:              *procs,
+		Threads:            *threads,
+		Seed:               *seed,
+		InstrumentAll:      *all,
+		Interprocedural:    *inter,
+		EnforceThreadLevel: *enforce,
+	}
+	m, ok := parseMode(*mode)
+	if !ok {
+		fmt.Fprintf(stderr, "homecheck: unknown -mode %q\n", *mode)
+		return 2
+	}
+	opts.Mode = m
+
+	if *dumpCFG {
+		prog, err := minic.Parse(src)
+		if err != nil {
+			fmt.Fprintln(stderr, "homecheck:", err)
+			return 2
+		}
+		for name, g := range cfg.BuildProgram(prog) {
+			fmt.Fprintf(stdout, "// function %s\n%s\n", name, g.Dot())
+		}
+		return 0
+	}
+
+	if *staticOnly {
+		plan, err := home.StaticOnly(src, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "homecheck:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "static analysis: %d of %d MPI call sites selected for instrumentation\n",
+			plan.Instrumented, plan.TotalMPICalls)
+		fmt.Fprintf(stdout, "monitored-variable checklist: %v\n", plan.MonitoredVars)
+		for _, s := range plan.SiteList() {
+			fmt.Fprintln(stdout, "  instrument:", s)
+		}
+		for _, w := range plan.Warnings {
+			fmt.Fprintln(stdout, "warning:", w)
+		}
+		return 0
+	}
+
+	rep, err := home.Check(src, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "homecheck:", err)
+		return 2
+	}
+	fmt.Fprint(stdout, rep.Summary())
+	if *races {
+		for _, r := range rep.Races {
+			fmt.Fprintln(stdout, "race:", r)
+		}
+	}
+	failed := len(rep.Violations) > 0
+	if *msgRaces {
+		prog, perr := home.Parse(src)
+		if perr != nil {
+			fmt.Fprintln(stderr, "homecheck:", perr)
+			return 2
+		}
+		mrs, merr := home.MessageRaces(prog, opts)
+		if merr != nil {
+			fmt.Fprintln(stderr, "homecheck:", merr)
+			return 2
+		}
+		for _, mr := range mrs {
+			fmt.Fprintln(stdout, "extension:", mr)
+		}
+		if len(mrs) > 0 {
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// HomeRun implements the homerun command. Exit codes: 0 success,
+// 1 program failure (including deadlock), 2 usage error.
+func HomeRun(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("homerun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	procs := fs.Int("procs", 2, "number of MPI ranks to simulate")
+	threads := fs.Int("threads", 2, "OpenMP threads per rank")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	enforce := fs.Bool("enforce-thread-level", true,
+		"make the runtime misbehave faithfully on thread-level violations")
+	maxSteps := fs.Int64("max-steps", 0, "statement budget (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: homerun [flags] program.c")
+		fs.PrintDefaults()
+		return 2
+	}
+	srcBytes, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "homerun:", err)
+		return 2
+	}
+	prog, err := home.Parse(string(srcBytes))
+	if err != nil {
+		fmt.Fprintln(stderr, "homerun:", err)
+		return 2
+	}
+
+	res := interp.Run(prog, interp.Config{
+		Procs:              *procs,
+		Threads:            *threads,
+		Seed:               *seed,
+		EnforceThreadLevel: *enforce,
+		MaxSteps:           *maxSteps,
+	})
+	fmt.Fprint(stdout, res.Output)
+	fmt.Fprintf(stderr, "virtual time: %.6f s\n", float64(res.Makespan)/1e9)
+	status := 0
+	if res.Deadlocked {
+		fmt.Fprintln(stderr, "DEADLOCK: the watchdog found all live threads blocked:")
+		for _, op := range res.BlockedOps {
+			fmt.Fprintln(stderr, "  ", op)
+		}
+	}
+	for rank, err := range res.Errs {
+		if err != nil {
+			fmt.Fprintf(stderr, "rank %d: %v\n", rank, err)
+			status = 1
+		}
+	}
+	return status
+}
+
+// HomeFmt implements the homefmt command.
+func HomeFmt(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("homefmt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	write := fs.Bool("w", false, "write results back to the source files")
+	list := fs.Bool("l", false, "list files whose formatting differs")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: homefmt [-w] [-l] file.c ...")
+		return 2
+	}
+	status := 0
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "homefmt:", err)
+			status = 2
+			continue
+		}
+		prog, err := minic.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(stderr, "homefmt: %s: %v\n", path, err)
+			status = 2
+			continue
+		}
+		formatted := minic.Format(prog)
+		switch {
+		case *list:
+			if formatted != string(src) {
+				fmt.Fprintln(stdout, path)
+			}
+		case *write:
+			if formatted != string(src) {
+				if err := os.WriteFile(path, []byte(formatted), 0o644); err != nil {
+					fmt.Fprintln(stderr, "homefmt:", err)
+					status = 2
+				}
+			}
+		default:
+			fmt.Fprint(stdout, formatted)
+		}
+	}
+	return status
+}
+
+// HomeTrace implements the hometrace command (record/analyze).
+func HomeTrace(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		traceUsage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "record":
+		return traceRecord(args[1:], stdout, stderr)
+	case "analyze":
+		return traceAnalyze(args[1:], stdout, stderr)
+	}
+	traceUsage(stderr)
+	return 2
+}
+
+func traceUsage(stderr io.Writer) {
+	fmt.Fprintln(stderr, `usage:
+  hometrace record [-procs N] [-threads N] [-seed S] [-all] program.c > trace.jsonl
+  hometrace analyze [-mode combined|lockset|hb] [-ignore-locks] trace.jsonl`)
+}
+
+func traceRecord(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	procs := fs.Int("procs", 2, "MPI ranks")
+	threads := fs.Int("threads", 2, "OpenMP threads per rank")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	all := fs.Bool("all", false, "instrument every MPI call")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		traceUsage(stderr)
+		return 2
+	}
+	srcBytes, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "hometrace:", err)
+		return 2
+	}
+	prog, err := minic.Parse(string(srcBytes))
+	if err != nil {
+		fmt.Fprintln(stderr, "hometrace:", err)
+		return 2
+	}
+	plan := static.Analyze(prog, static.Options{InstrumentAll: *all})
+	log := trace.NewLog()
+	res := interp.Run(prog, interp.Config{
+		Procs: *procs, Threads: *threads, Seed: *seed,
+		Instrument: plan.Instrument, Sink: log,
+	})
+	if err := trace.WriteJSON(stdout, log.Events()); err != nil {
+		fmt.Fprintln(stderr, "hometrace:", err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "recorded %d events from %d ranks (deadlocked=%v)\n",
+		log.Len(), *procs, res.Deadlocked)
+	return 0
+}
+
+func traceAnalyze(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "combined", "analysis: combined, lockset, or hb")
+	ignoreLocks := fs.Bool("ignore-locks", false, "drop lock events (the ITC model)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		traceUsage(stderr)
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "hometrace:", err)
+		return 2
+	}
+	defer f.Close()
+	events, err := trace.ReadJSON(f)
+	if err != nil {
+		fmt.Fprintln(stderr, "hometrace:", err)
+		return 2
+	}
+
+	opts := detect.Options{IgnoreLocks: *ignoreLocks}
+	m, ok := parseMode(*mode)
+	if !ok {
+		traceUsage(stderr)
+		return 2
+	}
+	opts.Mode = m
+	rep := detect.Analyze(events, opts)
+	violations := spec.Match(events, rep)
+	fmt.Fprintf(stdout, "analyzed %d events with %s analysis: %d race(s), %d violation(s)\n",
+		len(events), opts.Mode, len(rep.Races), len(violations))
+	for _, r := range rep.Races {
+		fmt.Fprintln(stdout, "race:", r)
+	}
+	for _, v := range violations {
+		fmt.Fprintln(stdout, "violation:", v)
+	}
+	if len(violations) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,237 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTemp drops source text into a temp file and returns its path.
+func writeTemp(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const cleanSrc = `int main() {
+  int provided;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &provided);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  double a[1];
+  #pragma omp parallel num_threads(2)
+  {
+    int tid = omp_get_thread_num();
+    MPI_Send(a, 1, 1 - rank, tid, MPI_COMM_WORLD);
+    MPI_Recv(a, 1, 1 - rank, tid, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  }
+  MPI_Finalize();
+  return 0;
+}`
+
+const buggySrc = `int main() {
+  int provided;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &provided);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  double a[1];
+  #pragma omp parallel num_threads(2)
+  {
+    MPI_Send(a, 1, 1 - rank, 5, MPI_COMM_WORLD);
+    MPI_Recv(a, 1, 1 - rank, 5, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  }
+  MPI_Finalize();
+  return 0;
+}`
+
+func TestHomeCheckCleanExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := HomeCheck([]string{writeTemp(t, "clean.c", cleanSrc)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "0 violation(s)") {
+		t.Fatalf("out = %s", out.String())
+	}
+}
+
+func TestHomeCheckViolationExitsOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := HomeCheck([]string{writeTemp(t, "buggy.c", buggySrc)}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "ConcurrentRecvViolation") {
+		t.Fatalf("out = %s", out.String())
+	}
+}
+
+func TestHomeCheckStaticOnly(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := HomeCheck([]string{"-static", writeTemp(t, "c.c", cleanSrc)}, &out, &errb)
+	if code != 0 || !strings.Contains(out.String(), "selected for instrumentation") {
+		t.Fatalf("exit=%d out=%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "srctmp") {
+		t.Fatal("checklist missing")
+	}
+}
+
+func TestHomeCheckCFGDump(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := HomeCheck([]string{"-cfg", writeTemp(t, "c.c", cleanSrc)}, &out, &errb)
+	if code != 0 || !strings.Contains(out.String(), "digraph") {
+		t.Fatalf("exit=%d out=%s", code, out.String())
+	}
+}
+
+func TestHomeCheckUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := HomeCheck(nil, &out, &errb); code != 2 {
+		t.Fatalf("no-args exit = %d", code)
+	}
+	if code := HomeCheck([]string{"/nonexistent/x.c"}, &out, &errb); code != 2 {
+		t.Fatalf("missing-file exit = %d", code)
+	}
+	if code := HomeCheck([]string{"-mode", "bogus", writeTemp(t, "c.c", cleanSrc)}, &out, &errb); code != 2 {
+		t.Fatalf("bad-mode exit = %d", code)
+	}
+	bad := writeTemp(t, "bad.c", "int main( {")
+	if code := HomeCheck([]string{bad}, &out, &errb); code != 2 {
+		t.Fatalf("parse-error exit = %d", code)
+	}
+}
+
+func TestHomeRunOutputsAndStatus(t *testing.T) {
+	var out, errb bytes.Buffer
+	src := writeTemp(t, "hello.c", `int main() { printf("hi %d\n", 7); return 0; }`)
+	if code := HomeRun([]string{"-procs", "1", src}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "hi 7") {
+		t.Fatalf("out = %q", out.String())
+	}
+	if !strings.Contains(errb.String(), "virtual time") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+}
+
+func TestHomeRunReportsDeadlockWaitFor(t *testing.T) {
+	var out, errb bytes.Buffer
+	src := writeTemp(t, "dl.c", `int main() {
+  int provided;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &provided);
+  double a[1];
+  MPI_Recv(a, 1, MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  MPI_Finalize();
+  return 0;
+}`)
+	code := HomeRun([]string{"-procs", "1", src}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(errb.String(), "DEADLOCK") || !strings.Contains(errb.String(), "blocked in") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+}
+
+func TestHomeFmtModes(t *testing.T) {
+	messy := "int main( ) {   return   0 ; }"
+	path := writeTemp(t, "messy.c", messy)
+
+	var out, errb bytes.Buffer
+	if code := HomeFmt([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("print exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "return 0;") {
+		t.Fatalf("out = %q", out.String())
+	}
+
+	out.Reset()
+	if code := HomeFmt([]string{"-l", path}, &out, &errb); code != 0 {
+		t.Fatal("list failed")
+	}
+	if !strings.Contains(out.String(), "messy.c") {
+		t.Fatalf("-l did not report the file: %q", out.String())
+	}
+
+	if code := HomeFmt([]string{"-w", path}, &out, &errb); code != 0 {
+		t.Fatal("write failed")
+	}
+	out.Reset()
+	if code := HomeFmt([]string{"-l", path}, &out, &errb); code != 0 || out.String() != "" {
+		t.Fatalf("file still differs after -w: %q", out.String())
+	}
+
+	if code := HomeFmt(nil, &out, &errb); code != 2 {
+		t.Fatal("usage error expected")
+	}
+}
+
+func TestHomeTraceRecordAnalyzeRoundTrip(t *testing.T) {
+	src := writeTemp(t, "buggy.c", buggySrc)
+	var traceOut, errb bytes.Buffer
+	if code := HomeTrace([]string{"record", "-procs", "2", src}, &traceOut, &errb); code != 0 {
+		t.Fatalf("record exit = %d, stderr = %s", code, errb.String())
+	}
+	tracePath := writeTemp(t, "trace.jsonl", traceOut.String())
+
+	var out bytes.Buffer
+	code := HomeTrace([]string{"analyze", tracePath}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("analyze exit = %d (violations expected)", code)
+	}
+	if !strings.Contains(out.String(), "ConcurrentRecvViolation") {
+		t.Fatalf("out = %q", out.String())
+	}
+
+	// Lockset-only over the same recorded trace.
+	out.Reset()
+	if code := HomeTrace([]string{"analyze", "-mode", "lockset", tracePath}, &out, &errb); code != 1 {
+		t.Fatalf("lockset analyze exit = %d", code)
+	}
+
+	// Usage errors.
+	if code := HomeTrace(nil, &out, &errb); code != 2 {
+		t.Fatal("usage error expected")
+	}
+	if code := HomeTrace([]string{"bogus"}, &out, &errb); code != 2 {
+		t.Fatal("unknown subcommand should fail")
+	}
+	garbage := writeTemp(t, "bad.jsonl", "not json")
+	if code := HomeTrace([]string{"analyze", garbage}, &out, &errb); code != 2 {
+		t.Fatal("garbage trace should fail")
+	}
+}
+
+func TestHomeCheckMsgraceExtension(t *testing.T) {
+	src := writeTemp(t, "wild.c", `int main() {
+  int p;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &p);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  double a[1];
+  if (rank == 1 || rank == 2) { MPI_Send(a, 1, 0, 7, MPI_COMM_WORLD); }
+  if (rank == 0) {
+    MPI_Recv(a, 1, MPI_ANY_SOURCE, 7, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    MPI_Recv(a, 1, MPI_ANY_SOURCE, 7, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  }
+  MPI_Finalize();
+  return 0;
+}`)
+	var out, errb bytes.Buffer
+	code := HomeCheck([]string{"-procs", "3", "-msgrace", src}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, stderr=%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "message race") {
+		t.Fatalf("out = %s", out.String())
+	}
+	// Without the flag the single-threaded wildcard program is clean.
+	out.Reset()
+	if code := HomeCheck([]string{"-procs", "3", src}, &out, &errb); code != 0 {
+		t.Fatalf("plain check exit = %d:\n%s", code, out.String())
+	}
+}

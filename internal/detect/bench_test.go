@@ -1,0 +1,58 @@
+package detect
+
+import (
+	"testing"
+
+	"home/internal/trace"
+)
+
+// syntheticLog builds a log with nThreads threads doing rounds of
+// lock-protected and unprotected accesses plus periodic barriers —
+// the event mix the NPB workloads produce.
+func syntheticLog(nThreads, rounds int) []trace.Event {
+	var events []trace.Event
+	seq := uint64(0)
+	add := func(e trace.Event) {
+		e.Seq = seq
+		seq++
+		events = append(events, e)
+	}
+	fork := trace.SyncID{Rank: 0, Seq: 999}
+	add(trace.Event{Rank: 0, TID: 0, Op: trace.OpFork, Sync: fork})
+	for tid := 1; tid < nThreads; tid++ {
+		add(trace.Event{Rank: 0, TID: tid, Op: trace.OpBegin, Sync: fork})
+	}
+	for r := 0; r < rounds; r++ {
+		for tid := 0; tid < nThreads; tid++ {
+			add(trace.Event{Rank: 0, TID: tid, Op: trace.OpAcquire,
+				Lock: trace.LockID{Rank: 0, Name: "L"}})
+			add(trace.Event{Rank: 0, TID: tid, Op: trace.OpWrite,
+				Loc: trace.Loc{Rank: 0, Name: "protected"}})
+			add(trace.Event{Rank: 0, TID: tid, Op: trace.OpRelease,
+				Lock: trace.LockID{Rank: 0, Name: "L"}})
+			add(trace.Event{Rank: 0, TID: tid, Op: trace.OpWrite,
+				Loc:  trace.Loc{Rank: 0, Name: trace.VarTag},
+				Call: &trace.MPICall{Kind: trace.CallRecv, Peer: 1, Tag: r, Comm: 0}})
+		}
+		bar := trace.SyncID{Rank: 0, Seq: uint64(r)}
+		for tid := 0; tid < nThreads; tid++ {
+			add(trace.Event{Rank: 0, TID: tid, Op: trace.OpBarrier, Sync: bar})
+		}
+	}
+	return events
+}
+
+func benchAnalyze(b *testing.B, mode Mode, nThreads, rounds int) {
+	events := syntheticLog(nThreads, rounds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(events, Options{Mode: mode})
+	}
+	b.ReportMetric(float64(len(events)), "events")
+}
+
+func BenchmarkAnalyzeCombined(b *testing.B)  { benchAnalyze(b, ModeCombined, 4, 50) }
+func BenchmarkAnalyzeLockset(b *testing.B)   { benchAnalyze(b, ModeLocksetOnly, 4, 50) }
+func BenchmarkAnalyzeHB(b *testing.B)        { benchAnalyze(b, ModeHappensBeforeOnly, 4, 50) }
+func BenchmarkAnalyzeWideTeams(b *testing.B) { benchAnalyze(b, ModeCombined, 16, 20) }

@@ -1,0 +1,418 @@
+// Package detect implements HOME's dynamic concurrency analyses over
+// an instrumentation event log: Eraser-style lockset analysis and
+// vector-clock happens-before analysis (paper §IV-D).
+//
+// The analyses replay the observed interleaving (the log's sequence
+// order) and report *races*: pairs of conflicting accesses to the same
+// location from different threads, at least one a write, that are
+//
+//   - lockset races: the threads held no common lock across the two
+//     accesses (Savage et al., Eraser), and
+//   - happens-before races: neither access is ordered before the other
+//     by the synchronization in the trace (fork/join, barriers, lock
+//     release-to-acquire edges), per Lamport's partial order.
+//
+// Following the paper, the default mode requires BOTH conditions: the
+// lockset check finds schedule-independent candidates, and the
+// happens-before check suppresses the false positives pure lockset
+// analysis would report around fork/join and barrier synchronization.
+// Single-analysis modes are provided for the ablation experiments and
+// for the baseline tool models.
+//
+// Neither analysis requires the race to manifest in the observed run:
+// both reason about the synchronization structure, so a potential
+// violation is reported even when the observed schedule happened to
+// serialize the accesses (the property the paper contrasts with
+// Marmot).
+package detect
+
+import (
+	"fmt"
+	"sort"
+
+	"home/internal/sim"
+	"home/internal/trace"
+	"home/internal/vclock"
+)
+
+// Mode selects which analyses gate a race report.
+type Mode int
+
+const (
+	// ModeCombined requires a lockset race AND happens-before
+	// concurrency (HOME's configuration).
+	ModeCombined Mode = iota
+	// ModeLocksetOnly reports pure Eraser races.
+	ModeLocksetOnly
+	// ModeHappensBeforeOnly reports pure vector-clock races.
+	ModeHappensBeforeOnly
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeCombined:
+		return "lockset+happens-before"
+	case ModeLocksetOnly:
+		return "lockset"
+	case ModeHappensBeforeOnly:
+		return "happens-before"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Options configures an analysis run.
+type Options struct {
+	Mode Mode
+
+	// IgnoreLocks drops Acquire/Release events before analysis,
+	// modelling a tool that cannot recognize the program's locking
+	// discipline (the paper attributes Intel Thread Checker's false
+	// positive on BT-MZ and its missed omp-critical-guarded probe
+	// checks to exactly this).
+	IgnoreLocks bool
+
+	// MaxHistoryPerLoc bounds the retained access history per
+	// location (0 means DefaultMaxHistory). Monitored variables see
+	// one write per MPI call, so long NPB runs need the bound.
+	MaxHistoryPerLoc int
+
+	// MaxRacesPerLoc bounds reported races per location (0 means
+	// DefaultMaxRaces); the spec matcher needs representatives, not
+	// every pair.
+	MaxRacesPerLoc int
+}
+
+// Default history/report bounds.
+const (
+	DefaultMaxHistory = 512
+	DefaultMaxRaces   = 32
+)
+
+// Access is one side of a reported race.
+type Access struct {
+	Seq     uint64
+	Rank    int
+	TID     int
+	Time    int64
+	Op      trace.Op
+	Lockset []string       // lock names held, sorted
+	Call    *trace.MPICall // the MPI call that performed the access, if any
+}
+
+func (a Access) String() string {
+	s := fmt.Sprintf("#%d p%d.t%d %s", a.Seq, a.Rank, a.TID, a.Op)
+	if a.Call != nil {
+		s += " in " + a.Call.String()
+	}
+	return s
+}
+
+// Race is a pair of conflicting, concurrent accesses to one location.
+type Race struct {
+	Loc           trace.Loc
+	First, Second Access
+
+	// LocksetRace / HBRace record which analyses flagged the pair
+	// (both true in combined mode by construction).
+	LocksetRace bool
+	HBRace      bool
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("race on %s: %s || %s", r.Loc, r.First, r.Second)
+}
+
+// Report is the outcome of analyzing one event log.
+type Report struct {
+	Mode  Mode
+	Races []Race
+
+	// EventsAnalyzed counts the events replayed.
+	EventsAnalyzed int
+}
+
+// Concurrent reports whether any race was found on the named monitored
+// variable at the given rank — the paper's Concurrent(var) predicate.
+func (r *Report) Concurrent(rank int, name string) bool {
+	for _, rc := range r.Races {
+		if rc.Loc.Rank == rank && rc.Loc.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RacesOn returns the races on one location.
+func (r *Report) RacesOn(rank int, name string) []Race {
+	var out []Race
+	for _, rc := range r.Races {
+		if rc.Loc.Rank == rank && rc.Loc.Name == name {
+			out = append(out, rc)
+		}
+	}
+	return out
+}
+
+// threadState is the replay state of one logical thread.
+type threadState struct {
+	clock vclock.VC
+	locks map[string]struct{}
+}
+
+// accessRec is a retained access with its analysis snapshots.
+type accessRec struct {
+	seq   uint64
+	gid   vclock.TID
+	rank  int
+	tid   int
+	time  int64
+	op    trace.Op
+	epoch vclock.Epoch
+	locks map[string]struct{}
+	call  *trace.MPICall
+}
+
+// analyzer carries the replay state.
+type analyzer struct {
+	opts    Options
+	threads map[vclock.TID]*threadState
+	// fork snapshots and join accumulators per sync episode
+	forkClocks map[trace.SyncID]vclock.VC
+	joinAccs   map[trace.SyncID]vclock.VC
+	// barrier episodes: expected participant count (from pre-pass) and
+	// accumulated state
+	barrierExpect  map[trace.SyncID]int
+	barrierArrived map[trace.SyncID][]vclock.TID
+	barrierMerge   map[trace.SyncID]vclock.VC
+	// lock vector clocks for release->acquire edges
+	lockClocks map[string]vclock.VC
+	// per-location access history
+	history map[trace.Loc][]accessRec
+	races   map[trace.Loc][]Race
+}
+
+// newAnalyzer builds the shared replay state (opts already defaulted).
+func newAnalyzer(opts Options) *analyzer {
+	return &analyzer{
+		opts:           opts,
+		threads:        make(map[vclock.TID]*threadState),
+		forkClocks:     make(map[trace.SyncID]vclock.VC),
+		joinAccs:       make(map[trace.SyncID]vclock.VC),
+		barrierExpect:  make(map[trace.SyncID]int),
+		barrierArrived: make(map[trace.SyncID][]vclock.TID),
+		barrierMerge:   make(map[trace.SyncID]vclock.VC),
+		lockClocks:     make(map[string]vclock.VC),
+		history:        make(map[trace.Loc][]accessRec),
+		races:          make(map[trace.Loc][]Race),
+	}
+}
+
+// report assembles the current races with a stable order.
+func (a *analyzer) report() *Report {
+	rep := &Report{Mode: a.opts.Mode}
+	locs := make([]trace.Loc, 0, len(a.races))
+	for l := range a.races {
+		locs = append(locs, l)
+	}
+	sort.Slice(locs, func(i, j int) bool {
+		if locs[i].Rank != locs[j].Rank {
+			return locs[i].Rank < locs[j].Rank
+		}
+		return locs[i].Name < locs[j].Name
+	})
+	for _, l := range locs {
+		rep.Races = append(rep.Races, a.races[l]...)
+	}
+	return rep
+}
+
+// Analyze replays the event log and returns the race report.
+func Analyze(events []trace.Event, opts Options) *Report {
+	if opts.MaxHistoryPerLoc <= 0 {
+		opts.MaxHistoryPerLoc = DefaultMaxHistory
+	}
+	if opts.MaxRacesPerLoc <= 0 {
+		opts.MaxRacesPerLoc = DefaultMaxRaces
+	}
+	a := newAnalyzer(opts)
+
+	// Pre-pass: barrier participant counts per episode. Every
+	// participant emits exactly one OpBarrier per episode before any
+	// of them proceeds, so in log order all arrivals of an episode
+	// precede all post-barrier events of its participants.
+	for _, e := range events {
+		if e.Op == trace.OpBarrier {
+			a.barrierExpect[e.Sync]++
+		}
+	}
+
+	for _, e := range events {
+		a.step(e)
+	}
+
+	rep := a.report()
+	rep.EventsAnalyzed = len(events)
+	return rep
+}
+
+// thread returns (creating) the state for a (rank, tid) thread.
+func (a *analyzer) thread(rank, tid int) (*threadState, vclock.TID) {
+	gid := sim.GID(rank, tid)
+	st, ok := a.threads[gid]
+	if !ok {
+		st = &threadState{clock: vclock.New(), locks: make(map[string]struct{})}
+		st.clock.Tick(gid)
+		a.threads[gid] = st
+	}
+	return st, gid
+}
+
+// step processes one event.
+func (a *analyzer) step(e trace.Event) {
+	st, gid := a.thread(e.Rank, e.TID)
+	switch e.Op {
+	case trace.OpFork:
+		a.forkClocks[e.Sync] = st.clock.Copy()
+	case trace.OpBegin:
+		if fc, ok := a.forkClocks[e.Sync]; ok {
+			st.clock.Join(fc)
+		}
+	case trace.OpEnd:
+		acc, ok := a.joinAccs[e.Sync]
+		if !ok {
+			acc = vclock.New()
+			a.joinAccs[e.Sync] = acc
+		}
+		acc.Join(st.clock)
+	case trace.OpJoin:
+		if acc, ok := a.joinAccs[e.Sync]; ok {
+			st.clock.Join(acc)
+		}
+	case trace.OpBarrier:
+		a.barrier(e.Sync, gid, st)
+	case trace.OpAcquire:
+		if !a.opts.IgnoreLocks {
+			if lc, ok := a.lockClocks[e.Lock.Name]; ok {
+				st.clock.Join(lc)
+			}
+			st.locks[e.Lock.Name] = struct{}{}
+		}
+	case trace.OpRelease:
+		if !a.opts.IgnoreLocks {
+			a.lockClocks[e.Lock.Name] = st.clock.Copy()
+			delete(st.locks, e.Lock.Name)
+		}
+	case trace.OpRead, trace.OpWrite:
+		a.access(e, st, gid)
+	case trace.OpMPICall:
+		// Call records are consumed by the spec matcher, not the race
+		// analyses.
+	}
+	st.clock.Tick(gid)
+}
+
+// barrier accumulates one arrival; the last arrival merges every
+// participant's clock into all of them (everything before the barrier
+// happens-before everything after it).
+func (a *analyzer) barrier(s trace.SyncID, gid vclock.TID, st *threadState) {
+	merge, ok := a.barrierMerge[s]
+	if !ok {
+		merge = vclock.New()
+		a.barrierMerge[s] = merge
+	}
+	merge.Join(st.clock)
+	a.barrierArrived[s] = append(a.barrierArrived[s], gid)
+	if len(a.barrierArrived[s]) >= a.barrierExpect[s] {
+		for _, g := range a.barrierArrived[s] {
+			a.threads[g].clock.Join(merge)
+		}
+		delete(a.barrierArrived, s)
+		delete(a.barrierMerge, s)
+	}
+}
+
+// access checks the new access against the location history and
+// records it.
+func (a *analyzer) access(e trace.Event, st *threadState, gid vclock.TID) {
+	rec := accessRec{
+		seq:   e.Seq,
+		gid:   gid,
+		rank:  e.Rank,
+		tid:   e.TID,
+		time:  e.Time,
+		op:    e.Op,
+		epoch: vclock.EpochOf(st.clock, gid),
+		locks: copyLocks(st.locks),
+		call:  e.Call,
+	}
+	hist := a.history[e.Loc]
+	for i := range hist {
+		prev := &hist[i]
+		if prev.gid == gid {
+			continue
+		}
+		if prev.op != trace.OpWrite && rec.op != trace.OpWrite {
+			continue
+		}
+		lsRace := disjoint(prev.locks, rec.locks)
+		// prev happened earlier in the log; it is ordered before the
+		// current access iff its epoch has been observed by the
+		// current thread's clock (FastTrack's epoch test).
+		hbRace := !prev.epoch.Leq(st.clock)
+
+		reported := false
+		switch a.opts.Mode {
+		case ModeCombined:
+			reported = lsRace && hbRace
+		case ModeLocksetOnly:
+			reported = lsRace
+		case ModeHappensBeforeOnly:
+			reported = hbRace
+		}
+		if reported && len(a.races[e.Loc]) < a.opts.MaxRacesPerLoc {
+			a.races[e.Loc] = append(a.races[e.Loc], Race{
+				Loc:         e.Loc,
+				First:       prev.toAccess(),
+				Second:      rec.toAccess(),
+				LocksetRace: lsRace,
+				HBRace:      hbRace,
+			})
+		}
+	}
+	if len(hist) < a.opts.MaxHistoryPerLoc {
+		a.history[e.Loc] = append(hist, rec)
+	}
+}
+
+func (r accessRec) toAccess() Access {
+	names := make([]string, 0, len(r.locks))
+	for n := range r.locks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return Access{
+		Seq: r.seq, Rank: r.rank, TID: r.tid, Time: r.time,
+		Op: r.op, Lockset: names, Call: r.call,
+	}
+}
+
+func copyLocks(m map[string]struct{}) map[string]struct{} {
+	out := make(map[string]struct{}, len(m))
+	for k := range m {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+func disjoint(a, b map[string]struct{}) bool {
+	small, big := a, b
+	if len(b) < len(a) {
+		small, big = b, a
+	}
+	for k := range small {
+		if _, ok := big[k]; ok {
+			return false
+		}
+	}
+	return true
+}

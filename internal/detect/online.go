@@ -1,0 +1,91 @@
+package detect
+
+import (
+	"sync"
+
+	"home/internal/trace"
+	"home/internal/vclock"
+)
+
+// Online is the on-the-fly variant of the analysis: it implements
+// trace.Sink, updating the lockset and vector-clock state as events
+// arrive instead of replaying a recorded log (the paper's HOME
+// monitors "on the fly"; the offline Analyze entry point exists for
+// the hometrace workflow).
+//
+// Online analysis cannot use Analyze's pre-pass to learn how many
+// threads participate in each barrier episode, so barriers are
+// handled lazily: arrivals accumulate into the episode's merge clock,
+// and a thread absorbs the merge when its *next* event arrives. That
+// is sound because every participant emits its barrier event before
+// any of them emits a post-barrier event (the runtime emits the
+// arrival before blocking), so by the time a post-barrier event shows
+// up, the episode's merge contains every participant.
+type Online struct {
+	mu sync.Mutex
+	a  *analyzer
+	// pending maps a thread to the barrier episodes it has arrived at
+	// but not yet absorbed.
+	pending map[vclock.TID][]trace.SyncID
+	n       int
+}
+
+// NewOnline builds an on-the-fly analyzer.
+func NewOnline(opts Options) *Online {
+	if opts.MaxHistoryPerLoc <= 0 {
+		opts.MaxHistoryPerLoc = DefaultMaxHistory
+	}
+	if opts.MaxRacesPerLoc <= 0 {
+		opts.MaxRacesPerLoc = DefaultMaxRaces
+	}
+	return &Online{
+		a:       newAnalyzer(opts),
+		pending: make(map[vclock.TID][]trace.SyncID),
+	}
+}
+
+// Emit consumes one event (trace.Sink). Events are numbered in
+// arrival order (the observed interleaving), mirroring what the log
+// would assign.
+func (o *Online) Emit(e trace.Event) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	e.Seq = uint64(o.n)
+	o.n++
+	st, gid := o.a.thread(e.Rank, e.TID)
+
+	// Absorb completed barrier episodes before the thread's next
+	// action.
+	if eps := o.pending[gid]; len(eps) > 0 && e.Op != trace.OpBarrier {
+		for _, s := range eps {
+			if merge, ok := o.a.barrierMerge[s]; ok {
+				st.clock.Join(merge)
+			}
+		}
+		o.pending[gid] = o.pending[gid][:0]
+	}
+
+	switch e.Op {
+	case trace.OpBarrier:
+		merge, ok := o.a.barrierMerge[e.Sync]
+		if !ok {
+			merge = vclock.New()
+			o.a.barrierMerge[e.Sync] = merge
+		}
+		merge.Join(st.clock)
+		o.pending[gid] = append(o.pending[gid], e.Sync)
+		st.clock.Tick(gid)
+	default:
+		o.a.step(e)
+	}
+}
+
+// Report returns the races found so far. It may be called repeatedly;
+// the analyzer keeps accumulating afterwards.
+func (o *Online) Report() *Report {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	rep := o.a.report()
+	rep.EventsAnalyzed = o.n
+	return rep
+}

@@ -1,0 +1,120 @@
+package detect
+
+import (
+	"sync"
+	"testing"
+
+	"home/internal/trace"
+)
+
+// raceKeySet projects a report onto comparable (first, second) seq
+// pairs.
+func raceKeySet(rep *Report) map[[2]uint64]bool {
+	out := map[[2]uint64]bool{}
+	for _, r := range rep.Races {
+		out[[2]uint64{r.First.Seq, r.Second.Seq}] = true
+	}
+	return out
+}
+
+// TestOnlineMatchesOfflineOnRandomTraces: feeding events one at a
+// time through the sink must find exactly the races the offline
+// replay finds.
+func TestOnlineMatchesOfflineOnRandomTraces(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		for _, withLocks := range []bool{false, true} {
+			events := randomTrace(seed, 4, 25, withLocks)
+			offline := Analyze(events, Options{Mode: ModeCombined, MaxRacesPerLoc: 1 << 20})
+			online := NewOnline(Options{Mode: ModeCombined, MaxRacesPerLoc: 1 << 20})
+			for _, e := range events {
+				online.Emit(e)
+			}
+			got := online.Report()
+			a, b := raceKeySet(offline), raceKeySet(got)
+			if len(a) != len(b) {
+				t.Fatalf("seed %d locks=%v: offline %d races, online %d",
+					seed, withLocks, len(a), len(b))
+			}
+			for k := range a {
+				if !b[k] {
+					t.Fatalf("seed %d locks=%v: race %v missing online", seed, withLocks, k)
+				}
+			}
+		}
+	}
+}
+
+func TestOnlineBarrierLazyMerge(t *testing.T) {
+	// The explicit barrier-ordering scenario from the offline tests,
+	// through the sink.
+	b := &eb{}
+	fork := b.newSync(0)
+	bar := b.newSync(0)
+	b.op(0, 0, trace.OpFork, fork)
+	b.op(0, 1, trace.OpBegin, fork)
+	b.write(0, 0, "x")
+	b.op(0, 0, trace.OpBarrier, bar)
+	b.op(0, 1, trace.OpBarrier, bar)
+	b.write(0, 1, "x")
+	on := NewOnline(Options{Mode: ModeCombined})
+	for _, e := range b.events {
+		on.Emit(e)
+	}
+	if rep := on.Report(); rep.Concurrent(0, "x") {
+		t.Fatalf("barrier-separated accesses raced online: %v", rep.Races)
+	}
+}
+
+func TestOnlineReportIsIncremental(t *testing.T) {
+	b := &eb{}
+	s := b.newSync(0)
+	b.op(0, 0, trace.OpFork, s)
+	b.op(0, 1, trace.OpBegin, s)
+	b.write(0, 0, "x")
+	on := NewOnline(Options{Mode: ModeCombined})
+	for _, e := range b.events {
+		on.Emit(e)
+	}
+	if rep := on.Report(); len(rep.Races) != 0 {
+		t.Fatal("no race expected yet")
+	}
+	// Second conflicting access arrives later.
+	b2 := &eb{}
+	b2.seq = 100
+	b2.write(0, 1, "x")
+	on.Emit(b2.events[0])
+	rep := on.Report()
+	if !rep.Concurrent(0, "x") {
+		t.Fatal("race not reported after the second access")
+	}
+	if rep.EventsAnalyzed != 4 {
+		t.Fatalf("events analyzed = %d", rep.EventsAnalyzed)
+	}
+}
+
+func TestOnlineConcurrentEmitters(t *testing.T) {
+	// The sink must tolerate concurrent emission (the substrates emit
+	// from many goroutines). Use per-thread disjoint locations so the
+	// result is deterministic: no races.
+	on := NewOnline(Options{Mode: ModeCombined})
+	var wg sync.WaitGroup
+	for tid := 0; tid < 4; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			name := string(rune('a' + tid))
+			for i := 0; i < 200; i++ {
+				on.Emit(trace.Event{Rank: 0, TID: tid, Op: trace.OpWrite,
+					Loc: trace.Loc{Rank: 0, Name: name}})
+			}
+		}(tid)
+	}
+	wg.Wait()
+	rep := on.Report()
+	if len(rep.Races) != 0 {
+		t.Fatalf("races on disjoint locations: %v", rep.Races)
+	}
+	if rep.EventsAnalyzed != 800 {
+		t.Fatalf("events = %d", rep.EventsAnalyzed)
+	}
+}

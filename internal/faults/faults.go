@@ -1,0 +1,231 @@
+// Package faults provides the artificial thread-safety violations the
+// evaluation injects into benchmarks, mirroring the paper's
+// methodology: "these well-tested benchmarks do not have thread-safety
+// issues ... so we artificially implemented several tricky errors
+// inside of these benchmarks for the accuracy testing".
+//
+// Each violation kind has a self-contained MiniHPC snippet designed to
+// (a) exhibit exactly that violation class, (b) terminate cleanly on
+// the simulated runtime (no injected deadlocks — the checkers must
+// find the *potential* violation, not crash the run), and (c) use
+// uniquely named variables so several injections can coexist in one
+// program. Snippets that need a communication partner pair even rank
+// 2k with 2k+1, so they work at every even process count the
+// experiments use.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"home/internal/spec"
+)
+
+// Variant tunes how a snippet manifests at runtime without changing
+// the logical violation. The experiments use variants to reproduce
+// the per-benchmark differences of the paper's Table I.
+type Variant struct {
+	// SkewUnits, when nonzero, delays thread 1's racy call by that
+	// many compute units. The violation remains (no synchronization
+	// orders the calls), but the observed schedule separates them in
+	// time — invisible to a manifest-only checker like Marmot.
+	SkewUnits int64
+
+	// ProbeWithRecv switches the probe injection from a probe/probe
+	// race to a probe+receive pattern: both threads probe AND receive
+	// with the same (source, tag). A probe-blind tool (ITC) still
+	// sees the receive side race at the same site.
+	ProbeWithRecv bool
+}
+
+// Snippet returns the statement block that injects the given
+// violation kind when placed at top level inside main (after MPI
+// initialization, before finalization). The enclosing program must
+// provide `rank` and `size` ints. Initialization and finalization
+// violations are not plain snippets — see InitLevelFor and
+// WantsRegionFinalize.
+func Snippet(kind spec.Kind) string { return SnippetVariant(kind, Variant{}) }
+
+// skewGuard renders the schedule-skew preamble for thread 1.
+func skewGuard(v Variant) string {
+	if v.SkewUnits <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("      if (omp_get_thread_num() == 1) { compute(%d); }\n", v.SkewUnits)
+}
+
+// SnippetVariant is Snippet with runtime-manifestation tuning.
+func SnippetVariant(kind spec.Kind, v Variant) string {
+	switch kind {
+	case spec.ConcurrentRecvViolation:
+		return `
+  /* injected: concurrent receive violation */
+  double injcr[1];
+  int injcrPeer;
+  if (rank % 2 == 0) { injcrPeer = rank + 1; } else { injcrPeer = rank - 1; }
+  if (injcrPeer < size) {
+    #pragma omp parallel num_threads(2)
+    {
+` + skewGuard(v) + `      MPI_Send(injcr, 1, injcrPeer, 9901, MPI_COMM_WORLD);
+      MPI_Recv(injcr, 1, injcrPeer, 9901, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+  }
+`
+	case spec.ConcurrentRequestViolation:
+		// The main thread waits (MPI_Probe) until the partner message
+		// has arrived before posting the Irecv, so the request is
+		// already complete when both threads race to MPI_Wait on it —
+		// the violation is present but the run always terminates.
+		return `
+  /* injected: concurrent request violation */
+  double injrq[1];
+  int injrqPeer;
+  MPI_Request injreq;
+  if (rank % 2 == 0) { injrqPeer = rank + 1; } else { injrqPeer = rank - 1; }
+  if (injrqPeer < size) {
+    MPI_Send(injrq, 1, injrqPeer, 9902, MPI_COMM_WORLD);
+    MPI_Probe(injrqPeer, 9902, MPI_COMM_WORLD);
+    MPI_Irecv(injrq, 1, injrqPeer, 9902, MPI_COMM_WORLD, &injreq);
+    #pragma omp parallel num_threads(2)
+    {
+` + skewGuard(v) + `      MPI_Wait(&injreq);
+    }
+  }
+`
+	case spec.ProbeViolation:
+		if v.ProbeWithRecv {
+			return `
+  /* injected: probe violation */
+  double injpb[1];
+  int injpbPeer;
+  if (rank % 2 == 0) { injpbPeer = rank + 1; } else { injpbPeer = rank - 1; }
+  if (injpbPeer < size) {
+    #pragma omp parallel num_threads(2)
+    {
+` + skewGuard(v) + `      MPI_Send(injpb, 1, injpbPeer, 9903, MPI_COMM_WORLD);
+      MPI_Probe(injpbPeer, 9903, MPI_COMM_WORLD);
+      MPI_Recv(injpb, 1, injpbPeer, 9903, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+  }
+`
+		}
+		return `
+  /* injected: probe violation */
+  double injpb[1];
+  int injpbPeer;
+  if (rank % 2 == 0) { injpbPeer = rank + 1; } else { injpbPeer = rank - 1; }
+  if (injpbPeer < size) {
+    MPI_Send(injpb, 1, injpbPeer, 9903, MPI_COMM_WORLD);
+    #pragma omp parallel num_threads(2)
+    {
+` + skewGuard(v) + `      MPI_Probe(injpbPeer, 9903, MPI_COMM_WORLD);
+    }
+    MPI_Recv(injpb, 1, injpbPeer, 9903, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  }
+`
+	case spec.CollectiveCallViolation:
+		return `
+  /* injected: collective call violation */
+  #pragma omp parallel num_threads(2)
+  {
+` + skewGuard(v) + `    MPI_Barrier(MPI_COMM_WORLD);
+  }
+`
+	}
+	return ""
+}
+
+// InitLevelFor returns the MPI_Init_thread level name a benchmark
+// should declare to inject the given kind; the empty string means
+// "keep the correct level" (MPI_THREAD_MULTIPLE).
+//
+// The initialization violation is injected by declaring
+// MPI_THREAD_FUNNELED while worker threads keep issuing the
+// benchmark's in-region MPI calls.
+func InitLevelFor(kinds []spec.Kind) string {
+	for _, k := range kinds {
+		if k == spec.InitializationViolation {
+			return "MPI_THREAD_FUNNELED"
+		}
+	}
+	return ""
+}
+
+// WantsRegionFinalize reports whether the finalization violation is
+// requested: the benchmark then calls MPI_Finalize from a worker
+// thread inside a final parallel region instead of from main.
+func WantsRegionFinalize(kinds []spec.Kind) bool {
+	for _, k := range kinds {
+		if k == spec.FinalizationViolation {
+			return true
+		}
+	}
+	return false
+}
+
+// RegionFinalize is the closing block that injects the finalization
+// violation (MPI_Finalize from a non-main thread).
+const RegionFinalize = `
+  /* injected: finalization violation */
+  #pragma omp parallel num_threads(2)
+  {
+    if (omp_get_thread_num() == 1) {
+      MPI_Finalize();
+    }
+  }
+`
+
+// AllKinds returns the six violation classes in paper order.
+func AllKinds() []spec.Kind { return spec.AllKinds() }
+
+// Program returns a minimal standalone MiniHPC program exhibiting
+// exactly the given violation kind. Used by the accuracy tests and
+// the quickstart examples; needs an even number of >= 2 ranks.
+func Program(kind spec.Kind) string {
+	header := `int main() {
+  int provided;
+  MPI_Init_thread(%s, &provided);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  int size = MPI_Comm_size(MPI_COMM_WORLD);
+`
+	switch kind {
+	case spec.InitializationViolation:
+		return fmt.Sprintf(header, "MPI_THREAD_FUNNELED") + `
+  double buf[1];
+  int peer;
+  if (rank % 2 == 0) { peer = rank + 1; } else { peer = rank - 1; }
+  #pragma omp parallel num_threads(2)
+  {
+    /* worker threads issue MPI calls under FUNNELED; per-thread tags
+       keep the receives themselves well-formed */
+    int tid = omp_get_thread_num();
+    MPI_Send(buf, 1, peer, tid + 1, MPI_COMM_WORLD);
+    MPI_Recv(buf, 1, peer, tid + 1, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  }
+  MPI_Finalize();
+  return 0;
+}`
+	case spec.FinalizationViolation:
+		return fmt.Sprintf(header, "MPI_THREAD_MULTIPLE") + RegionFinalize + `
+  return 0;
+}`
+	default:
+		return fmt.Sprintf(header, "MPI_THREAD_MULTIPLE") +
+			Snippet(kind) + `
+  MPI_Finalize();
+  return 0;
+}`
+	}
+}
+
+// Describe renders the injection set for reports ("termination,
+// communication and so on" in the paper's Table I narrative).
+func Describe(kinds []spec.Kind) string {
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,106 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"home/internal/minic"
+	"home/internal/spec"
+)
+
+func TestProgramsParseForEveryKind(t *testing.T) {
+	for _, kind := range AllKinds() {
+		src := Program(kind)
+		if _, err := minic.Parse(src); err != nil {
+			t.Errorf("%v program does not parse: %v", kind, err)
+		}
+	}
+}
+
+func TestSnippetsParseInContext(t *testing.T) {
+	wrap := func(body string) string {
+		return `int main() {
+  int provided;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &provided);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  int size = MPI_Comm_size(MPI_COMM_WORLD);
+` + body + `
+  MPI_Finalize();
+  return 0;
+}`
+	}
+	variants := []Variant{{}, {SkewUnits: 5000}, {ProbeWithRecv: true}, {SkewUnits: 5000, ProbeWithRecv: true}}
+	for _, kind := range []spec.Kind{
+		spec.ConcurrentRecvViolation, spec.ConcurrentRequestViolation,
+		spec.ProbeViolation, spec.CollectiveCallViolation,
+	} {
+		for _, v := range variants {
+			src := wrap(SnippetVariant(kind, v))
+			if _, err := minic.Parse(src); err != nil {
+				t.Errorf("%v variant %+v: %v", kind, v, err)
+			}
+		}
+	}
+}
+
+func TestSnippetsCarryMarkers(t *testing.T) {
+	for _, kind := range []spec.Kind{
+		spec.ConcurrentRecvViolation, spec.ConcurrentRequestViolation,
+		spec.ProbeViolation, spec.CollectiveCallViolation,
+	} {
+		if !strings.Contains(Snippet(kind), "/* injected:") {
+			t.Errorf("%v snippet has no marker", kind)
+		}
+	}
+	if !strings.Contains(RegionFinalize, "/* injected:") {
+		t.Error("region finalize has no marker")
+	}
+}
+
+func TestSkewVariantAddsCompute(t *testing.T) {
+	plain := Snippet(spec.CollectiveCallViolation)
+	skewed := SnippetVariant(spec.CollectiveCallViolation, Variant{SkewUnits: 7777})
+	if strings.Contains(plain, "compute(") {
+		t.Error("plain snippet should not skew")
+	}
+	if !strings.Contains(skewed, "compute(7777)") {
+		t.Errorf("skewed snippet missing delay:\n%s", skewed)
+	}
+}
+
+func TestProbeVariants(t *testing.T) {
+	plain := Snippet(spec.ProbeViolation)
+	withRecv := SnippetVariant(spec.ProbeViolation, Variant{ProbeWithRecv: true})
+	// Plain: the receive happens outside (after) the parallel region —
+	// a region close brace sits between the probe and the drain recv.
+	iProbe := strings.Index(plain, "MPI_Probe")
+	iRecv := strings.Index(plain, "MPI_Recv")
+	if iProbe < 0 || iRecv < iProbe || !strings.Contains(plain[iProbe:iRecv], "}") {
+		t.Errorf("plain probe snippet should drain outside the region:\n%s", plain)
+	}
+	if !strings.Contains(withRecv, "MPI_Probe") || !strings.Contains(withRecv, "MPI_Recv") {
+		t.Error("probe+recv variant incomplete")
+	}
+}
+
+func TestInitLevelForAndRegionFinalize(t *testing.T) {
+	if InitLevelFor([]spec.Kind{spec.ProbeViolation}) != "" {
+		t.Error("init level should be untouched without the init injection")
+	}
+	if InitLevelFor([]spec.Kind{spec.InitializationViolation}) != "MPI_THREAD_FUNNELED" {
+		t.Error("init injection should declare FUNNELED")
+	}
+	if WantsRegionFinalize([]spec.Kind{spec.ProbeViolation}) {
+		t.Error("no finalize injection requested")
+	}
+	if !WantsRegionFinalize(AllKinds()) {
+		t.Error("finalize injection lost")
+	}
+}
+
+func TestDescribeSorted(t *testing.T) {
+	d := Describe([]spec.Kind{spec.ProbeViolation, spec.ConcurrentRecvViolation})
+	if d != "ConcurrentRecvViolation, ProbeViolation" {
+		t.Fatalf("describe = %q", d)
+	}
+}

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"home/internal/baseline"
+)
+
+// ASCII charts for terminal output: homebench renders each figure as
+// a rough plot in addition to the numeric table, which makes the
+// paper-figure shapes (who is above whom, where curves cross) visible
+// at a glance.
+
+// chartHeight is the number of plot rows.
+const chartHeight = 12
+
+// toolGlyphs are the per-series markers.
+var toolGlyphs = map[baseline.Tool]byte{
+	baseline.ToolBase:   'b',
+	baseline.ToolHOME:   'H',
+	baseline.ToolMarmot: 'M',
+	baseline.ToolITC:    'I',
+}
+
+// Chart renders one figure's series as an ASCII plot: x = process
+// count (log scale by column), y = execution time.
+func Chart(fs *FigureSeries) string {
+	// Collect by tool, keeping proc order.
+	procsSet := map[int]bool{}
+	series := map[baseline.Tool]map[int]int64{}
+	var maxVal int64
+	for _, p := range fs.Points {
+		procsSet[p.Procs] = true
+		if series[p.Tool] == nil {
+			series[p.Tool] = map[int]int64{}
+		}
+		series[p.Tool][p.Procs] = p.Makespan
+		if p.Makespan > maxVal {
+			maxVal = p.Makespan
+		}
+	}
+	var procs []int
+	for n := range procsSet {
+		procs = append(procs, n)
+	}
+	sort.Ints(procs)
+	if maxVal == 0 || len(procs) == 0 {
+		return "(no data)\n"
+	}
+
+	const colWidth = 8
+	width := len(procs) * colWidth
+	grid := make([][]byte, chartHeight)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(tool baseline.Tool) {
+		glyph := toolGlyphs[tool]
+		for xi, n := range procs {
+			v, ok := series[tool][n]
+			if !ok {
+				continue
+			}
+			row := chartHeight - 1 - int(v*int64(chartHeight-1)/maxVal)
+			if row < 0 {
+				row = 0
+			}
+			col := xi*colWidth + colWidth/2
+			grid[row][col] = glyph
+		}
+	}
+	// Draw in reverse priority so important series overwrite on ties.
+	for _, tool := range []baseline.Tool{baseline.ToolITC, baseline.ToolMarmot, baseline.ToolHOME, baseline.ToolBase} {
+		plot(tool)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — execution time vs processes (b=Base H=HOME M=MARMOT I=ITC)\n", fs.Benchmark)
+	fmt.Fprintf(&b, "%8.3f ms ┤\n", float64(maxVal)/1e6)
+	for _, row := range grid {
+		b.WriteString("            │")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("            └" + strings.Repeat("─", width) + "\n")
+	b.WriteString("             ")
+	for _, n := range procs {
+		fmt.Fprintf(&b, "%-*d", colWidth, n)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// OverheadChart renders the Figure-7 overhead curves.
+func OverheadChart(points []OverheadPoint) string {
+	procsSet := map[int]bool{}
+	series := map[baseline.Tool]map[int]float64{}
+	var maxVal float64
+	for _, p := range points {
+		procsSet[p.Procs] = true
+		if series[p.Tool] == nil {
+			series[p.Tool] = map[int]float64{}
+		}
+		series[p.Tool][p.Procs] = p.OverheadPct
+		if p.OverheadPct > maxVal {
+			maxVal = p.OverheadPct
+		}
+	}
+	var procs []int
+	for n := range procsSet {
+		procs = append(procs, n)
+	}
+	sort.Ints(procs)
+	if maxVal <= 0 || len(procs) == 0 {
+		return "(no data)\n"
+	}
+
+	const colWidth = 8
+	width := len(procs) * colWidth
+	grid := make([][]byte, chartHeight)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, tool := range []baseline.Tool{baseline.ToolITC, baseline.ToolMarmot, baseline.ToolHOME} {
+		glyph := toolGlyphs[tool]
+		for xi, n := range procs {
+			v, ok := series[tool][n]
+			if !ok {
+				continue
+			}
+			row := chartHeight - 1 - int(v*float64(chartHeight-1)/maxVal)
+			if row < 0 {
+				row = 0
+			}
+			grid[row][xi*colWidth+colWidth/2] = glyph
+		}
+	}
+	var b strings.Builder
+	b.WriteString("average overhead vs processes (H=HOME M=MARMOT I=ITC)\n")
+	fmt.Fprintf(&b, "%7.0f%% ┤\n", maxVal)
+	for _, row := range grid {
+		b.WriteString("         │")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("         └" + strings.Repeat("─", width) + "\n")
+	b.WriteString("          ")
+	for _, n := range procs {
+		fmt.Fprintf(&b, "%-*d", colWidth, n)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

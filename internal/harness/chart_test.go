@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"home/internal/baseline"
+	"home/internal/npb"
+)
+
+func TestChartContainsAllSeries(t *testing.T) {
+	fs := &FigureSeries{
+		Benchmark: npb.LU,
+		Points: []TimingPoint{
+			{Procs: 2, Tool: baseline.ToolBase, Makespan: 100},
+			{Procs: 2, Tool: baseline.ToolHOME, Makespan: 120},
+			{Procs: 2, Tool: baseline.ToolMarmot, Makespan: 115},
+			{Procs: 2, Tool: baseline.ToolITC, Makespan: 250},
+			{Procs: 4, Tool: baseline.ToolBase, Makespan: 100},
+			{Procs: 4, Tool: baseline.ToolHOME, Makespan: 130},
+			{Procs: 4, Tool: baseline.ToolMarmot, Makespan: 125},
+			{Procs: 4, Tool: baseline.ToolITC, Makespan: 280},
+		},
+	}
+	out := Chart(fs)
+	for _, glyph := range []string{"b", "H", "M", "I"} {
+		if !strings.Contains(out, glyph) {
+			t.Errorf("glyph %q missing:\n%s", glyph, out)
+		}
+	}
+	if !strings.Contains(out, "LU-MZ") {
+		t.Errorf("title missing:\n%s", out)
+	}
+	// ITC (max) should occupy the top plot row.
+	lines := strings.Split(out, "\n")
+	topRow := lines[2] // title, axis label, first grid row
+	if !strings.Contains(topRow, "I") {
+		t.Errorf("slowest tool not at the top:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart(&FigureSeries{Benchmark: npb.LU})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("out = %q", out)
+	}
+	if o := OverheadChart(nil); !strings.Contains(o, "no data") {
+		t.Fatalf("out = %q", o)
+	}
+}
+
+func TestOverheadChartOrdersSeries(t *testing.T) {
+	pts := []OverheadPoint{
+		{Procs: 2, Tool: baseline.ToolHOME, OverheadPct: 16},
+		{Procs: 2, Tool: baseline.ToolMarmot, OverheadPct: 15},
+		{Procs: 2, Tool: baseline.ToolITC, OverheadPct: 120},
+		{Procs: 64, Tool: baseline.ToolHOME, OverheadPct: 45},
+		{Procs: 64, Tool: baseline.ToolMarmot, OverheadPct: 56},
+		{Procs: 64, Tool: baseline.ToolITC, OverheadPct: 200},
+	}
+	out := OverheadChart(pts)
+	// Max label reflects ITC's 200%.
+	if !strings.Contains(out, "200%") {
+		t.Errorf("max label missing:\n%s", out)
+	}
+	// The I glyph appears above the H glyph in every column: compare
+	// first grid row index of I vs last of H.
+	lines := strings.Split(out, "\n")
+	firstI, lastH := -1, -1
+	for i, l := range lines {
+		if strings.Contains(l, "I") && firstI < 0 {
+			firstI = i
+		}
+		if strings.Contains(l, "H") {
+			lastH = i
+		}
+	}
+	if firstI < 0 || lastH < 0 || firstI >= lastH {
+		t.Errorf("ITC should plot above HOME (I at %d, H at %d):\n%s", firstI, lastH, out)
+	}
+}

@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"home/internal/baseline"
+	"home/internal/npb"
+	"home/internal/spec"
+)
+
+// fastCfg keeps unit-test runtime low; the full-scale sweeps run in
+// the benchmarks (bench_test.go) and cmd/homebench.
+func fastCfg() Config {
+	return Config{Class: 'S', Seed: 3, Procs: []int{2, 4, 8}, TableProcs: 4}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	// Paper Table I: HOME 6/6/6, ITC 5/7/6, Marmot 5/6/5.
+	rows, err := Table1(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[npb.Benchmark]map[baseline.Tool]int{
+		npb.LU: {baseline.ToolHOME: 6, baseline.ToolITC: 5, baseline.ToolMarmot: 5},
+		npb.BT: {baseline.ToolHOME: 6, baseline.ToolITC: 7, baseline.ToolMarmot: 6},
+		npb.SP: {baseline.ToolHOME: 6, baseline.ToolITC: 6, baseline.ToolMarmot: 5},
+	}
+	for _, row := range rows {
+		for tool, wantCount := range want[row.Benchmark] {
+			got := row.Outcomes[tool].Reported
+			if got != wantCount {
+				t.Errorf("%v %v reported %d, paper says %d (detected=%v fp=%d)",
+					row.Benchmark, tool, got, wantCount,
+					row.Outcomes[tool].DetectedKinds, row.Outcomes[tool].FalsePositives)
+			}
+		}
+	}
+}
+
+func TestTable1HOMEDetectsAllSixEverywhere(t *testing.T) {
+	rows, err := Table1(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		o := row.Outcomes[baseline.ToolHOME]
+		if len(o.DetectedKinds) != 6 || o.FalsePositives != 0 {
+			t.Errorf("%v HOME: detected %v, fp %d", row.Benchmark, o.DetectedKinds, o.FalsePositives)
+		}
+	}
+}
+
+func TestTable1ITCFalsePositiveIsCollectiveOnBT(t *testing.T) {
+	rows, err := Table1(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		fp := row.Outcomes[baseline.ToolITC].FalsePositives
+		if row.Benchmark == npb.BT && fp != 1 {
+			t.Errorf("BT ITC false positives = %d, want 1", fp)
+		}
+		if row.Benchmark != npb.BT && fp != 0 {
+			t.Errorf("%v ITC false positives = %d, want 0", row.Benchmark, fp)
+		}
+	}
+}
+
+func TestTable1MarmotMissesScheduleSkewedViolations(t *testing.T) {
+	rows, err := Table1(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	missed := func(row TableRow, kind spec.Kind) bool {
+		for _, k := range row.Outcomes[baseline.ToolMarmot].DetectedKinds {
+			if k == kind {
+				return false
+			}
+		}
+		return true
+	}
+	for _, row := range rows {
+		switch row.Benchmark {
+		case npb.LU:
+			if !missed(row, spec.ConcurrentRequestViolation) {
+				t.Error("Marmot should miss the skewed request violation on LU")
+			}
+		case npb.SP:
+			if !missed(row, spec.CollectiveCallViolation) {
+				t.Error("Marmot should miss the skewed collective violation on SP")
+			}
+		}
+	}
+}
+
+func TestFigureShapesToolOrdering(t *testing.T) {
+	// At every proc count: Base < HOME and Base < Marmot < ... ITC
+	// slowest. (HOME vs Marmot may cross — the paper's figures show
+	// them close — but ITC must dominate both.)
+	for _, bench := range npb.All() {
+		fs, err := Figure(bench, fastCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		byProcs := map[int]map[baseline.Tool]int64{}
+		for _, p := range fs.Points {
+			if byProcs[p.Procs] == nil {
+				byProcs[p.Procs] = map[baseline.Tool]int64{}
+			}
+			byProcs[p.Procs][p.Tool] = p.Makespan
+		}
+		for procs, row := range byProcs {
+			if row[baseline.ToolBase] >= row[baseline.ToolHOME] {
+				t.Errorf("%v procs=%d: base %d !< HOME %d", bench, procs, row[baseline.ToolBase], row[baseline.ToolHOME])
+			}
+			if row[baseline.ToolBase] >= row[baseline.ToolMarmot] {
+				t.Errorf("%v procs=%d: base !< Marmot", bench, procs)
+			}
+			if row[baseline.ToolITC] <= row[baseline.ToolHOME] || row[baseline.ToolITC] <= row[baseline.ToolMarmot] {
+				t.Errorf("%v procs=%d: ITC should be slowest (ITC=%d HOME=%d Marmot=%d)",
+					bench, procs, row[baseline.ToolITC], row[baseline.ToolHOME], row[baseline.ToolMarmot])
+			}
+		}
+	}
+}
+
+func TestFigure7PaperBands(t *testing.T) {
+	// Full-scale band check at the experiment class; this is the
+	// headline overhead reproduction, so run it at class A and the
+	// paper's proc range despite the cost (~5s).
+	if testing.Short() {
+		t.Skip("full-scale band check skipped in -short mode")
+	}
+	pts, err := Figure7(Config{Class: 'A', Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTool := map[baseline.Tool][]float64{}
+	for _, p := range pts {
+		byTool[p.Tool] = append(byTool[p.Tool], p.OverheadPct)
+	}
+	inBand := func(v, lo, hi float64) bool { return v >= lo && v <= hi }
+
+	homeCurve := byTool[baseline.ToolHOME]
+	if !inBand(homeCurve[0], 10, 25) || !inBand(homeCurve[len(homeCurve)-1], 35, 55) {
+		t.Errorf("HOME overhead curve out of the paper band (16-45%%): %v", homeCurve)
+	}
+	marmot := byTool[baseline.ToolMarmot]
+	if !inBand(marmot[0], 8, 25) || !inBand(marmot[len(marmot)-1], 45, 70) {
+		t.Errorf("Marmot overhead curve out of the paper band (15-56%%): %v", marmot)
+	}
+	itc := byTool[baseline.ToolITC]
+	if itc[len(itc)-1] < 150 || itc[len(itc)-1] > 260 {
+		t.Errorf("ITC overhead should reach ~200%%: %v", itc)
+	}
+	// Monotone growth with procs for every tool.
+	for tool, curve := range byTool {
+		for i := 1; i < len(curve); i++ {
+			if curve[i] <= curve[i-1] {
+				t.Errorf("%v overhead not increasing with procs: %v", tool, curve)
+				break
+			}
+		}
+	}
+	// Ordering: ITC far above the others everywhere.
+	for i := range homeCurve {
+		if itc[i] < 2*homeCurve[i] {
+			t.Errorf("ITC (%v) should dwarf HOME (%v)", itc, homeCurve)
+			break
+		}
+	}
+}
+
+func TestAblationStaticFilterReducesOverhead(t *testing.T) {
+	pts, err := Ablation(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.SitesFiltered >= p.SitesAll {
+			t.Errorf("procs=%d: filter selected %d of %d sites", p.Procs, p.SitesFiltered, p.SitesAll)
+		}
+		if p.FilteredOverheadPct >= p.InstrumentAllOverheadPct {
+			t.Errorf("procs=%d: filtered overhead %.1f%% !< instrument-all %.1f%%",
+				p.Procs, p.FilteredOverheadPct, p.InstrumentAllOverheadPct)
+		}
+	}
+}
+
+func TestRenderersProduceTables(t *testing.T) {
+	cfg := fastCfg()
+	rows, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := RenderTable1(rows); !strings.Contains(s, "HOME") || !strings.Contains(s, "LU-MZ") {
+		t.Errorf("table render: %q", s)
+	}
+	fs, err := Figure(npb.LU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := RenderFigure(fs); !strings.Contains(s, "procs") {
+		t.Errorf("figure render: %q", s)
+	}
+	o7, err := Figure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := RenderFigure7(o7); !strings.Contains(s, "MARMOT") {
+		t.Errorf("figure7 render: %q", s)
+	}
+	ab, err := Ablation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := RenderAblation(ab); !strings.Contains(s, "ablation") {
+		t.Errorf("ablation render: %q", s)
+	}
+}
+
+func TestDeterministicTable(t *testing.T) {
+	a, err := Table1(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table1(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for _, tool := range []baseline.Tool{baseline.ToolHOME, baseline.ToolMarmot, baseline.ToolITC} {
+			if a[i].Outcomes[tool].Reported != b[i].Outcomes[tool].Reported {
+				t.Errorf("%v %v nondeterministic: %d vs %d", a[i].Benchmark, tool,
+					a[i].Outcomes[tool].Reported, b[i].Outcomes[tool].Reported)
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"home"
+	"home/internal/minic"
+	"home/internal/npb"
+	"home/internal/spec"
+)
+
+// Scalability is the paper's first future-work item ("testing HOME's
+// scalability and accuracy on more large-scale benchmarks"): HOME
+// alone, pushed past the paper's 64 processes on a heavier class,
+// verifying that (a) detection stays complete and (b) overhead growth
+// stays in the logarithmic-in-threads regime of the cost model rather
+// than blowing up.
+
+// ScalePoint is one scalability measurement.
+type ScalePoint struct {
+	Procs          int
+	BaseNs         int64
+	HomeNs         int64
+	OverheadPct    float64
+	ViolationKinds int // distinct classes detected (expect 6)
+	Events         int
+}
+
+// Scalability runs the sweep on the BT workload (the heaviest) with
+// all six injections at each process count.
+func Scalability(cfg Config, procs []int) ([]ScalePoint, error) {
+	cfg = cfg.withDefaults()
+	if len(procs) == 0 {
+		procs = []int{16, 32, 64, 128, 256}
+	}
+	o := npb.PaperInjections(npb.BT)
+	o.Class = cfg.Class
+	src := npb.Generate(npb.BT, o)
+	prog, err := minic.Parse(src.Text)
+	if err != nil {
+		return nil, err
+	}
+	var out []ScalePoint
+	for _, n := range procs {
+		base, err := home.RunBase(prog, home.Options{Procs: n, Threads: cfg.Threads, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := home.CheckProgram(prog, home.Options{Procs: n, Threads: cfg.Threads, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		kinds := map[spec.Kind]bool{}
+		for _, v := range rep.Violations {
+			if k, ok := src.Attribute(v); ok {
+				kinds[k] = true
+			}
+		}
+		out = append(out, ScalePoint{
+			Procs:          n,
+			BaseNs:         base.Makespan,
+			HomeNs:         rep.Makespan,
+			OverheadPct:    overheadPct(rep.Makespan, base.Makespan),
+			ViolationKinds: len(kinds),
+			Events:         rep.EventsAnalyzed,
+		})
+	}
+	return out, nil
+}
+
+// RenderScalability prints the sweep.
+func RenderScalability(points []ScalePoint) string {
+	var b strings.Builder
+	b.WriteString("HOME scalability (BT-MZ, 6 injected violations)\n")
+	fmt.Fprintf(&b, "%6s %12s %12s %10s %10s %10s\n",
+		"procs", "base (ms)", "HOME (ms)", "overhead", "detected", "events")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%6d %12.3f %12.3f %9.1f%% %7d/6 %10d\n",
+			p.Procs, millis(p.BaseNs), millis(p.HomeNs), p.OverheadPct, p.ViolationKinds, p.Events)
+	}
+	return b.String()
+}

@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalabilityDetectionStaysComplete(t *testing.T) {
+	pts, err := Scalability(Config{Class: 'S', Seed: 3}, []int{8, 32, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.ViolationKinds != 6 {
+			t.Errorf("procs=%d: detected %d/6 violation classes", p.Procs, p.ViolationKinds)
+		}
+		if p.OverheadPct <= 0 {
+			t.Errorf("procs=%d: overhead %.1f%% not positive", p.Procs, p.OverheadPct)
+		}
+	}
+	// Events scale linearly with ranks; overhead must grow slower than
+	// linearly (the logarithmic analysis-cost regime).
+	first, last := pts[0], pts[len(pts)-1]
+	if last.Events <= first.Events {
+		t.Errorf("event count did not grow: %d -> %d", first.Events, last.Events)
+	}
+	ratioProcs := float64(last.Procs) / float64(first.Procs)
+	ratioOvh := last.OverheadPct / first.OverheadPct
+	if ratioOvh >= ratioProcs {
+		t.Errorf("overhead grew as fast as rank count (%.1fx over %.0fx procs)", ratioOvh, ratioProcs)
+	}
+	out := RenderScalability(pts)
+	if !strings.Contains(out, "scalability") || !strings.Contains(out, "6/6") {
+		t.Errorf("render:\n%s", out)
+	}
+}

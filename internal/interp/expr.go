@@ -1,0 +1,258 @@
+package interp
+
+import (
+	"sync"
+
+	"home/internal/minic"
+	"home/internal/trace"
+)
+
+// monitorAccess emits a read/write event for a user variable when the
+// whole-program monitoring mode (the ITC baseline model) is active.
+func (tc *threadCtx) monitorAccess(op trace.Op, name string) {
+	if tc.in.conf.MonitorAllAccesses && tc.ctx.Sink != nil {
+		tc.ctx.EmitAccess(op, name)
+	}
+}
+
+// evalExpr evaluates an expression.
+func (tc *threadCtx) evalExpr(e minic.Expr) (Value, error) {
+	switch v := e.(type) {
+	case *minic.NumberLit:
+		if v.IsInt {
+			return intVal(v.Value), nil
+		}
+		return floatVal(v.Value), nil
+
+	case *minic.StringLit:
+		return Value{}, runtimeError(v.Line, "string literals are only allowed as printf formats")
+
+	case *minic.Ident:
+		if c := tc.env.lookup(v.Name); c != nil {
+			tc.monitorAccess(trace.OpRead, v.Name)
+			return c.load(), nil
+		}
+		if cv, ok := constants[v.Name]; ok {
+			return cv, nil
+		}
+		return Value{}, runtimeError(v.Line, "undefined variable %q", v.Name)
+
+	case *minic.Index:
+		arr, mu, err := tc.arrayOf(v.Arr)
+		if err != nil {
+			return Value{}, err
+		}
+		iv, err := tc.evalExpr(v.Idx)
+		if err != nil {
+			return Value{}, err
+		}
+		i := iv.Int()
+		if i < 0 || i >= len(arr) {
+			return Value{}, runtimeError(v.Line, "index %d out of range for %s[%d]", i, v.Arr.Name, len(arr))
+		}
+		tc.monitorAccess(trace.OpRead, v.Arr.Name)
+		mu.Lock()
+		n := arr[i]
+		mu.Unlock()
+		return floatVal(n), nil
+
+	case *minic.Unary:
+		x, err := tc.evalExpr(v.X)
+		if err != nil {
+			return Value{}, err
+		}
+		switch v.Op {
+		case minic.TMinus:
+			x.Num = -x.Num
+			return x, nil
+		case minic.TNot:
+			return boolVal(!x.Truthy()), nil
+		}
+		return Value{}, runtimeError(v.Line, "unsupported unary operator")
+
+	case *minic.Binary:
+		return tc.evalBinary(v)
+
+	case *minic.Assign:
+		return tc.evalAssign(v)
+
+	case *minic.IncDec:
+		one := &minic.NumberLit{Line: v.Line, Value: 1, IsInt: true}
+		op := minic.TPlusEq
+		if v.Op == minic.TMinusMinus {
+			op = minic.TMinusEq
+		}
+		return tc.evalAssign(&minic.Assign{Line: v.Line, Op: op, LHS: v.LHS, RHS: one})
+
+	case *minic.Call:
+		return tc.evalCall(v)
+	}
+	return Value{}, runtimeError(e.Pos(), "unsupported expression %T", e)
+}
+
+// arrayOf resolves an identifier to its array storage and the shared
+// element lock.
+func (tc *threadCtx) arrayOf(id *minic.Ident) ([]float64, *sync.Mutex, error) {
+	c := tc.env.lookup(id.Name)
+	if c == nil {
+		return nil, nil, runtimeError(id.Line, "undefined array %q", id.Name)
+	}
+	v := c.load()
+	if v.Arr == nil {
+		return nil, nil, runtimeError(id.Line, "%q is not an array", id.Name)
+	}
+	return v.Arr, v.ArrMu, nil
+}
+
+func (tc *threadCtx) evalBinary(v *minic.Binary) (Value, error) {
+	// Short-circuit logical operators.
+	if v.Op == minic.TAndAnd || v.Op == minic.TOrOr {
+		x, err := tc.evalExpr(v.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Op == minic.TAndAnd && !x.Truthy() {
+			return boolVal(false), nil
+		}
+		if v.Op == minic.TOrOr && x.Truthy() {
+			return boolVal(true), nil
+		}
+		y, err := tc.evalExpr(v.Y)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolVal(y.Truthy()), nil
+	}
+
+	x, err := tc.evalExpr(v.X)
+	if err != nil {
+		return Value{}, err
+	}
+	y, err := tc.evalExpr(v.Y)
+	if err != nil {
+		return Value{}, err
+	}
+	return applyBinary(v, x, y)
+}
+
+func applyBinary(v *minic.Binary, x, y Value) (Value, error) {
+	isFloat := x.IsFloat || y.IsFloat
+	num := func(n float64) Value {
+		if isFloat {
+			return floatVal(n)
+		}
+		return intVal(n)
+	}
+	switch v.Op {
+	case minic.TPlus:
+		return num(x.Num + y.Num), nil
+	case minic.TMinus:
+		return num(x.Num - y.Num), nil
+	case minic.TStar:
+		return num(x.Num * y.Num), nil
+	case minic.TSlash:
+		if y.Num == 0 {
+			return Value{}, runtimeError(v.Line, "division by zero")
+		}
+		if !isFloat {
+			return intVal(float64(int64(x.Num) / int64(y.Num))), nil
+		}
+		return floatVal(x.Num / y.Num), nil
+	case minic.TPercent:
+		if int64(y.Num) == 0 {
+			return Value{}, runtimeError(v.Line, "modulo by zero")
+		}
+		return intVal(float64(int64(x.Num) % int64(y.Num))), nil
+	case minic.TEq:
+		return boolVal(x.Num == y.Num), nil
+	case minic.TNe:
+		return boolVal(x.Num != y.Num), nil
+	case minic.TLt:
+		return boolVal(x.Num < y.Num), nil
+	case minic.TLe:
+		return boolVal(x.Num <= y.Num), nil
+	case minic.TGt:
+		return boolVal(x.Num > y.Num), nil
+	case minic.TGe:
+		return boolVal(x.Num >= y.Num), nil
+	}
+	return Value{}, runtimeError(v.Line, "unsupported binary operator")
+}
+
+// evalAssign handles =, +=, -=, *=, /= on scalars and array elements.
+func (tc *threadCtx) evalAssign(v *minic.Assign) (Value, error) {
+	rhs, err := tc.evalExpr(v.RHS)
+	if err != nil {
+		return Value{}, err
+	}
+	combine := func(old Value) (Value, error) {
+		switch v.Op {
+		case minic.TAssign:
+			return rhs, nil
+		case minic.TPlusEq:
+			return applyBinary(&minic.Binary{Line: v.Line, Op: minic.TPlus}, old, rhs)
+		case minic.TMinusEq:
+			return applyBinary(&minic.Binary{Line: v.Line, Op: minic.TMinus}, old, rhs)
+		case minic.TStarEq:
+			return applyBinary(&minic.Binary{Line: v.Line, Op: minic.TStar}, old, rhs)
+		case minic.TSlashEq:
+			return applyBinary(&minic.Binary{Line: v.Line, Op: minic.TSlash}, old, rhs)
+		}
+		return Value{}, runtimeError(v.Line, "unsupported assignment operator")
+	}
+
+	switch lhs := v.LHS.(type) {
+	case *minic.Ident:
+		c := tc.env.lookup(lhs.Name)
+		if c == nil {
+			return Value{}, runtimeError(lhs.Line, "undefined variable %q", lhs.Name)
+		}
+		var nv Value
+		if v.Op == minic.TAssign {
+			nv = rhs
+		} else {
+			tc.monitorAccess(trace.OpRead, lhs.Name)
+			old := c.load()
+			nv, err = combine(old)
+			if err != nil {
+				return Value{}, err
+			}
+		}
+		tc.monitorAccess(trace.OpWrite, lhs.Name)
+		c.store(nv)
+		return c.load(), nil
+
+	case *minic.Index:
+		arr, mu, err := tc.arrayOf(lhs.Arr)
+		if err != nil {
+			return Value{}, err
+		}
+		iv, err := tc.evalExpr(lhs.Idx)
+		if err != nil {
+			return Value{}, err
+		}
+		i := iv.Int()
+		if i < 0 || i >= len(arr) {
+			return Value{}, runtimeError(lhs.Line, "index %d out of range for %s[%d]", i, lhs.Arr.Name, len(arr))
+		}
+		var nv Value
+		if v.Op == minic.TAssign {
+			nv = rhs
+		} else {
+			tc.monitorAccess(trace.OpRead, lhs.Arr.Name)
+			mu.Lock()
+			old := floatVal(arr[i])
+			mu.Unlock()
+			nv, err = combine(old)
+			if err != nil {
+				return Value{}, err
+			}
+		}
+		tc.monitorAccess(trace.OpWrite, lhs.Arr.Name)
+		mu.Lock()
+		arr[i] = nv.Num
+		mu.Unlock()
+		return floatVal(nv.Num), nil
+	}
+	return Value{}, runtimeError(v.Line, "assignment target must be a variable or array element")
+}

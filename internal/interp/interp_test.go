@@ -1,0 +1,639 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"home/internal/minic"
+	"home/internal/sim"
+	"home/internal/static"
+	"home/internal/trace"
+)
+
+func parse(t *testing.T, src string) *minic.Program {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+func run(t *testing.T, src string, conf Config) *Result {
+	t.Helper()
+	return Run(parse(t, src), conf)
+}
+
+func mustRun(t *testing.T, src string, conf Config) *Result {
+	t.Helper()
+	res := run(t, src, conf)
+	if err := res.FirstError(); err != nil {
+		t.Fatalf("run: %v\noutput: %s", err, res.Output)
+	}
+	if res.Deadlocked {
+		t.Fatalf("unexpected deadlock")
+	}
+	return res
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  int s = 0;
+  for (int i = 1; i <= 10; i++) { s += i; }
+  int j = 0;
+  while (j < 3) { j++; }
+  if (s == 55 && j == 3) { return 1; }
+  return 0;
+}`, Config{})
+	if res.ExitCodes[0] != 1 {
+		t.Fatalf("exit = %d", res.ExitCodes[0])
+	}
+}
+
+func TestIntegerDivisionAndModulo(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  int a = 7 / 2;
+  int b = 7 % 3;
+  double c = 7.0 / 2.0;
+  if (a == 3 && b == 1 && c > 3.4 && c < 3.6) { return 1; }
+  return 0;
+}`, Config{})
+	if res.ExitCodes[0] != 1 {
+		t.Fatal("numeric semantics wrong")
+	}
+}
+
+func TestDivisionByZeroIsRuntimeError(t *testing.T) {
+	res := run(t, `int main() { int a = 1 / 0; return a; }`, Config{})
+	if res.FirstError() == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+}
+
+func TestArraysAndBoundsCheck(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  double a[5];
+  for (int i = 0; i < 5; i++) { a[i] = i * 2.0; }
+  double s = 0.0;
+  for (int i = 0; i < 5; i++) { s += a[i]; }
+  if (s == 20.0) { return 1; }
+  return 0;
+}`, Config{})
+	if res.ExitCodes[0] != 1 {
+		t.Fatal("array arithmetic wrong")
+	}
+	bad := run(t, `int main() { double a[2]; a[5] = 1.0; return 0; }`, Config{})
+	if bad.FirstError() == nil || !strings.Contains(bad.FirstError().Error(), "out of range") {
+		t.Fatalf("err = %v", bad.FirstError())
+	}
+}
+
+func TestFunctionsByValueAndArrayByReference(t *testing.T) {
+	res := mustRun(t, `
+int twice(int x) { x = x * 2; return x; }
+void fill(double a[], int n, double v) {
+  for (int i = 0; i < n; i++) { a[i] = v; }
+}
+int main() {
+  int x = 5;
+  int y = twice(x);
+  double buf[3];
+  fill(buf, 3, 7.0);
+  if (x == 5 && y == 10 && buf[2] == 7.0) { return 1; }
+  return 0;
+}`, Config{})
+	if res.ExitCodes[0] != 1 {
+		t.Fatal("calling conventions wrong")
+	}
+}
+
+func TestRecursionWorks(t *testing.T) {
+	res := mustRun(t, `
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(10); }`, Config{})
+	if res.ExitCodes[0] != 55 {
+		t.Fatalf("fib(10) = %d", res.ExitCodes[0])
+	}
+}
+
+func TestGlobalsArePerRank(t *testing.T) {
+	res := mustRun(t, `
+int counter = 0;
+int main() {
+  int p;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &p);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  counter = counter + rank + 1;
+  MPI_Finalize();
+  return counter;
+}`, Config{Procs: 3})
+	want := []int{1, 2, 3}
+	for r, w := range want {
+		if res.ExitCodes[r] != w {
+			t.Fatalf("rank %d counter = %d, want %d", r, res.ExitCodes[r], w)
+		}
+	}
+}
+
+func TestPrintfOutput(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  printf("hello %d\n", 42);
+  print(1, 2.5);
+  return 0;
+}`, Config{})
+	if !strings.Contains(res.Output, "hello 42") || !strings.Contains(res.Output, "1 2.5") {
+		t.Fatalf("output = %q", res.Output)
+	}
+}
+
+func TestParallelRegionForksThreads(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  int hits[8];
+  double h[8];
+  omp_set_num_threads(4);
+  #pragma omp parallel
+  {
+    int tid = omp_get_thread_num();
+    h[tid] = 1.0;
+  }
+  double s = 0.0;
+  for (int i = 0; i < 8; i++) { s += h[i]; }
+  if (s == 4.0) { return 1; }
+  return 0;
+}`, Config{})
+	if res.ExitCodes[0] != 1 {
+		t.Fatal("parallel region did not fork 4 threads")
+	}
+}
+
+func TestParallelNumThreadsClause(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  double h[8];
+  #pragma omp parallel num_threads(3)
+  {
+    h[omp_get_thread_num()] = 1.0;
+  }
+  double s = 0.0;
+  for (int i = 0; i < 8; i++) { s += h[i]; }
+  return s;
+}`, Config{})
+	if res.ExitCodes[0] != 3 {
+		t.Fatalf("num_threads(3) forked %d", res.ExitCodes[0])
+	}
+}
+
+func TestParallelForReduction(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  double s = 0.0;
+  #pragma omp parallel for reduction(+: s) num_threads(4)
+  for (int i = 1; i <= 100; i++) { s += i; }
+  if (s == 5050.0) { return 1; }
+  return 0;
+}`, Config{})
+	if res.ExitCodes[0] != 1 {
+		t.Fatal("reduction sum wrong")
+	}
+}
+
+func TestParallelForSchedulesCoverRange(t *testing.T) {
+	for _, sched := range []string{"static", "static, 3", "dynamic", "dynamic, 5", "guided"} {
+		src := `
+int main() {
+  double a[60];
+  #pragma omp parallel for schedule(` + sched + `) num_threads(4)
+  for (int i = 0; i < 60; i++) { a[i] = a[i] + 1.0; }
+  double s = 0.0;
+  for (int i = 0; i < 60; i++) { s += a[i]; }
+  return s;
+}`
+		res := mustRun(t, src, Config{})
+		if res.ExitCodes[0] != 60 {
+			t.Fatalf("schedule(%s): covered %d of 60", sched, res.ExitCodes[0])
+		}
+	}
+}
+
+func TestOmpForInsideParallel(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  double a[40];
+  #pragma omp parallel num_threads(4)
+  {
+    #pragma omp for
+    for (int i = 0; i < 40; i++) { a[i] = 1.0; }
+  }
+  double s = 0.0;
+  for (int i = 0; i < 40; i++) { s += a[i]; }
+  return s;
+}`, Config{})
+	if res.ExitCodes[0] != 40 {
+		t.Fatalf("omp for covered %d", res.ExitCodes[0])
+	}
+}
+
+func TestPrivateClause(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  int x = 99;
+  double h[4];
+  #pragma omp parallel num_threads(4) private(x)
+  {
+    x = omp_get_thread_num();
+    h[x] = x;
+  }
+  if (x == 99) { return 1; }
+  return 0;
+}`, Config{})
+	if res.ExitCodes[0] != 1 {
+		t.Fatal("private(x) leaked into the shared variable")
+	}
+}
+
+func TestCriticalProtectsSharedCounter(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  int n = 0;
+  #pragma omp parallel num_threads(8)
+  {
+    for (int i = 0; i < 100; i++) {
+      #pragma omp critical
+      { n = n + 1; }
+    }
+  }
+  return n / 100;
+}`, Config{})
+	if res.ExitCodes[0] != 8 {
+		t.Fatalf("critical counter = %d00", res.ExitCodes[0])
+	}
+}
+
+func TestSectionsRunEachOnce(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  double h[3];
+  #pragma omp parallel num_threads(2)
+  {
+    #pragma omp sections
+    {
+      #pragma omp section
+      { h[0] = h[0] + 1.0; }
+      #pragma omp section
+      { h[1] = h[1] + 1.0; }
+      #pragma omp section
+      { h[2] = h[2] + 1.0; }
+    }
+  }
+  return h[0] + h[1] + h[2];
+}`, Config{})
+	if res.ExitCodes[0] != 3 {
+		t.Fatalf("sections total = %d", res.ExitCodes[0])
+	}
+}
+
+func TestSingleAndMasterAndBarrier(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  int s = 0;
+  int m = 0;
+  #pragma omp parallel num_threads(4)
+  {
+    #pragma omp single
+    { s = s + 1; }
+    #pragma omp master
+    { m = m + 1; }
+    #pragma omp barrier
+  }
+  return s * 10 + m;
+}`, Config{})
+	if res.ExitCodes[0] != 11 {
+		t.Fatalf("single*10+master = %d", res.ExitCodes[0])
+	}
+}
+
+func TestMPISendRecvBetweenRanks(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  int p;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &p);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  double a[4];
+  if (rank == 0) {
+    for (int i = 0; i < 4; i++) { a[i] = i + 1.0; }
+    MPI_Send(a, 4, 1, 7, MPI_COMM_WORLD);
+  }
+  if (rank == 1) {
+    MPI_Recv(a, 4, 0, 7, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    double s = 0.0;
+    for (int i = 0; i < 4; i++) { s += a[i]; }
+    MPI_Finalize();
+    return s;
+  }
+  MPI_Finalize();
+  return 0;
+}`, Config{Procs: 2})
+	if res.ExitCodes[1] != 10 {
+		t.Fatalf("rank 1 sum = %d", res.ExitCodes[1])
+	}
+}
+
+func TestMPICollectivesInProgram(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  int p;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &p);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  int size = MPI_Comm_size(MPI_COMM_WORLD);
+  double v[1];
+  v[0] = rank + 1.0;
+  double total[1];
+  MPI_Allreduce(v, total, 1, MPI_SUM, MPI_COMM_WORLD);
+  double b[2];
+  if (rank == 0) { b[0] = 5.0; b[1] = 6.0; }
+  MPI_Bcast(b, 2, 0, MPI_COMM_WORLD);
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Finalize();
+  if (total[0] == 10.0 && b[1] == 6.0) { return 1; }
+  return 0;
+}`, Config{Procs: 4})
+	for r, code := range res.ExitCodes {
+		if code != 1 {
+			t.Fatalf("rank %d failed collective checks", r)
+		}
+	}
+}
+
+func TestMPIIsendIrecvWaitInProgram(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  int p;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &p);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  double a[2];
+  MPI_Request rq;
+  if (rank == 0) {
+    a[0] = 3.0; a[1] = 4.0;
+    MPI_Isend(a, 2, 1, 0, MPI_COMM_WORLD, &rq);
+    MPI_Wait(&rq);
+  }
+  if (rank == 1) {
+    MPI_Irecv(a, 2, 0, 0, MPI_COMM_WORLD, &rq);
+    MPI_Wait(&rq);
+    MPI_Finalize();
+    return a[0] + a[1];
+  }
+  MPI_Finalize();
+  return 0;
+}`, Config{Procs: 2})
+	if res.ExitCodes[1] != 7 {
+		t.Fatalf("irecv payload sum = %d", res.ExitCodes[1])
+	}
+}
+
+func TestMPIProbeInProgram(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  int p;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &p);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  double a[3];
+  if (rank == 0) {
+    a[0] = 1.0;
+    MPI_Send(a, 3, 1, 42, MPI_COMM_WORLD);
+  }
+  if (rank == 1) {
+    int n = MPI_Probe(MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_COMM_WORLD);
+    int src = MPI_Status_source();
+    int tag = MPI_Status_tag();
+    MPI_Recv(a, 3, src, tag, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    MPI_Finalize();
+    if (n == 3 && src == 0 && tag == 42) { return 1; }
+    return 0;
+  }
+  MPI_Finalize();
+  return 1;
+}`, Config{Procs: 2})
+	if res.ExitCodes[1] != 1 {
+		t.Fatal("probe status wrong")
+	}
+}
+
+func TestFigure1CaseStudyDeadlocks(t *testing.T) {
+	// Paper Figure 1: legacy MPI_Init (SINGLE) + MPI calls from omp
+	// sections. With faithful thread-level enforcement the worker
+	// thread's call misbehaves and the program hangs; the watchdog
+	// reports the deadlock instead of hanging the host.
+	res := run(t, `
+int main() {
+  MPI_Init();
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  omp_set_num_threads(2);
+  double a[1];
+  #pragma omp parallel
+  {
+    #pragma omp sections
+    {
+      #pragma omp section
+      { if (rank == 0) { MPI_Send(a, 1, 0, 5, MPI_COMM_WORLD); } }
+      #pragma omp section
+      { if (rank == 0) { MPI_Recv(a, 1, 0, 5, MPI_COMM_WORLD, MPI_STATUS_IGNORE); } }
+    }
+  }
+  MPI_Finalize();
+  return 0;
+}`, Config{Procs: 1, EnforceThreadLevel: true})
+	if !res.Deadlocked {
+		t.Fatalf("Figure 1 should deadlock under SINGLE; errs=%v", res.Errs)
+	}
+}
+
+func TestFigure1FixedWithThreadMultipleCompletes(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  int p;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &p);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  omp_set_num_threads(2);
+  double a[1];
+  #pragma omp parallel
+  {
+    #pragma omp sections
+    {
+      #pragma omp section
+      { if (rank == 0) { MPI_Send(a, 1, 0, 5, MPI_COMM_WORLD); } }
+      #pragma omp section
+      { if (rank == 0) { MPI_Recv(a, 1, 0, 5, MPI_COMM_WORLD, MPI_STATUS_IGNORE); } }
+    }
+  }
+  MPI_Finalize();
+  return 0;
+}`, Config{Procs: 1, EnforceThreadLevel: true})
+	_ = res
+}
+
+func TestStepBudgetCatchesInfiniteLoop(t *testing.T) {
+	res := run(t, `int main() { while (1) { } return 0; }`, Config{MaxSteps: 10_000})
+	if !errors.Is(res.FirstError(), ErrStepBudget) {
+		t.Fatalf("err = %v", res.FirstError())
+	}
+}
+
+func TestComputeAdvancesVirtualTime(t *testing.T) {
+	slow := mustRun(t, `int main() { compute(1000000); return 0; }`, Config{})
+	fast := mustRun(t, `int main() { compute(10); return 0; }`, Config{})
+	if slow.Makespan <= fast.Makespan {
+		t.Fatalf("compute cost not reflected: %d <= %d", slow.Makespan, fast.Makespan)
+	}
+}
+
+// instrumentation tests
+
+const hybridInstrSrc = `
+int main() {
+  int p;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &p);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  int peer = 1 - rank;
+  double a[1];
+  MPI_Barrier(MPI_COMM_WORLD);
+  #pragma omp parallel num_threads(2)
+  {
+    MPI_Send(a, 1, peer, 3, MPI_COMM_WORLD);
+    MPI_Recv(a, 1, peer, 3, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  }
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}`
+
+func TestWrapperEmitsMonitoredVarsOnlyForPlannedSites(t *testing.T) {
+	prog := parse(t, hybridInstrSrc)
+	plan := static.Analyze(prog, static.Options{})
+	log := trace.NewLog()
+	res := Run(prog, Config{
+		Procs:      2,
+		Seed:       1,
+		Instrument: plan.Instrument,
+		Sink:       log,
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var monitored, records int
+	var sawBarrierRecord bool
+	for _, e := range log.Events() {
+		switch e.Op {
+		case trace.OpWrite:
+			if e.Call != nil {
+				monitored++
+			}
+		case trace.OpMPICall:
+			records++
+			if e.Call.Kind == trace.CallBarrier {
+				sawBarrierRecord = true
+			}
+		}
+	}
+	// 2 ranks x 2 threads x 2 calls x 3 monitored vars = 24 writes,
+	// plus one finalizetmp write per rank (Finalize is always
+	// recorded) = 26.
+	if monitored != 26 {
+		t.Fatalf("monitored writes = %d, want 26", monitored)
+	}
+	// 2 ranks x 2 threads x 2 calls = 8 region records, plus
+	// Init_thread and Finalize records per rank = 12; barriers
+	// filtered out.
+	if records != 12 {
+		t.Fatalf("records = %d, want 12", records)
+	}
+	if sawBarrierRecord {
+		t.Fatal("outside-region MPI_Barrier should not be instrumented")
+	}
+}
+
+func TestNoSinkEmitsNothingEvenWithPlan(t *testing.T) {
+	prog := parse(t, hybridInstrSrc)
+	plan := static.Analyze(prog, static.Options{})
+	res := Run(prog, Config{Procs: 2, Seed: 1, Instrument: plan.Instrument})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorAllAccessesEmitsUserVarEvents(t *testing.T) {
+	prog := parse(t, `
+int main() {
+  int x = 0;
+  for (int i = 0; i < 10; i++) { x = x + 1; }
+  return x;
+}`)
+	log := trace.NewLog()
+	res := Run(prog, Config{Sink: log, MonitorAllAccesses: true})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	reads, writes := 0, 0
+	for _, e := range log.Events() {
+		switch e.Op {
+		case trace.OpRead:
+			reads++
+		case trace.OpWrite:
+			writes++
+		}
+	}
+	if reads == 0 || writes < 11 {
+		t.Fatalf("reads=%d writes=%d", reads, writes)
+	}
+}
+
+func TestCallHookInvokedPerInstrumentedCall(t *testing.T) {
+	prog := parse(t, hybridInstrSrc)
+	plan := static.Analyze(prog, static.Options{})
+	log := trace.NewLog()
+	var hooks int64
+	res := Run(prog, Config{
+		Procs:      2,
+		Seed:       1,
+		Instrument: plan.Instrument,
+		Sink:       log,
+		CallHook: func(_ *sim.Ctx, rec *trace.MPICall) {
+			atomic.AddInt64(&hooks, 1)
+		},
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	// 8 region calls + always-recorded Init_thread/Finalize per rank.
+	if hooks != 12 {
+		t.Fatalf("hooks = %d, want 12 (one per recorded call)", hooks)
+	}
+}
+
+func TestMakespanDeterministicAcrossRuns(t *testing.T) {
+	src := `
+int main() {
+  int p;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &p);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  compute(1000);
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}`
+	a := mustRun(t, src, Config{Procs: 4, Seed: 9})
+	b := mustRun(t, src, Config{Procs: 4, Seed: 9})
+	if a.Makespan != b.Makespan {
+		t.Fatalf("makespan varies: %d vs %d", a.Makespan, b.Makespan)
+	}
+}

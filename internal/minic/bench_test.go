@@ -1,0 +1,79 @@
+package minic
+
+import (
+	"testing"
+
+	"strings"
+)
+
+// benchSrc is a representative hybrid program (~60 lines).
+var benchSrc = `
+double scratch[128];
+double stepKernel(double seedv, int n) {
+  double acc = seedv;
+  for (int i = 0; i < n; i++) {
+    acc = acc * 0.5 + scratch[i % 128];
+  }
+  return acc;
+}
+int main() {
+  int provided;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &provided);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  int size = MPI_Comm_size(MPI_COMM_WORLD);
+  double u[128];
+  double resid[1];
+  double total[1];
+  for (int step = 0; step < 8; step++) {
+    #pragma omp parallel for schedule(dynamic, 8) num_threads(4)
+    for (int i = 0; i < 128; i++) {
+      compute(25);
+      u[i] = u[i] * 0.99 + 0.01;
+    }
+    #pragma omp parallel num_threads(2)
+    {
+      int tid = omp_get_thread_num();
+      MPI_Send(u, 1, (rank + 1) % size, tid, MPI_COMM_WORLD);
+      MPI_Recv(u, 1, (rank + size - 1) % size, tid, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+    resid[0] = u[0];
+    MPI_Allreduce(resid, total, 1, MPI_SUM, MPI_COMM_WORLD);
+  }
+  MPI_Finalize();
+  return 0;
+}`
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchSrc)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchSrc)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Tokenize(benchSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFormat(b *testing.B) {
+	prog, err := Parse(benchSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = Format(prog)
+	}
+	if !strings.Contains(out, "main") {
+		b.Fatal("bad output")
+	}
+}

@@ -1,0 +1,58 @@
+package minic
+
+import "testing"
+
+// Fuzz targets: the front-end must never panic, whatever the input;
+// and formatted output of any valid parse must reparse to the same
+// canonical form. Run at depth with `go test -fuzz=FuzzParse
+// ./internal/minic/`; the seed corpus below runs on every plain
+// `go test`.
+
+var fuzzSeeds = []string{
+	"",
+	"int main() { return 0; }",
+	"int main() { #pragma omp parallel\n { } return 0; }",
+	`int main() { double a[3]; a[0] = 1.5; return a[0]; }`,
+	`#include <mpi.h>
+int main() { MPI_Init(); MPI_Finalize(); return 0; }`,
+	"int main() { /* unterminated",
+	`int main() { "unterminated }`,
+	"int main() { int x = 1 ++++ 2; }",
+	"#pragma omp nonsense\nint main() {}",
+	"void f(int a, double b[]) { b[a] = a; } int main() { return 0; }",
+	"int main() { for (int i = 0; i < 10; i++) { if (i) { break; } } return 0; }",
+	"int main() { int x = -(-(-1)); return x; }",
+	"int main() { #pragma omp parallel for reduction(+: s)\n for (int i=0;i<3;i++) { } }",
+}
+
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Any accepted program must also survive the rest of the
+		// front-end.
+		_ = CheckSemantics(prog, DefaultSemaOptions())
+		out := Format(prog)
+		p2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("formatted output does not reparse: %v\n--- source ---\n%s\n--- formatted ---\n%s", err, src, out)
+		}
+		if out2 := Format(p2); out != out2 {
+			t.Fatalf("format not canonical:\n%s\nvs\n%s", out, out2)
+		}
+	})
+}
+
+func FuzzTokenize(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = Tokenize(src) // must not panic
+	})
+}

@@ -1,0 +1,275 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer tokenizes MiniHPC source text.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+// NewLexer returns a lexer over src starting at line 1.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1}
+}
+
+// Tokenize lexes the whole input.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+	}
+	return c
+}
+
+// skipSpaceAndComments consumes whitespace, // line comments and
+// /* */ block comments.
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.line
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return fmt.Errorf("line %d: unterminated block comment", start)
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line := l.line
+	if l.pos >= len(l.src) {
+		return Token{Kind: TEOF, Line: line}, nil
+	}
+	c := l.peek()
+
+	// #pragma / #include: captured as raw line tokens. #include lines
+	// are skipped (the interpreter provides the "headers").
+	if c == '#' {
+		start := l.pos
+		for l.pos < len(l.src) && l.peek() != '\n' {
+			l.advance()
+		}
+		text := strings.TrimSpace(l.src[start:l.pos])
+		if strings.HasPrefix(text, "#pragma") {
+			return Token{Kind: TPragma, Lit: strings.TrimSpace(strings.TrimPrefix(text, "#pragma")), Line: line}, nil
+		}
+		if strings.HasPrefix(text, "#include") || strings.HasPrefix(text, "#define") {
+			return l.Next()
+		}
+		return Token{}, fmt.Errorf("line %d: unsupported preprocessor directive %q", line, text)
+	}
+
+	if isIdentStart(c) {
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		word := l.src[start:l.pos]
+		if k, ok := keywords[word]; ok {
+			return Token{Kind: k, Lit: word, Line: line}, nil
+		}
+		return Token{Kind: TIdent, Lit: word, Line: line}, nil
+	}
+
+	if isDigit(c) || (c == '.' && isDigit(l.peek2())) {
+		start := l.pos
+		for l.pos < len(l.src) && (isDigit(l.peek()) || l.peek() == '.') {
+			l.advance()
+		}
+		// Exponent part.
+		if l.pos < len(l.src) && (l.peek() == 'e' || l.peek() == 'E') {
+			l.advance()
+			if l.peek() == '+' || l.peek() == '-' {
+				l.advance()
+			}
+			for l.pos < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		return Token{Kind: TNumber, Lit: l.src[start:l.pos], Line: line}, nil
+	}
+
+	if c == '"' {
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("line %d: unterminated string", line)
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' && l.pos < len(l.src) {
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\', '"':
+					b.WriteByte(esc)
+				default:
+					b.WriteByte(esc)
+				}
+				continue
+			}
+			b.WriteByte(ch)
+		}
+		return Token{Kind: TString, Lit: b.String(), Line: line}, nil
+	}
+
+	two := func(k Kind) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: k, Line: line}, nil
+	}
+	one := func(k Kind) (Token, error) {
+		l.advance()
+		return Token{Kind: k, Line: line}, nil
+	}
+
+	switch c {
+	case '(':
+		return one(TLParen)
+	case ')':
+		return one(TRParen)
+	case '{':
+		return one(TLBrace)
+	case '}':
+		return one(TRBrace)
+	case '[':
+		return one(TLBracket)
+	case ']':
+		return one(TRBracket)
+	case ',':
+		return one(TComma)
+	case ';':
+		return one(TSemi)
+	case '+':
+		if l.peek2() == '+' {
+			return two(TPlusPlus)
+		}
+		if l.peek2() == '=' {
+			return two(TPlusEq)
+		}
+		return one(TPlus)
+	case '-':
+		if l.peek2() == '-' {
+			return two(TMinusMinus)
+		}
+		if l.peek2() == '=' {
+			return two(TMinusEq)
+		}
+		return one(TMinus)
+	case '*':
+		if l.peek2() == '=' {
+			return two(TStarEq)
+		}
+		return one(TStar)
+	case '/':
+		if l.peek2() == '=' {
+			return two(TSlashEq)
+		}
+		return one(TSlash)
+	case '%':
+		return one(TPercent)
+	case '=':
+		if l.peek2() == '=' {
+			return two(TEq)
+		}
+		return one(TAssign)
+	case '!':
+		if l.peek2() == '=' {
+			return two(TNe)
+		}
+		return one(TNot)
+	case '<':
+		if l.peek2() == '=' {
+			return two(TLe)
+		}
+		return one(TLt)
+	case '>':
+		if l.peek2() == '=' {
+			return two(TGe)
+		}
+		return one(TGt)
+	case '&':
+		if l.peek2() == '&' {
+			return two(TAndAnd)
+		}
+		return one(TAmp)
+	case '|':
+		if l.peek2() == '|' {
+			return two(TOrOr)
+		}
+	}
+	return Token{}, fmt.Errorf("line %d: unexpected character %q", line, string(c))
+}

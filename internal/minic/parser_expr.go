@@ -1,0 +1,242 @@
+package minic
+
+import "strconv"
+
+// Expression parsing: classic recursive descent with one level per
+// precedence tier. Assignment is right-associative and restricted to
+// identifier/index left-hand sides.
+
+// parseExpr parses a full expression (assignment level).
+func (p *Parser) parseExpr() (Expr, error) { return p.parseAssignExpr() }
+
+func (p *Parser) parseAssignExpr() (Expr, error) {
+	lhs, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case TAssign, TPlusEq, TMinusEq, TStarEq, TSlashEq:
+		op := p.next()
+		if !isLValue(lhs) {
+			return nil, p.errorf("left side of assignment must be a variable or array element")
+		}
+		rhs, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Line: op.Line, Op: op.Kind, LHS: lhs, RHS: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func isLValue(e Expr) bool {
+	switch e.(type) {
+	case *Ident, *Index:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseOr() (Expr, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TOrOr) {
+		op := p.next()
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Line: op.Line, Op: TOrOr, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	x, err := p.parseEquality()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TAndAnd) {
+		op := p.next()
+		y, err := p.parseEquality()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Line: op.Line, Op: TAndAnd, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseEquality() (Expr, error) {
+	x, err := p.parseRelational()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TEq) || p.at(TNe) {
+		op := p.next()
+		y, err := p.parseRelational()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Line: op.Line, Op: op.Kind, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseRelational() (Expr, error) {
+	x, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TLt) || p.at(TLe) || p.at(TGt) || p.at(TGe) {
+		op := p.next()
+		y, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Line: op.Line, Op: op.Kind, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	x, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TPlus) || p.at(TMinus) {
+		op := p.next()
+		y, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Line: op.Line, Op: op.Kind, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TStar) || p.at(TSlash) || p.at(TPercent) {
+		op := p.next()
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Line: op.Line, Op: op.Kind, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case TMinus, TNot:
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Line: op.Line, Op: op.Kind, X: x}, nil
+	case TAmp:
+		// Address-of before buffer/out arguments in MPI calls —
+		// accepted and semantically transparent (arrays are reference
+		// values and out-params are handled by the builtins).
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TLBracket:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TRBracket); err != nil {
+				return nil, err
+			}
+			id, ok := x.(*Ident)
+			if !ok {
+				return nil, p.errorf("only named arrays can be indexed")
+			}
+			x = &Index{Line: id.Line, Arr: id, Idx: idx}
+		case TPlusPlus, TMinusMinus:
+			op := p.next()
+			if !isLValue(x) {
+				return nil, p.errorf("%s needs a variable", op.Kind)
+			}
+			x = &IncDec{Line: op.Line, Op: op.Kind, LHS: x}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TNumber:
+		p.next()
+		isInt := true
+		for i := 0; i < len(t.Lit); i++ {
+			if t.Lit[i] == '.' || t.Lit[i] == 'e' || t.Lit[i] == 'E' {
+				isInt = false
+				break
+			}
+		}
+		v, err := strconv.ParseFloat(t.Lit, 64)
+		if err != nil {
+			return nil, p.errorf("bad number literal %q", t.Lit)
+		}
+		return &NumberLit{Line: t.Line, Value: v, IsInt: isInt}, nil
+	case TString:
+		p.next()
+		return &StringLit{Line: t.Line, Value: t.Lit}, nil
+	case TIdent:
+		p.next()
+		if p.at(TLParen) {
+			p.next()
+			call := &Call{Line: t.Line, Name: t.Lit, CallID: p.calls}
+			p.calls++
+			for !p.at(TRParen) {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(TComma); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.next() // )
+			return call, nil
+		}
+		return &Ident{Line: t.Line, Name: t.Lit}, nil
+	case TLParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errorf("unexpected token %s in expression", t)
+}

@@ -1,0 +1,301 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a Program back to MiniHPC source text. The output
+// parses to a structurally identical program (modulo source
+// positions), which the printer tests verify; it is used by the
+// homefmt tool and to render generated benchmarks readably.
+func Format(p *Program) string {
+	pr := &printer{}
+	for i, g := range p.Globals {
+		if i > 0 {
+			pr.nl()
+		}
+		pr.stmt(g)
+	}
+	for i, f := range p.Funcs {
+		if i > 0 || len(p.Globals) > 0 {
+			pr.nl()
+		}
+		pr.fn(f)
+	}
+	return pr.b.String()
+}
+
+// FormatExpr renders one expression.
+func FormatExpr(e Expr) string {
+	pr := &printer{}
+	pr.expr(e, 0)
+	return pr.b.String()
+}
+
+// FormatStmt renders one statement at the given indent level.
+func FormatStmt(s Stmt) string {
+	pr := &printer{}
+	pr.stmt(s)
+	return pr.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) nl()  { p.b.WriteByte('\n') }
+func (p *printer) pad() { p.b.WriteString(strings.Repeat("  ", p.indent)) }
+func (p *printer) line(format string, a ...any) {
+	p.pad()
+	fmt.Fprintf(&p.b, format, a...)
+	p.nl()
+}
+
+func (p *printer) fn(f *FuncDecl) {
+	var params []string
+	for _, prm := range f.Params {
+		s := prm.Type.String() + " " + prm.Name
+		if prm.IsArray {
+			s += "[]"
+		}
+		params = append(params, s)
+	}
+	p.line("%s %s(%s) {", f.RetType, f.Name, strings.Join(params, ", "))
+	p.indent++
+	for _, s := range f.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) block(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		p.line("{")
+		p.indent++
+		for _, inner := range b.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+		return
+	}
+	p.indent++
+	p.stmt(s)
+	p.indent--
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch v := s.(type) {
+	case *Block:
+		p.block(v)
+	case *DeclStmt:
+		var decls []string
+		for _, d := range v.Decls {
+			txt := d.Name
+			if d.ArraySize != nil {
+				txt += "[" + FormatExpr(d.ArraySize) + "]"
+			}
+			if d.Init != nil {
+				txt += " = " + FormatExpr(d.Init)
+			}
+			decls = append(decls, txt)
+		}
+		p.line("%s %s;", v.Type, strings.Join(decls, ", "))
+	case *ExprStmt:
+		p.line("%s;", FormatExpr(v.X))
+	case *IfStmt:
+		p.line("if (%s)", FormatExpr(v.Cond))
+		p.block(v.Then)
+		if v.Else != nil {
+			p.line("else")
+			p.block(v.Else)
+		}
+	case *ForStmt:
+		init, cond, post := "", "", ""
+		switch iv := v.Init.(type) {
+		case *DeclStmt:
+			s := FormatStmt(iv)
+			init = strings.TrimSuffix(strings.TrimSpace(s), ";")
+		case *ExprStmt:
+			init = FormatExpr(iv.X)
+		}
+		if v.Cond != nil {
+			cond = FormatExpr(v.Cond)
+		}
+		if v.Post != nil {
+			post = FormatExpr(v.Post)
+		}
+		p.line("for (%s; %s; %s)", init, cond, post)
+		p.block(v.Body)
+	case *WhileStmt:
+		p.line("while (%s)", FormatExpr(v.Cond))
+		p.block(v.Body)
+	case *ReturnStmt:
+		if v.X != nil {
+			p.line("return %s;", FormatExpr(v.X))
+		} else {
+			p.line("return;")
+		}
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *OmpStmt:
+		p.omp(v)
+	default:
+		p.line("/* unsupported statement %T */", s)
+	}
+}
+
+func (p *printer) omp(o *OmpStmt) {
+	var clauses []string
+	if o.NumThreads != nil {
+		clauses = append(clauses, "num_threads("+FormatExpr(o.NumThreads)+")")
+	}
+	switch o.Schedule {
+	case SchedStatic:
+		clauses = append(clauses, schedClause("static", o.Chunk))
+	case SchedDynamic:
+		clauses = append(clauses, schedClause("dynamic", o.Chunk))
+	case SchedGuided:
+		clauses = append(clauses, schedClause("guided", o.Chunk))
+	}
+	if len(o.Private) > 0 {
+		clauses = append(clauses, "private("+strings.Join(o.Private, ", ")+")")
+	}
+	if o.Reduction != "" {
+		clauses = append(clauses, "reduction("+o.Reduction+": "+strings.Join(o.RedVars, ", ")+")")
+	}
+	clause := ""
+	if len(clauses) > 0 {
+		clause = " " + strings.Join(clauses, " ")
+	}
+
+	switch o.Kind {
+	case PragmaBarrier:
+		p.line("#pragma omp barrier")
+	case PragmaCritical:
+		name := ""
+		if o.Name != "" {
+			name = "(" + o.Name + ")"
+		}
+		p.line("#pragma omp critical%s", name)
+		p.block(o.Body)
+	case PragmaSections:
+		p.line("#pragma omp sections%s", clause)
+		p.line("{")
+		p.indent++
+		for _, sec := range o.Sections {
+			p.line("#pragma omp section")
+			p.block(sec)
+		}
+		p.indent--
+		p.line("}")
+	default:
+		p.line("#pragma omp %s%s", o.Kind, clause)
+		p.block(o.Body)
+	}
+}
+
+func schedClause(kind string, chunk Expr) string {
+	if chunk == nil {
+		return "schedule(" + kind + ")"
+	}
+	return "schedule(" + kind + ", " + FormatExpr(chunk) + ")"
+}
+
+// precedence tiers for minimal parenthesization.
+func exprPrec(e Expr) int {
+	switch v := e.(type) {
+	case *Assign:
+		return 1
+	case *Binary:
+		switch v.Op {
+		case TOrOr:
+			return 2
+		case TAndAnd:
+			return 3
+		case TEq, TNe:
+			return 4
+		case TLt, TLe, TGt, TGe:
+			return 5
+		case TPlus, TMinus:
+			return 6
+		default:
+			return 7
+		}
+	case *Unary:
+		return 8
+	default:
+		return 9
+	}
+}
+
+func opToken(k Kind) string { return k.String() }
+
+func (p *printer) expr(e Expr, parentPrec int) {
+	prec := exprPrec(e)
+	if prec < parentPrec {
+		p.b.WriteByte('(')
+		defer p.b.WriteByte(')')
+	}
+	switch v := e.(type) {
+	case *NumberLit:
+		if v.IsInt {
+			fmt.Fprintf(&p.b, "%d", int64(v.Value))
+		} else {
+			s := strconv.FormatFloat(v.Value, 'g', -1, 64)
+			if !strings.ContainsAny(s, ".eE") {
+				s += ".0"
+			}
+			p.b.WriteString(s)
+		}
+	case *StringLit:
+		fmt.Fprintf(&p.b, "%q", v.Value)
+	case *Ident:
+		p.b.WriteString(v.Name)
+	case *Index:
+		p.expr(v.Arr, 9)
+		p.b.WriteByte('[')
+		p.expr(v.Idx, 0)
+		p.b.WriteByte(']')
+	case *Unary:
+		p.b.WriteString(opToken(v.Op))
+		// `-(-x)` must not print as `--x` (the decrement token).
+		if inner, ok := v.X.(*Unary); ok && v.Op == TMinus && inner.Op == TMinus {
+			p.b.WriteByte(' ')
+		}
+		p.expr(v.X, prec)
+	case *Binary:
+		p.expr(v.X, prec)
+		p.b.WriteByte(' ')
+		p.b.WriteString(opToken(v.Op))
+		p.b.WriteByte(' ')
+		p.expr(v.Y, prec+1) // left-assoc: parenthesize equal-prec right side
+	case *Assign:
+		p.expr(v.LHS, prec+1)
+		p.b.WriteByte(' ')
+		p.b.WriteString(opToken(v.Op))
+		p.b.WriteByte(' ')
+		p.expr(v.RHS, prec) // right-assoc
+	case *IncDec:
+		p.expr(v.LHS, 9)
+		p.b.WriteString(opToken(v.Op))
+	case *Call:
+		p.b.WriteString(v.Name)
+		p.b.WriteByte('(')
+		for i, a := range v.Args {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.expr(a, 0)
+		}
+		p.b.WriteByte(')')
+	default:
+		fmt.Fprintf(&p.b, "/* %T */", e)
+	}
+}

@@ -1,0 +1,213 @@
+package minic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// roundTrip asserts Format is a canonical form: formatting, reparsing
+// and reformatting must reach a fixpoint after one step.
+func roundTrip(t *testing.T, src string) {
+	t.Helper()
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse original: %v", err)
+	}
+	f1 := Format(p1)
+	p2, err := Parse(f1)
+	if err != nil {
+		t.Fatalf("reparse formatted output: %v\n--- formatted ---\n%s", err, f1)
+	}
+	f2 := Format(p2)
+	if f1 != f2 {
+		t.Fatalf("format not canonical:\n--- first ---\n%s\n--- second ---\n%s", f1, f2)
+	}
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	roundTrip(t, `
+int g = 3;
+double arr[8];
+double work(int n, double buf[]) {
+  buf[0] = n * 2.5;
+  return buf[0];
+}
+int main() {
+  int i, j = 2, k;
+  double x = 1.5e3;
+  for (int a = 0; a < 10; a++) {
+    if (a % 2 == 0) { x += a; } else { x -= 1.0; }
+  }
+  while (x > 100.0) { x = x / 2.0; }
+  for (;;) { break; }
+  int z = 0;
+  z = i = 4;
+  return work(3, arr);
+}`)
+}
+
+func TestRoundTripPragmas(t *testing.T) {
+	roundTrip(t, `
+int main() {
+  double a[40];
+  double s = 0.0;
+  #pragma omp parallel num_threads(4) private(s)
+  {
+    #pragma omp critical(update)
+    { s = s + 1.0; }
+    #pragma omp barrier
+    #pragma omp single
+    { s = 2.0; }
+    #pragma omp master
+    { s = 3.0; }
+    #pragma omp sections
+    {
+      #pragma omp section
+      { a[0] = 1.0; }
+      #pragma omp section
+      { a[1] = 2.0; }
+    }
+  }
+  #pragma omp parallel for schedule(dynamic, 4) reduction(+: s)
+  for (int i = 0; i < 40; i++) { s += a[i]; }
+  return 0;
+}`)
+}
+
+func TestRoundTripMPIProgram(t *testing.T) {
+	roundTrip(t, `
+int main() {
+  int provided;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &provided);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  double a[4];
+  MPI_Request rq;
+  if (rank == 0) {
+    MPI_Isend(a, 4, 1, 0, MPI_COMM_WORLD, &rq);
+    MPI_Wait(&rq);
+  } else {
+    MPI_Probe(MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_COMM_WORLD);
+    MPI_Recv(a, 4, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  }
+  MPI_Finalize();
+  return 0;
+}`)
+}
+
+func TestRoundTripPrecedence(t *testing.T) {
+	roundTrip(t, `
+int main() {
+  int a = 1;
+  int b = 2;
+  int c = (a + b) * 3 - a / (b - 4) % 5;
+  int d = !(a < b) && (b >= c || a == 1);
+  int e = -(a + b);
+  double f = 1.0;
+  f *= 2.0;
+  f /= 3.0;
+  f += a - -b;
+  return c + d + e;
+}`)
+}
+
+// TestPrinterPreservesSemantics compiles both original and formatted
+// program shapes down to the call list, a cheap but meaningful
+// semantic fingerprint.
+func TestPrinterPreservesCallStructure(t *testing.T) {
+	src := `
+int main() {
+  compute(1);
+  for (int i = 0; i < compute(2); i++) { compute(3); }
+  if (compute(4) > 0) { compute(5); }
+  return compute(6);
+}`
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(Format(p1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := func(p *Program) string {
+		var out []string
+		for _, c := range Calls(p) {
+			out = append(out, c.Name)
+		}
+		return strings.Join(out, ",")
+	}
+	if names(p1) != names(p2) {
+		t.Fatalf("call structure changed: %s vs %s", names(p1), names(p2))
+	}
+}
+
+// randExpr builds a random expression over variables a, b and small
+// literals, depth-bounded.
+func randExpr(r *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return "a"
+		case 1:
+			return "b"
+		case 2:
+			return fmt.Sprintf("%d", r.Intn(10))
+		default:
+			return fmt.Sprintf("%d.5", r.Intn(10))
+		}
+	}
+	ops := []string{"+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&&", "||"}
+	switch r.Intn(6) {
+	case 0:
+		return "(" + randExpr(r, depth-1) + ")"
+	case 1:
+		return "-" + "(" + randExpr(r, depth-1) + ")"
+	case 2:
+		return "!(" + randExpr(r, depth-1) + ")"
+	default:
+		op := ops[r.Intn(len(ops))]
+		return randExpr(r, depth-1) + " " + op + " " + randExpr(r, depth-1)
+	}
+}
+
+func TestPropRandomExpressionsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		src := fmt.Sprintf(`int main() { int a = 1; int b = 2; double x = %s; return 0; }`, randExpr(r, 4))
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("seed expr %d failed to parse: %v\n%s", i, err, src)
+		}
+		f1 := Format(p1)
+		p2, err := Parse(f1)
+		if err != nil {
+			t.Fatalf("formatted expr %d failed to reparse: %v\n%s", i, err, f1)
+		}
+		if f2 := Format(p2); f1 != f2 {
+			t.Fatalf("expr %d not canonical:\n%s\nvs\n%s", i, f1, f2)
+		}
+	}
+}
+
+func TestFormatExprMinimalParens(t *testing.T) {
+	src := `int main() { int a = 1 + 2 * 3; return a; }`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := p.Func("main").Body.Stmts[0].(*DeclStmt).Decls[0].Init
+	if got := FormatExpr(init); got != "1 + 2 * 3" {
+		t.Fatalf("FormatExpr = %q", got)
+	}
+}
+
+func TestFormatPreservesFloatLiterals(t *testing.T) {
+	roundTrip(t, `int main() { double a = 2.0; double b = 0.5; double c = 1e9; return 0; }`)
+	p, _ := Parse(`int main() { double a = 2.0; return 0; }`)
+	out := Format(p)
+	if !strings.Contains(out, "2.0") {
+		t.Fatalf("float literal lost its point: %s", out)
+	}
+}

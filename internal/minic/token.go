@@ -1,0 +1,128 @@
+// Package minic implements the front-end for MiniHPC, the small
+// C-like hybrid MPI/OpenMP source language this reproduction analyzes.
+//
+// The paper's tool HOME consumes C/C++ hybrid sources through a
+// compiler front-end that yields a control-flow graph; MiniHPC plays
+// that role here. The language covers what the paper's analyses and
+// benchmarks need:
+//
+//   - int/double scalars, 1-D double arrays, MPI_Request/MPI_Comm
+//     handles;
+//   - functions, if/else, for, while, return;
+//   - C-style expressions (assignment, arithmetic, comparison,
+//     logical, array indexing, post-increment);
+//   - `#pragma omp` directives: parallel, parallel for, for, sections,
+//     section, single, master, critical[(name)], barrier, with
+//     num_threads/schedule/private clauses;
+//   - the MPI entry points of the paper's checklist (Init,
+//     Init_thread, Finalize, Send/Recv, Isend/Irecv, Wait/Test,
+//     Probe/Iprobe, Barrier, Bcast, Reduce, Allreduce, Gather,
+//     Scatter, Alltoall, Comm_rank/size/dup) as builtins;
+//   - omp_* runtime calls and a compute(units) intrinsic that stands
+//     in for numeric kernel work in the synthetic benchmarks.
+package minic
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+const (
+	TEOF Kind = iota
+	TIdent
+	TNumber // integer or floating literal
+	TString // "..." (printf-style diagnostics)
+	TPragma // #pragma ... (raw text in Lit)
+
+	// Punctuation and operators.
+	TLParen
+	TRParen
+	TLBrace
+	TRBrace
+	TLBracket
+	TRBracket
+	TComma
+	TSemi
+	TAssign     // =
+	TPlus       // +
+	TMinus      // -
+	TStar       // *
+	TSlash      // /
+	TPercent    // %
+	TPlusPlus   // ++
+	TMinusMinus // --
+	TPlusEq     // +=
+	TMinusEq    // -=
+	TStarEq     // *=
+	TSlashEq    // /=
+	TEq         // ==
+	TNe         // !=
+	TLt         // <
+	TLe         // <=
+	TGt         // >
+	TGe         // >=
+	TAndAnd     // &&
+	TOrOr       // ||
+	TNot        // !
+	TAmp        // & (address-of, accepted and ignored before lvalues)
+
+	// Keywords.
+	TKInt
+	TKDouble
+	TKVoid
+	TKIf
+	TKElse
+	TKFor
+	TKWhile
+	TKReturn
+	TKBreak
+	TKContinue
+	TKRequest // MPI_Request
+	TKComm    // MPI_Comm
+	TKStatus  // MPI_Status
+)
+
+var kindNames = map[Kind]string{
+	TEOF: "EOF", TIdent: "identifier", TNumber: "number", TString: "string",
+	TPragma: "#pragma", TLParen: "(", TRParen: ")", TLBrace: "{", TRBrace: "}",
+	TLBracket: "[", TRBracket: "]", TComma: ",", TSemi: ";", TAssign: "=",
+	TPlus: "+", TMinus: "-", TStar: "*", TSlash: "/", TPercent: "%",
+	TPlusPlus: "++", TMinusMinus: "--", TPlusEq: "+=", TMinusEq: "-=",
+	TStarEq: "*=", TSlashEq: "/=",
+	TEq: "==", TNe: "!=", TLt: "<", TLe: "<=", TGt: ">", TGe: ">=",
+	TAndAnd: "&&", TOrOr: "||", TNot: "!", TAmp: "&",
+	TKInt: "int", TKDouble: "double", TKVoid: "void", TKIf: "if",
+	TKElse: "else", TKFor: "for", TKWhile: "while", TKReturn: "return",
+	TKBreak: "break", TKContinue: "continue",
+	TKRequest: "MPI_Request", TKComm: "MPI_Comm", TKStatus: "MPI_Status",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"int": TKInt, "double": TKDouble, "void": TKVoid, "if": TKIf,
+	"else": TKElse, "for": TKFor, "while": TKWhile, "return": TKReturn,
+	"break": TKBreak, "continue": TKContinue,
+	"MPI_Request": TKRequest, "MPI_Comm": TKComm, "MPI_Status": TKStatus,
+}
+
+// Token is one lexical token with its source line.
+type Token struct {
+	Kind Kind
+	Lit  string
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TIdent, TNumber, TString, TPragma:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,102 @@
+package minic
+
+// Walk performs a pre-order traversal of the node and its children,
+// calling f on each. If f returns false the node's children are
+// skipped. It accepts statements, expressions, functions and programs.
+func Walk(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch v := n.(type) {
+	case *Program:
+		for _, g := range v.Globals {
+			Walk(g, f)
+		}
+		for _, fn := range v.Funcs {
+			Walk(fn, f)
+		}
+	case *FuncDecl:
+		Walk(v.Body, f)
+	case *Block:
+		for _, s := range v.Stmts {
+			Walk(s, f)
+		}
+	case *DeclStmt:
+		for _, d := range v.Decls {
+			if d.ArraySize != nil {
+				Walk(d.ArraySize, f)
+			}
+			if d.Init != nil {
+				Walk(d.Init, f)
+			}
+		}
+	case *ExprStmt:
+		Walk(v.X, f)
+	case *IfStmt:
+		Walk(v.Cond, f)
+		Walk(v.Then, f)
+		if v.Else != nil {
+			Walk(v.Else, f)
+		}
+	case *ForStmt:
+		if v.Init != nil {
+			Walk(v.Init, f)
+		}
+		if v.Cond != nil {
+			Walk(v.Cond, f)
+		}
+		if v.Post != nil {
+			Walk(v.Post, f)
+		}
+		Walk(v.Body, f)
+	case *WhileStmt:
+		Walk(v.Cond, f)
+		Walk(v.Body, f)
+	case *ReturnStmt:
+		if v.X != nil {
+			Walk(v.X, f)
+		}
+	case *OmpStmt:
+		if v.NumThreads != nil {
+			Walk(v.NumThreads, f)
+		}
+		if v.Chunk != nil {
+			Walk(v.Chunk, f)
+		}
+		if v.Body != nil {
+			Walk(v.Body, f)
+		}
+		for _, sec := range v.Sections {
+			Walk(sec, f)
+		}
+	case *Index:
+		Walk(v.Arr, f)
+		Walk(v.Idx, f)
+	case *Unary:
+		Walk(v.X, f)
+	case *Binary:
+		Walk(v.X, f)
+		Walk(v.Y, f)
+	case *Assign:
+		Walk(v.LHS, f)
+		Walk(v.RHS, f)
+	case *IncDec:
+		Walk(v.LHS, f)
+	case *Call:
+		for _, a := range v.Args {
+			Walk(a, f)
+		}
+	}
+}
+
+// Calls collects every Call node under n in traversal order.
+func Calls(n Node) []*Call {
+	var out []*Call
+	Walk(n, func(x Node) bool {
+		if c, ok := x.(*Call); ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}

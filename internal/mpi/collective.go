@@ -1,0 +1,310 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"home/internal/sim"
+)
+
+// collKind enumerates collective operations for instance matching.
+type collKind int
+
+const (
+	collBarrier collKind = iota
+	collBcast
+	collReduce
+	collAllreduce
+	collGather
+	collScatter
+	collAlltoall
+	collAllgather
+	collCommDup
+)
+
+func (k collKind) String() string {
+	switch k {
+	case collBarrier:
+		return "Barrier"
+	case collBcast:
+		return "Bcast"
+	case collReduce:
+		return "Reduce"
+	case collAllreduce:
+		return "Allreduce"
+	case collGather:
+		return "Gather"
+	case collScatter:
+		return "Scatter"
+	case collAlltoall:
+		return "Alltoall"
+	case collAllgather:
+		return "Allgather"
+	case collCommDup:
+		return "Comm_dup"
+	}
+	return fmt.Sprintf("collKind(%d)", int(k))
+}
+
+// collResult is what each participant receives when an instance
+// completes.
+type collResult struct {
+	data    []float64
+	release int64
+	newComm CommID
+}
+
+// collWaiter is a blocked participant.
+type collWaiter struct {
+	rank int
+	wake chan collResult
+}
+
+// collInstance is one in-progress collective operation. Participants
+// join the first open instance of matching (kind, root, op) that has
+// not yet seen their rank; mismatched programs therefore strand
+// instances that never complete, which the deadlock watchdog reports —
+// the same observable behaviour as a real mismatched collective.
+type collInstance struct {
+	kind    collKind
+	root    int
+	op      ReduceOp
+	arrived map[int][]float64
+	maxT    int64
+	waiters []collWaiter
+}
+
+// commState is the shared state of one communicator.
+type commState struct {
+	id      CommID
+	size    int
+	mu      sync.Mutex
+	pending []*collInstance
+}
+
+func newCommState(id CommID, size int) *commState {
+	return &commState{id: id, size: size}
+}
+
+// arrive joins the calling rank into a collective instance, blocking
+// until all ranks of the communicator have arrived.
+func (p *Proc) arrive(ctx *sim.Ctx, comm CommID, kind collKind, root int, op ReduceOp, data []float64) (collResult, error) {
+	if err := p.checkState(); err != nil {
+		return collResult{}, err
+	}
+	if _, hang := p.threadGuard(ctx, false); hang {
+		return collResult{}, p.hangForever(ctx)
+	}
+	cs, err := p.world.comm(comm)
+	if err != nil {
+		return collResult{}, err
+	}
+	c := p.world.costs
+	ctx.Advance(c.MPICallNs)
+
+	payload := make([]float64, len(data))
+	copy(payload, data)
+
+	cs.mu.Lock()
+	var inst *collInstance
+	for _, in := range cs.pending {
+		if in.kind == kind && in.root == root && in.op == op {
+			if _, dup := in.arrived[p.rank]; !dup {
+				inst = in
+				break
+			}
+		}
+	}
+	if inst == nil {
+		inst = &collInstance{kind: kind, root: root, op: op, arrived: make(map[int][]float64)}
+		cs.pending = append(cs.pending, inst)
+	}
+	inst.arrived[p.rank] = payload
+	if ctx.Now > inst.maxT {
+		inst.maxT = ctx.Now
+	}
+
+	if len(inst.arrived) == cs.size {
+		// Last arriver completes the instance and releases everyone.
+		for i, in := range cs.pending {
+			if in == inst {
+				cs.pending = append(cs.pending[:i], cs.pending[i+1:]...)
+				break
+			}
+		}
+		release := inst.maxT + c.CollectiveBaseNs + c.CollectiveNsPerRank*sim.Log2Ceil(cs.size)
+		var newComm CommID
+		if kind == collCommDup {
+			newComm = p.world.newCommID(cs.size)
+		}
+		results := computeCollective(inst, cs.size)
+		for _, w := range inst.waiters {
+			p.world.activity.Unblock()
+			w.wake <- collResult{data: results[w.rank], release: release, newComm: newComm}
+		}
+		mine := collResult{data: results[p.rank], release: release, newComm: newComm}
+		cs.mu.Unlock()
+		ctx.SyncTo(release)
+		return mine, nil
+	}
+
+	w := collWaiter{rank: p.rank, wake: make(chan collResult, 1)}
+	inst.waiters = append(inst.waiters, w)
+	cs.mu.Unlock()
+
+	dead, release := p.world.activity.BlockDesc(p.rank, ctx.TID,
+		fmt.Sprintf("MPI_%s on communicator %d (waiting for all ranks)", kind, int(comm)))
+	select {
+	case res := <-w.wake:
+		release()
+		ctx.SyncTo(res.release)
+		return res, nil
+	case <-dead:
+		return collResult{}, ErrDeadlock
+	}
+}
+
+// computeCollective produces the per-rank result vectors for a
+// completed instance.
+func computeCollective(inst *collInstance, size int) map[int][]float64 {
+	out := make(map[int][]float64, size)
+	switch inst.kind {
+	case collBarrier, collCommDup:
+		// No data movement.
+	case collBcast:
+		rootData := inst.arrived[inst.root]
+		for r := 0; r < size; r++ {
+			d := make([]float64, len(rootData))
+			copy(d, rootData)
+			out[r] = d
+		}
+	case collReduce, collAllreduce:
+		acc := make([]float64, len(inst.arrived[0]))
+		copy(acc, inst.arrived[0])
+		for r := 1; r < size; r++ {
+			inst.op.apply(acc, inst.arrived[r])
+		}
+		if inst.kind == collAllreduce {
+			for r := 0; r < size; r++ {
+				d := make([]float64, len(acc))
+				copy(d, acc)
+				out[r] = d
+			}
+		} else {
+			out[inst.root] = acc
+		}
+	case collGather, collAllgather:
+		var all []float64
+		for r := 0; r < size; r++ {
+			all = append(all, inst.arrived[r]...)
+		}
+		if inst.kind == collAllgather {
+			for r := 0; r < size; r++ {
+				d := make([]float64, len(all))
+				copy(d, all)
+				out[r] = d
+			}
+		} else {
+			out[inst.root] = all
+		}
+	case collScatter:
+		rootData := inst.arrived[inst.root]
+		chunk := len(rootData) / size
+		for r := 0; r < size; r++ {
+			d := make([]float64, chunk)
+			copy(d, rootData[r*chunk:(r+1)*chunk])
+			out[r] = d
+		}
+	case collAlltoall:
+		// Each rank contributes size equal chunks; rank i receives the
+		// i-th chunk of every rank, ordered by source.
+		chunk := 0
+		if len(inst.arrived[0]) > 0 {
+			chunk = len(inst.arrived[0]) / size
+		}
+		for r := 0; r < size; r++ {
+			var d []float64
+			for s := 0; s < size; s++ {
+				src := inst.arrived[s]
+				if chunk > 0 && len(src) >= (r+1)*chunk {
+					d = append(d, src[r*chunk:(r+1)*chunk]...)
+				}
+			}
+			out[r] = d
+		}
+	}
+	return out
+}
+
+// Barrier blocks until all ranks of comm arrive.
+func (p *Proc) Barrier(ctx *sim.Ctx, comm CommID) error {
+	_, err := p.arrive(ctx, comm, collBarrier, 0, OpSum, nil)
+	return err
+}
+
+// Bcast broadcasts root's data to all ranks; every rank receives the
+// root buffer (the root passes its payload, others pass nil).
+func (p *Proc) Bcast(ctx *sim.Ctx, data []float64, root int, comm CommID) ([]float64, error) {
+	res, err := p.arrive(ctx, comm, collBcast, root, OpSum, data)
+	if err != nil {
+		return nil, err
+	}
+	return res.data, nil
+}
+
+// Reduce folds all ranks' data with op; only root receives the result.
+func (p *Proc) Reduce(ctx *sim.Ctx, data []float64, op ReduceOp, root int, comm CommID) ([]float64, error) {
+	res, err := p.arrive(ctx, comm, collReduce, root, op, data)
+	if err != nil {
+		return nil, err
+	}
+	return res.data, nil
+}
+
+// Allreduce folds all ranks' data with op; every rank receives the
+// result.
+func (p *Proc) Allreduce(ctx *sim.Ctx, data []float64, op ReduceOp, comm CommID) ([]float64, error) {
+	res, err := p.arrive(ctx, comm, collAllreduce, 0, op, data)
+	if err != nil {
+		return nil, err
+	}
+	return res.data, nil
+}
+
+// Gather concatenates all ranks' data at root (rank order).
+func (p *Proc) Gather(ctx *sim.Ctx, data []float64, root int, comm CommID) ([]float64, error) {
+	res, err := p.arrive(ctx, comm, collGather, root, OpSum, data)
+	if err != nil {
+		return nil, err
+	}
+	return res.data, nil
+}
+
+// Scatter splits root's data into equal chunks, one per rank.
+func (p *Proc) Scatter(ctx *sim.Ctx, data []float64, root int, comm CommID) ([]float64, error) {
+	res, err := p.arrive(ctx, comm, collScatter, root, OpSum, data)
+	if err != nil {
+		return nil, err
+	}
+	return res.data, nil
+}
+
+// Alltoall exchanges equal chunks among all ranks.
+func (p *Proc) Alltoall(ctx *sim.Ctx, data []float64, comm CommID) ([]float64, error) {
+	res, err := p.arrive(ctx, comm, collAlltoall, 0, OpSum, data)
+	if err != nil {
+		return nil, err
+	}
+	return res.data, nil
+}
+
+// CommDup collectively duplicates a communicator and returns the new
+// communicator id (the paper's recommended fix for collective-call and
+// probe violations: give each thread its own communicator).
+func (p *Proc) CommDup(ctx *sim.Ctx, comm CommID) (CommID, error) {
+	res, err := p.arrive(ctx, comm, collCommDup, 0, OpSum, nil)
+	if err != nil {
+		return 0, err
+	}
+	return res.newComm, nil
+}

@@ -1,0 +1,309 @@
+// Package mpi is a message-passing runtime simulator reproducing the
+// MPI semantics the paper's thread-safety violations depend on.
+//
+// Ranks are simulated processes (goroutines started by World.Run);
+// OpenMP threads within a rank (package omp) may issue MPI calls
+// through the rank's Proc handle, exactly as threads of a real hybrid
+// MPI/OpenMP process share the MPI library.
+//
+// The simulator implements:
+//
+//   - point-to-point communication with MPI matching semantics:
+//     (source, tag, communicator) triples, MPI_ANY_SOURCE/MPI_ANY_TAG
+//     wildcards, and non-overtaking order between a given pair;
+//   - nonblocking operations (Isend/Irecv) with request handles and
+//     Wait/Test completion;
+//   - Probe/Iprobe message inspection;
+//   - collectives (Barrier, Bcast, Reduce, Allreduce, Gather, Scatter,
+//     Alltoall) with instance matching by arrival order, plus
+//     Comm_dup for communicator creation;
+//   - the four MPI thread-support levels with faithful misbehaviour:
+//     under MPI_THREAD_SINGLE/FUNNELED, calls from non-main threads
+//     are unreliable (sends are lost, receives hang), which is how the
+//     paper's Figure 1 case study manifests;
+//   - exact global deadlock detection: when every live thread is
+//     blocked inside the runtime, pending operations abort with
+//     ErrDeadlock instead of hanging the host process.
+//
+// Virtual time: every call charges sim cost-model terms, messages add
+// latency + bandwidth, and collectives synchronize participants to the
+// latest arrival (see package sim).
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"home/internal/sim"
+)
+
+// Thread-support levels, mirroring MPI_THREAD_*.
+const (
+	ThreadSingle = iota
+	ThreadFunneled
+	ThreadSerialized
+	ThreadMultiple
+)
+
+// ThreadLevelName returns the MPI constant name for a level.
+func ThreadLevelName(l int) string {
+	switch l {
+	case ThreadSingle:
+		return "MPI_THREAD_SINGLE"
+	case ThreadFunneled:
+		return "MPI_THREAD_FUNNELED"
+	case ThreadSerialized:
+		return "MPI_THREAD_SERIALIZED"
+	case ThreadMultiple:
+		return "MPI_THREAD_MULTIPLE"
+	}
+	return fmt.Sprintf("level(%d)", l)
+}
+
+// Wildcards for receive/probe matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// CommID identifies a communicator. CommWorld is always 0.
+type CommID int
+
+// CommWorld is the predefined world communicator.
+const CommWorld CommID = 0
+
+// Errors returned by runtime operations.
+var (
+	// ErrDeadlock reports that the global deadlock watchdog tripped
+	// while this operation was blocked.
+	ErrDeadlock = errors.New("mpi: global deadlock detected (all live threads blocked)")
+
+	// ErrNotInitialized reports an MPI call before Init.
+	ErrNotInitialized = errors.New("mpi: call before MPI_Init")
+
+	// ErrFinalized reports an MPI call after Finalize.
+	ErrFinalized = errors.New("mpi: call after MPI_Finalize")
+
+	// ErrInvalidRank reports an out-of-range peer rank.
+	ErrInvalidRank = errors.New("mpi: invalid rank")
+
+	// ErrInvalidComm reports an unknown communicator.
+	ErrInvalidComm = errors.New("mpi: invalid communicator")
+
+	// ErrRequestReused reports Wait/Test on an already-completed-and-
+	// consumed request handle.
+	ErrRequestReused = errors.New("mpi: request already consumed")
+)
+
+// Config parameterizes a simulated world.
+type Config struct {
+	// Procs is the number of MPI ranks.
+	Procs int
+
+	// Seed drives all deterministic randomness.
+	Seed int64
+
+	// Costs is the virtual-time cost model; zero value means
+	// sim.DefaultCostModel.
+	Costs sim.CostModel
+
+	// EnforceThreadLevel makes calls from non-main threads misbehave
+	// under SINGLE/FUNNELED (lost sends, hanging receives), as real
+	// MPI implementations may. When false the runtime always behaves
+	// as MPI_THREAD_MULTIPLE.
+	EnforceThreadLevel bool
+}
+
+// World is one simulated cluster run: a set of ranks sharing
+// communicators and a deadlock watchdog.
+type World struct {
+	cfg      Config
+	costs    sim.CostModel
+	procs    []*Proc
+	activity *sim.Activity
+	keeper   *sim.TimeKeeper
+
+	mu       sync.Mutex
+	comms    map[CommID]*commState
+	nextComm CommID
+	windows  map[int]*Win
+}
+
+// NewWorld builds a world with cfg.Procs ranks.
+func NewWorld(cfg Config) *World {
+	if cfg.Procs <= 0 {
+		cfg.Procs = 1
+	}
+	costs := cfg.Costs
+	if costs == (sim.CostModel{}) {
+		costs = sim.DefaultCostModel()
+	}
+	w := &World{
+		cfg:      cfg,
+		costs:    costs,
+		activity: sim.NewActivity(),
+		keeper:   &sim.TimeKeeper{},
+		comms:    make(map[CommID]*commState),
+		nextComm: CommWorld + 1,
+	}
+	w.comms[CommWorld] = newCommState(CommWorld, cfg.Procs)
+	w.procs = make([]*Proc, cfg.Procs)
+	for r := 0; r < cfg.Procs; r++ {
+		w.procs[r] = newProc(w, r)
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.procs) }
+
+// Proc returns the rank's process handle.
+func (w *World) Proc(rank int) *Proc { return w.procs[rank] }
+
+// Activity exposes the thread-liveness tracker so the OpenMP substrate
+// can register forked threads with the deadlock watchdog.
+func (w *World) Activity() *sim.Activity { return w.activity }
+
+// Keeper exposes the makespan accumulator.
+func (w *World) Keeper() *sim.TimeKeeper { return w.keeper }
+
+// Costs returns the world's cost model.
+func (w *World) Costs() *sim.CostModel { return &w.costs }
+
+// comm looks up a communicator's shared state.
+func (w *World) comm(id CommID) (*commState, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cs, ok := w.comms[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrInvalidComm, int(id))
+	}
+	return cs, nil
+}
+
+// newCommID allocates a fresh communicator id and state (used by the
+// Comm_dup collective; the id is agreed by all participants through
+// the collective instance).
+func (w *World) newCommID(size int) CommID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	id := w.nextComm
+	w.nextComm++
+	w.comms[id] = newCommState(id, size)
+	return id
+}
+
+// RunResult summarizes a completed World.Run.
+type RunResult struct {
+	// Makespan is the maximum final virtual clock over all threads
+	// (nanoseconds).
+	Makespan int64
+
+	// Deadlocked reports whether the deadlock watchdog tripped.
+	Deadlocked bool
+
+	// Errs holds the per-rank error returned by each body (nil entries
+	// for clean ranks).
+	Errs []error
+
+	// BlockedOps describes, when Deadlocked, what every stuck thread
+	// was waiting for (the wait-for snapshot of the deadlock report).
+	BlockedOps []string
+}
+
+// FirstError returns the first non-nil per-rank error, or nil.
+func (r *RunResult) FirstError() error {
+	for _, e := range r.Errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Run starts one goroutine per rank executing body and waits for all
+// of them. Each body receives its Proc and a root execution context
+// (thread 0). The caller may install a Sink or adjust the context
+// inside body before issuing calls.
+func (w *World) Run(body func(p *Proc, ctx *sim.Ctx) error) *RunResult {
+	res := &RunResult{Errs: make([]error, len(w.procs))}
+	var wg sync.WaitGroup
+	w.activity.AddThreads(len(w.procs))
+	for r := range w.procs {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ctx := sim.NewCtx(rank, 0, w.cfg.Seed, &w.costs)
+			ctx.Keeper = w.keeper
+			p := w.procs[rank]
+			p.mainCtx = ctx
+			err := body(p, ctx)
+			ctx.Finish()
+			w.activity.DoneThread()
+			res.Errs[rank] = err
+		}(r)
+	}
+	wg.Wait()
+	res.Makespan = w.keeper.Makespan()
+	res.Deadlocked = w.activity.Deadlocked()
+	if res.Deadlocked {
+		res.BlockedOps = w.activity.StuckOps()
+	}
+	return res
+}
+
+// Status describes a received or probed message, mirroring MPI_Status.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int // number of float64 elements
+}
+
+// ReduceOp enumerates reduction operators.
+type ReduceOp int
+
+// Reduction operators mirroring MPI_SUM etc.
+const (
+	OpSum ReduceOp = iota
+	OpProd
+	OpMax
+	OpMin
+)
+
+func (op ReduceOp) String() string {
+	switch op {
+	case OpSum:
+		return "MPI_SUM"
+	case OpProd:
+		return "MPI_PROD"
+	case OpMax:
+		return "MPI_MAX"
+	case OpMin:
+		return "MPI_MIN"
+	}
+	return fmt.Sprintf("ReduceOp(%d)", int(op))
+}
+
+// apply folds b into a element-wise.
+func (op ReduceOp) apply(a, b []float64) {
+	for i := range a {
+		if i >= len(b) {
+			break
+		}
+		switch op {
+		case OpSum:
+			a[i] += b[i]
+		case OpProd:
+			a[i] *= b[i]
+		case OpMax:
+			if b[i] > a[i] {
+				a[i] = b[i]
+			}
+		case OpMin:
+			if b[i] < a[i] {
+				a[i] = b[i]
+			}
+		}
+	}
+}

@@ -1,0 +1,469 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"home/internal/sim"
+)
+
+// Message is a point-to-point message in flight or queued at the
+// receiver ("unexpected message queue" in MPI implementation terms).
+type Message struct {
+	Source  int
+	Tag     int
+	Comm    CommID
+	Data    []float64
+	Arrival int64 // virtual time the message reaches the receiver
+}
+
+// pendingRecv is a posted receive awaiting a matching message.
+type pendingRecv struct {
+	src  int
+	tag  int
+	comm CommID
+	req  *Request
+}
+
+// pendingProbe is a blocked Probe awaiting a matching message (the
+// message is inspected, not consumed).
+type pendingProbe struct {
+	src  int
+	tag  int
+	comm CommID
+	wake chan *Message
+}
+
+// Request is a nonblocking-operation handle (MPI_Request). Completion
+// state is guarded by the owning rank's mailbox mutex.
+type Request struct {
+	ID      int
+	owner   *Proc
+	isSend  bool
+	done    bool
+	waiting bool
+	msg     *Message
+	wake    chan struct{}
+}
+
+// Proc is one simulated MPI process (rank). All of its threads share
+// this handle, exactly as threads of a hybrid program share the MPI
+// library state of their process.
+type Proc struct {
+	world *World
+	rank  int
+
+	// mainCtx is the root thread's context, set by World.Run.
+	mainCtx *sim.Ctx
+
+	mu          sync.Mutex
+	queue       []*Message
+	recvs       []*pendingRecv
+	probes      []*pendingProbe
+	initialized bool
+	finalized   bool
+	level       int
+	initTID     int
+	nextReq     int
+}
+
+func newProc(w *World, rank int) *Proc {
+	return &Proc{world: w, rank: rank, level: ThreadSingle}
+}
+
+// Rank returns the process rank in CommWorld.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the CommWorld size.
+func (p *Proc) Size() int { return p.world.Size() }
+
+// World returns the owning world.
+func (p *Proc) World() *World { return p.world }
+
+// ThreadLevel returns the provided thread-support level.
+func (p *Proc) ThreadLevel() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.level
+}
+
+// Init initializes MPI with MPI_THREAD_SINGLE (the legacy MPI_Init
+// entry point of the paper's Figure 1 case study).
+func (p *Proc) Init(ctx *sim.Ctx) error {
+	_, err := p.InitThread(ctx, ThreadSingle)
+	return err
+}
+
+// InitThread initializes MPI requesting the given thread level and
+// returns the provided level (this simulator provides whatever is
+// requested, as MPICH built with thread support does).
+func (p *Proc) InitThread(ctx *sim.Ctx, required int) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.initialized {
+		return p.level, fmt.Errorf("mpi: MPI_Init called twice on rank %d", p.rank)
+	}
+	if required < ThreadSingle || required > ThreadMultiple {
+		required = ThreadSingle
+	}
+	p.initialized = true
+	p.level = required
+	p.initTID = ctx.TID
+	ctx.Advance(p.world.costs.MPICallNs)
+	return p.level, nil
+}
+
+// IsThreadMain reports whether the calling thread is the one that
+// initialized MPI (MPI_Is_thread_main).
+func (p *Proc) IsThreadMain(ctx *sim.Ctx) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.initialized && ctx.TID == p.initTID
+}
+
+// Finalize shuts down MPI for this rank. Further calls error.
+func (p *Proc) Finalize(ctx *sim.Ctx) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.initialized {
+		return ErrNotInitialized
+	}
+	if p.finalized {
+		return ErrFinalized
+	}
+	p.finalized = true
+	ctx.Advance(p.world.costs.MPICallNs)
+	return nil
+}
+
+// Finalized reports whether this rank has called MPI_Finalize.
+func (p *Proc) Finalized() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.finalized
+}
+
+// checkState validates that the rank may issue MPI calls.
+func (p *Proc) checkState() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.initialized {
+		return ErrNotInitialized
+	}
+	if p.finalized {
+		return ErrFinalized
+	}
+	return nil
+}
+
+// threadGuard models the faithful misbehaviour of calls issued from
+// non-main threads when the provided level forbids them. It returns
+// (drop, hang): drop means the call silently does nothing (lost send),
+// hang means the call blocks forever (it will be collected by the
+// deadlock watchdog).
+func (p *Proc) threadGuard(ctx *sim.Ctx, isSend bool) (drop, hang bool) {
+	if !p.world.cfg.EnforceThreadLevel {
+		return false, false
+	}
+	p.mu.Lock()
+	level, initTID := p.level, p.initTID
+	p.mu.Unlock()
+	if level >= ThreadSerialized || ctx.TID == initTID {
+		return false, false
+	}
+	// SINGLE or FUNNELED and not the main thread: undefined behaviour.
+	// Sends vanish; completion-waiting calls never return.
+	if isSend {
+		return true, false
+	}
+	return false, true
+}
+
+// hangForever parks the calling thread until the deadlock watchdog
+// trips, modelling undefined behaviour that manifests as a hang.
+func (p *Proc) hangForever(ctx *sim.Ctx) error {
+	dead, _ := p.world.activity.BlockDesc(p.rank, ctx.TID,
+		"an MPI call issued from a non-main thread under "+ThreadLevelName(p.ThreadLevel())+" (undefined behaviour)")
+	<-dead
+	return ErrDeadlock
+}
+
+// matches reports whether message m satisfies a (src, tag, comm)
+// selector with wildcards.
+func matches(m *Message, src, tag int, comm CommID) bool {
+	if m.Comm != comm {
+		return false
+	}
+	if src != AnySource && m.Source != src {
+		return false
+	}
+	if tag != AnyTag && m.Tag != tag {
+		return false
+	}
+	return true
+}
+
+// deliver places a message at this rank: it first satisfies all
+// pending probes that match, then the earliest-posted matching
+// receive, and otherwise queues the message. Called with p.mu held by
+// the sender's goroutine.
+func (p *Proc) deliverLocked(m *Message) {
+	// Satisfy probes (they inspect, not consume).
+	kept := p.probes[:0]
+	for _, pr := range p.probes {
+		if matches(m, pr.src, pr.tag, pr.comm) {
+			p.world.activity.Unblock()
+			pr.wake <- m
+		} else {
+			kept = append(kept, pr)
+		}
+	}
+	p.probes = kept
+
+	// Satisfy the earliest matching posted receive.
+	for i, r := range p.recvs {
+		if matches(m, r.src, r.tag, r.comm) {
+			p.recvs = append(p.recvs[:i], p.recvs[i+1:]...)
+			r.req.done = true
+			r.req.msg = m
+			if r.req.waiting {
+				r.req.waiting = false
+				p.world.activity.Unblock()
+				r.req.wake <- struct{}{}
+			}
+			return
+		}
+	}
+	p.queue = append(p.queue, m)
+}
+
+// Send performs a blocking standard-mode send. The simulator's sends
+// are eager: they complete locally once the message is handed to the
+// destination's mailbox (as buffered sends of real MPI do for small
+// messages).
+func (p *Proc) Send(ctx *sim.Ctx, data []float64, dest, tag int, comm CommID) error {
+	if err := p.checkState(); err != nil {
+		return err
+	}
+	if dest < 0 || dest >= p.world.Size() {
+		return fmt.Errorf("%w: dest %d", ErrInvalidRank, dest)
+	}
+	if _, err := p.world.comm(comm); err != nil {
+		return err
+	}
+	if drop, hang := p.threadGuard(ctx, true); drop {
+		ctx.Advance(p.world.costs.MPICallNs)
+		return nil
+	} else if hang {
+		return p.hangForever(ctx)
+	}
+	c := p.world.costs
+	ctx.Advance(c.MPICallNs)
+	payload := make([]float64, len(data))
+	copy(payload, data)
+	m := &Message{
+		Source:  p.rank,
+		Tag:     tag,
+		Comm:    comm,
+		Data:    payload,
+		Arrival: ctx.Now + c.MsgLatencyNs + int64(len(data)*8)*c.MsgNsPerByte,
+	}
+	dst := p.world.procs[dest]
+	dst.mu.Lock()
+	dst.deliverLocked(m)
+	dst.mu.Unlock()
+	return nil
+}
+
+// Isend starts a nonblocking send. Because sends are eager, the
+// returned request is already complete; Wait/Test on it succeed
+// immediately.
+func (p *Proc) Isend(ctx *sim.Ctx, data []float64, dest, tag int, comm CommID) (*Request, error) {
+	if err := p.Send(ctx, data, dest, tag, comm); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.nextReq++
+	req := &Request{ID: p.nextReq, owner: p, isSend: true, done: true, wake: make(chan struct{}, 1)}
+	p.mu.Unlock()
+	return req, nil
+}
+
+// Irecv posts a nonblocking receive and returns its request handle.
+func (p *Proc) Irecv(ctx *sim.Ctx, source, tag int, comm CommID) (*Request, error) {
+	if err := p.checkState(); err != nil {
+		return nil, err
+	}
+	if source != AnySource && (source < 0 || source >= p.world.Size()) {
+		return nil, fmt.Errorf("%w: source %d", ErrInvalidRank, source)
+	}
+	if _, err := p.world.comm(comm); err != nil {
+		return nil, err
+	}
+	ctx.Advance(p.world.costs.MPICallNs)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextReq++
+	req := &Request{ID: p.nextReq, owner: p, wake: make(chan struct{}, 1)}
+	// Check the unexpected-message queue first.
+	for i, m := range p.queue {
+		if matches(m, source, tag, comm) {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			req.done = true
+			req.msg = m
+			return req, nil
+		}
+	}
+	p.recvs = append(p.recvs, &pendingRecv{src: source, tag: tag, comm: comm, req: req})
+	return req, nil
+}
+
+// Wait blocks until the request completes and returns the message
+// status (empty for send requests).
+func (p *Proc) Wait(ctx *sim.Ctx, req *Request) (Status, error) {
+	if err := p.checkState(); err != nil {
+		return Status{}, err
+	}
+	if _, hang := p.threadGuard(ctx, false); hang {
+		return Status{}, p.hangForever(ctx)
+	}
+	ctx.Advance(p.world.costs.MPICallNs)
+	p.mu.Lock()
+	if req.done {
+		msg := req.msg
+		p.mu.Unlock()
+		return finishRecv(ctx, req, msg), nil
+	}
+	req.waiting = true
+	p.mu.Unlock()
+
+	dead, release := p.world.activity.BlockDesc(p.rank, ctx.TID,
+		fmt.Sprintf("MPI_Wait on request #%d (incomplete receive)", req.ID))
+	select {
+	case <-req.wake:
+		release()
+		p.mu.Lock()
+		msg := req.msg
+		p.mu.Unlock()
+		return finishRecv(ctx, req, msg), nil
+	case <-dead:
+		return Status{}, ErrDeadlock
+	}
+}
+
+// Test polls the request; ok reports completion.
+func (p *Proc) Test(ctx *sim.Ctx, req *Request) (ok bool, st Status, err error) {
+	if err := p.checkState(); err != nil {
+		return false, Status{}, err
+	}
+	ctx.Advance(p.world.costs.MPICallNs)
+	p.mu.Lock()
+	done, msg := req.done, req.msg
+	p.mu.Unlock()
+	if !done {
+		return false, Status{}, nil
+	}
+	return true, finishRecv(ctx, req, msg), nil
+}
+
+// finishRecv advances the receiver clock to the message arrival and
+// builds the status.
+func finishRecv(ctx *sim.Ctx, req *Request, msg *Message) Status {
+	if msg == nil {
+		return Status{Source: -1, Tag: -1}
+	}
+	ctx.SyncTo(msg.Arrival)
+	return Status{Source: msg.Source, Tag: msg.Tag, Count: len(msg.Data)}
+}
+
+// Data returns the payload of a completed receive request (nil for
+// sends or incomplete requests).
+func (r *Request) Data() []float64 {
+	r.owner.mu.Lock()
+	defer r.owner.mu.Unlock()
+	if r.msg == nil {
+		return nil
+	}
+	return r.msg.Data
+}
+
+// Done reports completion without consuming the request.
+func (r *Request) Done() bool {
+	r.owner.mu.Lock()
+	defer r.owner.mu.Unlock()
+	return r.done
+}
+
+// Recv performs a blocking receive: Irecv followed by Wait.
+func (p *Proc) Recv(ctx *sim.Ctx, source, tag int, comm CommID) ([]float64, Status, error) {
+	if _, hang := p.threadGuard(ctx, false); hang {
+		return nil, Status{}, p.hangForever(ctx)
+	}
+	req, err := p.Irecv(ctx, source, tag, comm)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	st, err := p.Wait(ctx, req)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	return req.Data(), st, nil
+}
+
+// Probe blocks until a message matching (source, tag, comm) is
+// available and returns its status without consuming it.
+func (p *Proc) Probe(ctx *sim.Ctx, source, tag int, comm CommID) (Status, error) {
+	if err := p.checkState(); err != nil {
+		return Status{}, err
+	}
+	if _, hang := p.threadGuard(ctx, false); hang {
+		return Status{}, p.hangForever(ctx)
+	}
+	ctx.Advance(p.world.costs.MPICallNs)
+	p.mu.Lock()
+	for _, m := range p.queue {
+		if matches(m, source, tag, comm) {
+			p.mu.Unlock()
+			ctx.SyncTo(m.Arrival)
+			return Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
+		}
+	}
+	pr := &pendingProbe{src: source, tag: tag, comm: comm, wake: make(chan *Message, 1)}
+	p.probes = append(p.probes, pr)
+	p.mu.Unlock()
+
+	dead, release := p.world.activity.BlockDesc(p.rank, ctx.TID,
+		fmt.Sprintf("MPI_Probe(source=%d, tag=%d, comm=%d)", source, tag, int(comm)))
+	select {
+	case m := <-pr.wake:
+		release()
+		ctx.SyncTo(m.Arrival)
+		return Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
+	case <-dead:
+		return Status{}, ErrDeadlock
+	}
+}
+
+// Iprobe checks nonblockingly for a matching message.
+func (p *Proc) Iprobe(ctx *sim.Ctx, source, tag int, comm CommID) (bool, Status, error) {
+	if err := p.checkState(); err != nil {
+		return false, Status{}, err
+	}
+	ctx.Advance(p.world.costs.MPICallNs)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range p.queue {
+		if matches(m, source, tag, comm) && m.Arrival <= ctx.Now {
+			return true, Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
+		}
+	}
+	return false, Status{}, nil
+}
+
+// QueuedMessages returns the number of unexpected messages currently
+// queued at this rank (diagnostic; used in tests).
+func (p *Proc) QueuedMessages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}

@@ -1,0 +1,375 @@
+// Package npb generates the synthetic NPB-MZ-style hybrid workloads
+// the experiments run: LU-MZ, BT-MZ and SP-MZ analogues written in
+// MiniHPC.
+//
+// The real NAS multi-zone benchmarks partition a discretized 3-D
+// domain into zones spread over MPI ranks, run SSOR (LU) or ADI
+// (BT/SP) sweeps with OpenMP inside each zone, and exchange zone
+// boundaries between ranks each time step. The generated programs
+// reproduce that communication and threading *structure* at a
+// simulator-friendly scale: worksharing sweeps whose per-cell cost is
+// carried by the compute() intrinsic, an in-parallel-region boundary
+// exchange with per-thread tags (the hybrid MPI-below-OpenMP pattern
+// HOME instruments), a per-step residual Allreduce, and a final
+// verification Reduce.
+//
+// Violations are injected with package faults, mirroring the paper's
+// methodology; Generate records the source line span of every
+// injected fragment so the harness can attribute each tool's reports
+// to injection sites (and count false positives).
+package npb
+
+import (
+	"fmt"
+	"strings"
+
+	"home/internal/faults"
+	"home/internal/spec"
+)
+
+// Benchmark selects the workload.
+type Benchmark int
+
+const (
+	// LU is the LU-MZ analogue: two SSOR-like sweeps per step.
+	LU Benchmark = iota
+	// BT is the BT-MZ analogue: three ADI sweeps per step plus the
+	// benign critical-guarded collective pattern.
+	BT
+	// SP is the SP-MZ analogue: two sweeps plus an all-to-all
+	// exchange per step.
+	SP
+)
+
+func (b Benchmark) String() string {
+	switch b {
+	case LU:
+		return "LU-MZ"
+	case BT:
+		return "BT-MZ"
+	case SP:
+		return "SP-MZ"
+	}
+	return fmt.Sprintf("Benchmark(%d)", int(b))
+}
+
+// All lists the three benchmarks.
+func All() []Benchmark { return []Benchmark{LU, BT, SP} }
+
+// Class scales the problem, loosely following NPB class letters.
+type Class byte
+
+// classParams returns (cells per rank, compute units per cell, steps).
+func classParams(c Class) (cells, units, steps int) {
+	switch c {
+	case 'S':
+		return 24, 30, 2
+	case 'W':
+		return 40, 40, 3
+	case 'A':
+		return 64, 60, 4
+	case 'B':
+		return 96, 80, 5
+	case 'C':
+		return 128, 100, 6
+	default:
+		return 64, 60, 4
+	}
+}
+
+// benchShape returns the per-benchmark sweep count and cost factor.
+func benchShape(b Benchmark) (sweeps int, factor float64) {
+	switch b {
+	case LU:
+		return 2, 1.0
+	case BT:
+		return 3, 1.3
+	case SP:
+		return 2, 1.1
+	}
+	return 2, 1.0
+}
+
+// Options configures generation.
+type Options struct {
+	// Class scales the workload (default 'A').
+	Class Class
+	// Steps overrides the class step count when > 0.
+	Steps int
+	// Inject lists the violation kinds to plant.
+	Inject []spec.Kind
+	// Variants tunes injected snippets per kind (see faults.Variant).
+	Variants map[spec.Kind]faults.Variant
+	// FPTrap adds the benign critical-serialized collective pattern
+	// that lock-ignorant tools misreport (used by BT, per the paper's
+	// observed ITC false positive there).
+	FPTrap bool
+}
+
+// Span is a [first, last] source line range.
+type Span struct{ First, Last int }
+
+// Contains reports whether the line falls in the span.
+func (s Span) Contains(line int) bool { return line >= s.First && line <= s.Last }
+
+// Source is a generated benchmark program.
+type Source struct {
+	Benchmark Benchmark
+	Text      string
+	// Spans maps each injected kind to its source line range.
+	Spans map[spec.Kind]Span
+	// TrapSpan is the benign FP-trap range (zero when absent).
+	TrapSpan Span
+}
+
+// builder assembles source while tracking line numbers.
+type builder struct {
+	sb   strings.Builder
+	line int // current (1-based) line being written next
+}
+
+func newBuilder() *builder { return &builder{line: 1} }
+
+// add appends text and returns its [first, last] line span.
+func (b *builder) add(text string) Span {
+	first := b.line
+	b.sb.WriteString(text)
+	b.line += strings.Count(text, "\n")
+	last := b.line - 1
+	if last < first {
+		last = first
+	}
+	return Span{First: first, Last: last}
+}
+
+func (b *builder) addf(format string, args ...any) Span {
+	return b.add(fmt.Sprintf(format, args...))
+}
+
+// has reports whether kind is in the injection list.
+func has(kinds []spec.Kind, k spec.Kind) bool {
+	for _, x := range kinds {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Generate renders the benchmark program.
+func Generate(bench Benchmark, o Options) *Source {
+	if o.Class == 0 {
+		o.Class = 'A'
+	}
+	cells, units, steps := classParams(o.Class)
+	if o.Steps > 0 {
+		steps = o.Steps
+	}
+	sweeps, factor := benchShape(bench)
+	units = int(float64(units) * factor)
+
+	variant := func(k spec.Kind) faults.Variant {
+		if o.Variants == nil {
+			return faults.Variant{}
+		}
+		return o.Variants[k]
+	}
+
+	level := "MPI_THREAD_MULTIPLE"
+	if l := faults.InitLevelFor(o.Inject); l != "" {
+		level = l
+	}
+	regionFinalize := faults.WantsRegionFinalize(o.Inject)
+
+	src := &Source{Benchmark: bench, Spans: make(map[spec.Kind]Span)}
+	b := newBuilder()
+
+	b.addf(`/* %s synthetic multi-zone benchmark (class %c): %d cells/rank, %d sweeps, %d steps */
+int main() {
+  int provided;
+  MPI_Init_thread(%s, &provided);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  int size = MPI_Comm_size(MPI_COMM_WORLD);
+  int east = (rank + 1) %% size;
+  int west = (rank + size - 1) %% size;
+  double u[%d];
+  double rsd[%d];
+  double bnd[4];
+  double resid[1];
+  double total[1];
+  for (int i = 0; i < %d; i++) {
+    u[i] = 1.0 + i * 0.001 + rank * 0.01;
+    rsd[i] = 0.0;
+  }
+`, bench, rune(o.Class), cells, sweeps, steps, level, cells, cells, cells)
+
+	if has(o.Inject, spec.InitializationViolation) {
+		// The initialization violation is the declared level itself;
+		// attribute it to the Init_thread line (line 4 above).
+		src.Spans[spec.InitializationViolation] = Span{First: 4, Last: 4}
+	}
+
+	b.addf("  for (int step = 0; step < %d; step++) {\n", steps)
+
+	// Sweeps: worksharing loops with per-cell compute.
+	for s := 0; s < sweeps; s++ {
+		sched := "static"
+		if s == 1 {
+			sched = "dynamic, 8"
+		}
+		expr := "rsd[i] = u[i] * 0.99 + 0.01"
+		if s%2 == 1 {
+			expr = "u[i] = u[i] + rsd[i] * 0.1"
+		}
+		b.addf(`    /* sweep %d */
+    #pragma omp parallel for schedule(%s)
+    for (int i = 0; i < %d; i++) {
+      compute(%d);
+      %s;
+    }
+`, s, sched, cells, units, expr)
+	}
+
+	// Hybrid boundary exchange: one direction per thread, per-thread
+	// tags — the correct pattern HOME instruments heavily.
+	b.add(`    /* zone boundary exchange (hybrid: MPI inside the parallel region) */
+    #pragma omp parallel num_threads(2)
+    {
+      int tid = omp_get_thread_num();
+      if (tid == 0) {
+        bnd[0] = rsd[0];
+        MPI_Send(bnd, 1, east, 101, MPI_COMM_WORLD);
+        MPI_Recv(bnd[1], 1, west, 101, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      } else {
+        bnd[2] = rsd[0];
+        MPI_Send(bnd[2], 1, west, 102, MPI_COMM_WORLD);
+        MPI_Recv(bnd[3], 1, east, 102, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      }
+    }
+    u[0] = u[0] * 0.5 + (bnd[1] + bnd[3]) * 0.25;
+`)
+
+	if bench == SP {
+		b.add(`    /* SP: transpose-style all-to-all exchange */
+    double atoin[size];
+    double atoout[size];
+    for (int r = 0; r < size; r++) { atoin[r] = u[0] + r; }
+    MPI_Alltoall(atoin, atoout, 1, MPI_COMM_WORLD);
+    u[0] = u[0] + atoout[0] * 0.001;
+`)
+	}
+
+	if o.FPTrap {
+		src.TrapSpan = b.add(`    /* benign: critical-serialized collective (legal; a lock-ignorant
+       checker misreports it as a collective-call violation) */
+    #pragma omp parallel num_threads(2)
+    {
+      #pragma omp critical(coll)
+      {
+        MPI_Barrier(MPI_COMM_WORLD);
+      }
+    }
+`)
+	}
+
+	// Injected violations execute on the first step only.
+	injectable := []spec.Kind{
+		spec.ConcurrentRecvViolation,
+		spec.ConcurrentRequestViolation,
+		spec.ProbeViolation,
+		spec.CollectiveCallViolation,
+	}
+	anyInjected := false
+	for _, k := range injectable {
+		if has(o.Inject, k) {
+			anyInjected = true
+		}
+	}
+	if anyInjected {
+		b.add("    if (step == 0) {\n")
+		for _, k := range injectable {
+			if !has(o.Inject, k) {
+				continue
+			}
+			src.Spans[k] = b.add(faults.SnippetVariant(k, variant(k)))
+		}
+		b.add("    }\n")
+	}
+
+	b.add(`    /* residual reduction */
+    resid[0] = rsd[0] + u[0];
+    MPI_Allreduce(resid, total, 1, MPI_SUM, MPI_COMM_WORLD);
+  }
+`)
+
+	// Verification.
+	b.addf(`  /* verification */
+  double vsum[1];
+  vsum[0] = 0.0;
+  for (int i = 0; i < %d; i++) { vsum[0] += u[i]; }
+  double vtot[1];
+  MPI_Reduce(vsum, vtot, 1, MPI_SUM, 0, MPI_COMM_WORLD);
+  if (rank == 0) { printf("%s class %c verification %%f\n", vtot[0]); }
+`, cells, bench, rune(o.Class))
+
+	if regionFinalize {
+		src.Spans[spec.FinalizationViolation] = b.add(faults.RegionFinalize)
+	} else {
+		b.add("  MPI_Finalize();\n")
+	}
+	b.add("  return 0;\n}\n")
+
+	src.Text = b.sb.String()
+	return src
+}
+
+// PaperInjections returns the injection configuration used by the
+// Table I reproduction for each benchmark: all six kinds, with the
+// per-benchmark variants that reproduce the paper's per-tool
+// detection differences (see EXPERIMENTS.md).
+func PaperInjections(bench Benchmark) Options {
+	o := Options{
+		Inject:   spec.AllKinds(),
+		Variants: map[spec.Kind]faults.Variant{},
+	}
+	switch bench {
+	case LU:
+		// Marmot misses the schedule-skewed request violation;
+		// ITC misses the probe-only violation (probe-blind).
+		o.Variants[spec.ConcurrentRequestViolation] = faults.Variant{SkewUnits: 8000}
+	case BT:
+		// All six manifest promptly; the benign trap costs ITC a
+		// false positive.
+		o.Variants[spec.ProbeViolation] = faults.Variant{ProbeWithRecv: true}
+		o.FPTrap = true
+	case SP:
+		// Marmot misses the schedule-skewed collective violation; the
+		// probe site carries receives, so ITC still sees it.
+		o.Variants[spec.ProbeViolation] = faults.Variant{ProbeWithRecv: true}
+		o.Variants[spec.CollectiveCallViolation] = faults.Variant{SkewUnits: 8000}
+	}
+	return o
+}
+
+// Attribute classifies one reported violation against the injected
+// spans: it returns the injected kind the report hits, or ok=false
+// for a report outside every injected site (a false positive).
+func (s *Source) Attribute(v spec.Violation) (spec.Kind, bool) {
+	// Level violations attribute to the init injection by kind.
+	if v.Kind == spec.InitializationViolation {
+		_, ok := s.Spans[spec.InitializationViolation]
+		return spec.InitializationViolation, ok
+	}
+	if v.Kind == spec.FinalizationViolation {
+		_, ok := s.Spans[spec.FinalizationViolation]
+		return spec.FinalizationViolation, ok
+	}
+	for kind, span := range s.Spans {
+		for _, line := range v.Lines {
+			if span.Contains(line) {
+				return kind, true
+			}
+		}
+	}
+	return 0, false
+}

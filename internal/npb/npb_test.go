@@ -1,0 +1,169 @@
+package npb
+
+import (
+	"strings"
+	"testing"
+
+	"home/internal/faults"
+	"home/internal/interp"
+	"home/internal/minic"
+	"home/internal/spec"
+)
+
+func TestGenerateParses(t *testing.T) {
+	for _, bench := range All() {
+		for _, class := range []Class{'S', 'W', 'A', 'B', 'C'} {
+			src := Generate(bench, Options{Class: class})
+			if _, err := minic.Parse(src.Text); err != nil {
+				t.Fatalf("%v class %c: %v\n%s", bench, class, err, numbered(src.Text))
+			}
+		}
+	}
+}
+
+func TestGenerateWithAllInjectionsParses(t *testing.T) {
+	for _, bench := range All() {
+		o := PaperInjections(bench)
+		o.Class = 'S'
+		src := Generate(bench, o)
+		if _, err := minic.Parse(src.Text); err != nil {
+			t.Fatalf("%v: %v\n%s", bench, err, numbered(src.Text))
+		}
+		// All six kinds must have attribution spans.
+		for _, k := range spec.AllKinds() {
+			if _, ok := src.Spans[k]; !ok {
+				t.Errorf("%v: no span for %v", bench, k)
+			}
+		}
+	}
+}
+
+func TestCleanBenchmarksRunToCompletion(t *testing.T) {
+	for _, bench := range All() {
+		src := Generate(bench, Options{Class: 'S'})
+		prog, err := minic.Parse(src.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := interp.Run(prog, interp.Config{Procs: 2, Seed: 1})
+		if err := res.FirstError(); err != nil {
+			t.Fatalf("%v: %v\noutput: %s", bench, err, res.Output)
+		}
+		if res.Deadlocked {
+			t.Fatalf("%v deadlocked", bench)
+		}
+		if !strings.Contains(res.Output, "verification") {
+			t.Fatalf("%v produced no verification output: %q", bench, res.Output)
+		}
+	}
+}
+
+func TestInjectedBenchmarksRunToCompletion(t *testing.T) {
+	for _, bench := range All() {
+		o := PaperInjections(bench)
+		o.Class = 'S'
+		src := Generate(bench, o)
+		prog, err := minic.Parse(src.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := interp.Run(prog, interp.Config{Procs: 4, Seed: 2})
+		if err := res.FirstError(); err != nil {
+			t.Fatalf("%v: %v\noutput: %s", bench, err, res.Output)
+		}
+		if res.Deadlocked {
+			t.Fatalf("%v deadlocked with injections", bench)
+		}
+	}
+}
+
+func TestClassScalingMonotonic(t *testing.T) {
+	cS, uS, sS := classParams('S')
+	cC, uC, sC := classParams('C')
+	if cS >= cC || uS >= uC || sS >= sC {
+		t.Fatalf("class scaling not monotonic: S=(%d,%d,%d) C=(%d,%d,%d)", cS, uS, sS, cC, uC, sC)
+	}
+}
+
+func TestSpansPointAtInjectedText(t *testing.T) {
+	o := PaperInjections(SP)
+	o.Class = 'S'
+	src := Generate(SP, o)
+	lines := strings.Split(src.Text, "\n")
+	for kind, span := range src.Spans {
+		if kind == spec.InitializationViolation {
+			if !strings.Contains(lines[span.First-1], "MPI_Init_thread") {
+				t.Errorf("init span points at %q", lines[span.First-1])
+			}
+			continue
+		}
+		found := false
+		for l := span.First; l <= span.Last && l <= len(lines); l++ {
+			if strings.Contains(lines[l-1], "injected:") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v span [%d,%d] has no injection marker", kind, span.First, span.Last)
+		}
+	}
+}
+
+func TestAttributeFalsePositive(t *testing.T) {
+	src := Generate(BT, PaperInjections(BT))
+	v := spec.Violation{Kind: spec.CollectiveCallViolation, Lines: []int{src.TrapSpan.First}}
+	if _, ok := src.Attribute(v); ok {
+		t.Fatal("trap-site report should not attribute to an injection")
+	}
+	v2 := spec.Violation{Kind: spec.ConcurrentRecvViolation,
+		Lines: []int{src.Spans[spec.ConcurrentRecvViolation].First + 3}}
+	kind, ok := src.Attribute(v2)
+	if !ok || kind != spec.ConcurrentRecvViolation {
+		t.Fatalf("attribution failed: %v %v", kind, ok)
+	}
+}
+
+func TestInitLevelInjection(t *testing.T) {
+	o := Options{Class: 'S', Inject: []spec.Kind{spec.InitializationViolation}}
+	src := Generate(LU, o)
+	if !strings.Contains(src.Text, "MPI_THREAD_FUNNELED") {
+		t.Fatal("init injection did not change the declared level")
+	}
+	clean := Generate(LU, Options{Class: 'S'})
+	if !strings.Contains(clean.Text, "MPI_THREAD_MULTIPLE") {
+		t.Fatal("clean benchmark should declare MULTIPLE")
+	}
+}
+
+func TestRegionFinalizeInjection(t *testing.T) {
+	o := Options{Class: 'S', Inject: []spec.Kind{spec.FinalizationViolation}}
+	src := Generate(LU, o)
+	if strings.Contains(strings.Split(src.Text, "injected: finalization")[0], "MPI_Finalize();") {
+		t.Fatal("normal finalize should be replaced")
+	}
+	if !strings.Contains(src.Text, faults.RegionFinalize[:30]) {
+		t.Fatal("region finalize missing")
+	}
+}
+
+// numbered renders source with line numbers for failure messages.
+func numbered(src string) string {
+	var b strings.Builder
+	for i, l := range strings.Split(src, "\n") {
+		b.WriteString(strings.TrimRight(strings.Repeat(" ", 0)+itoa(i+1)+": "+l, " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

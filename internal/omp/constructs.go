@@ -1,0 +1,327 @@
+package omp
+
+import (
+	"fmt"
+	"sync"
+
+	"home/internal/trace"
+)
+
+// Schedule selects the loop iteration-to-thread mapping of a For
+// construct, mirroring OpenMP's schedule clause.
+type Schedule int
+
+const (
+	// ScheduleStatic partitions iterations into contiguous blocks
+	// (chunk 0 means one block per thread).
+	ScheduleStatic Schedule = iota
+	// ScheduleDynamic hands out chunks first-come-first-served.
+	ScheduleDynamic
+	// ScheduleGuided hands out shrinking chunks first-come-first-served.
+	ScheduleGuided
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleStatic:
+		return "static"
+	case ScheduleDynamic:
+		return "dynamic"
+	case ScheduleGuided:
+		return "guided"
+	}
+	return fmt.Sprintf("Schedule(%d)", int(s))
+}
+
+// Barrier synchronizes all team members: nobody proceeds until
+// everyone arrives, and all clocks advance to the latest arrival.
+func (m *Member) Barrier() error {
+	return m.barrierAt(m.nextOrdinal())
+}
+
+// barrierAt implements the rendezvous for a given construct ordinal.
+func (m *Member) barrierAt(ord uint64) error {
+	t := m.team
+	if t.size == 1 {
+		m.Ctx.Advance(barrierCostNs)
+		return nil
+	}
+	st := t.state(ord)
+
+	t.mu.Lock()
+	st.arrived++
+	if m.Ctx.Now > st.maxT {
+		st.maxT = m.Ctx.Now
+	}
+	m.Ctx.Emit(trace.Event{Op: trace.OpBarrier, Sync: st.sync})
+	if st.arrived == t.size {
+		release := st.maxT + barrierCostNs
+		for _, w := range st.waiters {
+			t.rt.activity.Unblock()
+			w <- release
+		}
+		delete(t.constructs, ord)
+		t.mu.Unlock()
+		m.Ctx.SyncTo(release)
+		return nil
+	}
+	wake := make(chan int64, 1)
+	st.waiters = append(st.waiters, wake)
+	t.mu.Unlock()
+
+	dead, done := t.rt.activity.BlockDesc(m.Ctx.Rank, m.TID, "an omp barrier (waiting for the team)")
+	select {
+	case release := <-wake:
+		done()
+		m.Ctx.SyncTo(release)
+		return nil
+	case <-dead:
+		return ErrDeadlock
+	}
+}
+
+// For executes the iteration range [lo, hi) distributed over the team
+// per the schedule, then joins at the implicit barrier (OpenMP's
+// `#pragma omp for`). Iteration cost is whatever body charges to the
+// member context.
+func (m *Member) For(lo, hi int64, sched Schedule, chunk int64, body func(i int64) error) error {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	n := hi - lo
+	var err error
+	switch {
+	case n <= 0:
+		// empty range, straight to the barrier
+	case sched == ScheduleStatic:
+		err = m.forStatic(lo, hi, chunk, body)
+	default:
+		err = m.forDynamic(lo, hi, sched, chunk, body)
+	}
+	if berr := m.Barrier(); err == nil {
+		err = berr
+	}
+	return err
+}
+
+// forStatic runs the blocked/cyclic static schedule.
+func (m *Member) forStatic(lo, hi, chunk int64, body func(i int64) error) error {
+	size := int64(m.team.size)
+	n := hi - lo
+	if chunk == 1 && n >= size {
+		// Default static schedule: one contiguous block per thread.
+		per := n / size
+		rem := n % size
+		start := lo + int64(m.TID)*per + min64(int64(m.TID), rem)
+		count := per
+		if int64(m.TID) < rem {
+			count++
+		}
+		for i := start; i < start+count; i++ {
+			if err := body(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// static,chunk: round-robin chunks.
+	for base := lo + int64(m.TID)*chunk; base < hi; base += size * chunk {
+		end := min64(base+chunk, hi)
+		for i := base; i < end; i++ {
+			if err := body(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// forDynamic runs the dynamic and guided schedules from a shared
+// iteration counter.
+func (m *Member) forDynamic(lo, hi int64, sched Schedule, chunk int64, body func(i int64) error) error {
+	t := m.team
+	st := t.state(m.nextOrdinal())
+	t.mu.Lock()
+	if st.counter < 0 {
+		st.counter = lo
+	}
+	t.mu.Unlock()
+	for {
+		t.mu.Lock()
+		base := st.counter
+		if base >= hi {
+			t.mu.Unlock()
+			return nil
+		}
+		c := chunk
+		if sched == ScheduleGuided {
+			// Guided: chunk proportional to remaining work.
+			if g := (hi - base) / int64(2*t.size); g > c {
+				c = g
+			}
+		}
+		end := min64(base+c, hi)
+		st.counter = end
+		t.mu.Unlock()
+		for i := base; i < end; i++ {
+			if err := body(i); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Sections distributes the given section bodies over the team —
+// section i runs on thread i mod teamsize (a conforming static
+// assignment chosen for determinism; the OpenMP specification leaves
+// the mapping to the implementation) — and joins at the implicit
+// barrier (`#pragma omp sections`).
+func (m *Member) Sections(bodies ...func() error) error {
+	var err error
+	for i := m.TID; i < len(bodies); i += m.team.size {
+		if e := bodies[i](); e != nil && err == nil {
+			err = e
+		}
+	}
+	if berr := m.Barrier(); err == nil {
+		err = berr
+	}
+	return err
+}
+
+// Single executes body on the first team member to arrive; everyone
+// joins at the implicit barrier (`#pragma omp single`).
+func (m *Member) Single(body func() error) error {
+	t := m.team
+	st := t.state(m.nextOrdinal())
+	t.mu.Lock()
+	mine := !st.claimed
+	st.claimed = true
+	t.mu.Unlock()
+	var err error
+	if mine {
+		err = body()
+	}
+	if berr := m.Barrier(); err == nil {
+		err = berr
+	}
+	return err
+}
+
+// Master executes body on thread 0 only; there is no implied barrier
+// (`#pragma omp master`).
+func (m *Member) Master(body func() error) error {
+	if m.TID != 0 {
+		return nil
+	}
+	return body()
+}
+
+// lockState is a queue-based lock with virtual-time serialization.
+// The releaser hands ownership directly to the next waiter and marks
+// it unblocked *before* signalling, so the watchdog's blocked count
+// never over-reports (the protocol every blocking primitive in the
+// simulator follows).
+type lockState struct {
+	mu      sync.Mutex
+	held    bool
+	waiters []chan struct{}
+	freeAt  int64 // virtual time of the last release (guarded by mu)
+}
+
+// lock returns (creating if needed) the named lock of the runtime.
+func (rt *Runtime) lock(name string) *lockState {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	l, ok := rt.locks[name]
+	if !ok {
+		l = &lockState{}
+		rt.locks[name] = l
+	}
+	return l
+}
+
+// acquire takes the lock, blocking with watchdog accounting, and
+// advances the member clock past the previous holder's release.
+func (m *Member) acquire(l *lockState, id trace.LockID) error {
+	l.mu.Lock()
+	if !l.held {
+		l.held = true
+		freeAt := l.freeAt
+		l.mu.Unlock()
+		m.Ctx.SyncTo(freeAt)
+	} else {
+		wake := make(chan struct{}, 1)
+		l.waiters = append(l.waiters, wake)
+		l.mu.Unlock()
+		dead, done := m.team.rt.activity.BlockDesc(m.Ctx.Rank, m.TID, "acquiring "+id.Name)
+		select {
+		case <-wake:
+			done()
+			// Ownership was transferred by the releaser, which also
+			// restored our runnable accounting.
+			l.mu.Lock()
+			freeAt := l.freeAt
+			l.mu.Unlock()
+			m.Ctx.SyncTo(freeAt)
+		case <-dead:
+			return ErrDeadlock
+		}
+	}
+	m.Ctx.Advance(lockCostNs)
+	m.Ctx.Emit(trace.Event{Op: trace.OpAcquire, Lock: id})
+	return nil
+}
+
+// release frees the lock, publishing the holder's clock and handing
+// ownership to the next waiter, if any.
+func (m *Member) release(l *lockState, id trace.LockID) {
+	m.Ctx.Emit(trace.Event{Op: trace.OpRelease, Lock: id})
+	l.mu.Lock()
+	l.freeAt = m.Ctx.Now
+	if len(l.waiters) > 0 {
+		next := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		// Lock stays held; ownership moves to next.
+		m.team.rt.activity.Unblock()
+		next <- struct{}{}
+	} else {
+		l.held = false
+	}
+	l.mu.Unlock()
+}
+
+// Critical runs body under the named critical section
+// (`#pragma omp critical(name)`; use "" for the unnamed section).
+func (m *Member) Critical(name string, body func() error) error {
+	if name == "" {
+		name = "$default"
+	}
+	id := trace.LockID{Rank: m.Ctx.Rank, Name: "$critical:" + name}
+	l := m.team.rt.lock(id.Name)
+	if err := m.acquire(l, id); err != nil {
+		return err
+	}
+	err := body()
+	m.release(l, id)
+	return err
+}
+
+// Lock acquires a named runtime lock (omp_set_lock).
+func (m *Member) Lock(name string) error {
+	id := trace.LockID{Rank: m.Ctx.Rank, Name: "$lock:" + name}
+	return m.acquire(m.team.rt.lock(id.Name), id)
+}
+
+// Unlock releases a named runtime lock (omp_unset_lock).
+func (m *Member) Unlock(name string) {
+	id := trace.LockID{Rank: m.Ctx.Rank, Name: "$lock:" + name}
+	m.release(m.team.rt.lock(id.Name), id)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Activity tracks how many simulated threads exist and how many are
+// blocked inside the message-passing runtime. When every live thread
+// is blocked, no future event can unblock any of them (message
+// delivery happens synchronously at send time in this runtime), so the
+// state is a global deadlock; Activity then trips a latch that all
+// blocked operations observe.
+//
+// Protocol:
+//   - AddThreads/DoneThread bracket thread lifetimes (the MPI process
+//     main thread and every OpenMP worker).
+//   - A thread about to wait calls Block and selects on both its wake
+//     channel and the returned deadlock channel.
+//   - Whoever satisfies the wait (message sender, barrier releaser)
+//     calls Unblock *before* signalling the wake channel, so the
+//     blocked count never over-reports.
+//   - A woken thread does not decrement; its waker already did. A
+//     thread abandoning a wait for another reason calls Unblock itself.
+type Activity struct {
+	mu      sync.Mutex
+	active  int
+	blocked int
+	dead    chan struct{}
+	tripped bool
+
+	// stuck describes each currently blocked operation, keyed by a
+	// registration token. Entries left behind when the latch trips
+	// form the wait-for snapshot of the deadlock report.
+	stuck   map[int64]string
+	nextTok int64
+}
+
+// NewActivity returns an Activity with no registered threads.
+func NewActivity() *Activity {
+	return &Activity{dead: make(chan struct{}), stuck: make(map[int64]string)}
+}
+
+// AddThreads registers n newly started threads.
+func (a *Activity) AddThreads(n int) {
+	a.mu.Lock()
+	a.active += n
+	a.mu.Unlock()
+}
+
+// DoneThread unregisters a finished thread. If the remaining threads
+// are all blocked, that is a deadlock (nobody can make progress).
+func (a *Activity) DoneThread() {
+	a.mu.Lock()
+	a.active--
+	a.checkLocked()
+	a.mu.Unlock()
+}
+
+// Block marks the calling thread as blocked and returns the deadlock
+// latch channel to select on alongside the thread's wake channel.
+func (a *Activity) Block() <-chan struct{} {
+	d, _ := a.BlockDesc(-1, -1, "")
+	return d
+}
+
+// BlockDesc is Block with a wait-for description for deadlock
+// reports. The returned release function removes the description; a
+// thread that wakes normally calls it, while one abandoned by the
+// deadlock trip leaves its entry in place so StuckOps can report what
+// everybody was waiting for.
+func (a *Activity) BlockDesc(rank, tid int, desc string) (<-chan struct{}, func()) {
+	a.mu.Lock()
+	a.blocked++
+	var release func()
+	if desc != "" {
+		tok := a.nextTok
+		a.nextTok++
+		a.stuck[tok] = fmt.Sprintf("rank %d thread %d blocked in %s", rank, tid, desc)
+		release = func() {
+			a.mu.Lock()
+			delete(a.stuck, tok)
+			a.mu.Unlock()
+		}
+	} else {
+		release = func() {}
+	}
+	a.checkLocked()
+	d := a.dead
+	a.mu.Unlock()
+	return d, release
+}
+
+// StuckOps returns the descriptions of operations that were blocked
+// when (or since) the deadlock latch tripped, sorted for stable
+// reports.
+func (a *Activity) StuckOps() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.stuck))
+	for _, s := range a.stuck {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Unblock marks one blocked thread as runnable again. Callers invoke
+// it before signalling the thread's wake channel.
+func (a *Activity) Unblock() {
+	a.mu.Lock()
+	a.blocked--
+	a.mu.Unlock()
+}
+
+// Deadlocked reports whether the deadlock latch has tripped.
+func (a *Activity) Deadlocked() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tripped
+}
+
+// Dead returns the latch channel (closed once deadlock is detected).
+func (a *Activity) Dead() <-chan struct{} { return a.dead }
+
+func (a *Activity) checkLocked() {
+	if !a.tripped && a.active > 0 && a.blocked >= a.active {
+		a.tripped = true
+		close(a.dead)
+	}
+}
+
+// Counts returns the current (active, blocked) thread counts; useful
+// in tests and diagnostics.
+func (a *Activity) Counts() (active, blocked int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active, a.blocked
+}

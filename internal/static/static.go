@@ -1,0 +1,295 @@
+// Package static implements HOME's compile-time phase (paper §IV-C,
+// Algorithm 1).
+//
+// The analysis walks each function's CFG node list in program order.
+// Code outside `omp parallel` constructs cannot raise thread-safety
+// violations (only one thread executes there), so it is classified
+// error-free and its MPI calls are left uninstrumented; MPI call nodes
+// between an omp-parallel begin marker and its end marker are replaced
+// by instrumented wrappers (here: recorded in the instrumentation
+// Plan the interpreter consults). The result is the selective
+// monitoring that gives HOME its low overhead.
+//
+// Beyond Algorithm 1, the package reports the statically detectable
+// unsafe styles the paper's first contribution mentions (e.g. legacy
+// MPI_Init combined with hybrid regions, MPI_Finalize inside a
+// parallel region), and offers two variations used by the
+// experiments: InstrumentAll (the ablation disabling the filter) and
+// Interprocedural (the paper's future-work extension that follows
+// user-function calls made inside parallel regions).
+package static
+
+import (
+	"fmt"
+	"sort"
+
+	"home/internal/cfg"
+	"home/internal/minic"
+	"home/internal/trace"
+)
+
+// Site is one MPI call site selected for instrumentation.
+type Site struct {
+	CallID int
+	Name   string
+	Line   int
+	Func   string
+	// Depth is the omp-parallel nesting depth at the site (0 for
+	// sites selected by InstrumentAll outside any region).
+	Depth int
+	// ViaCall marks sites found through the interprocedural
+	// extension: the enclosing function is invoked from a parallel
+	// region of another function.
+	ViaCall bool
+}
+
+func (s Site) String() string {
+	via := ""
+	if s.ViaCall {
+		via = " (via call chain)"
+	}
+	return fmt.Sprintf("%s at %s:%d%s", s.Name, s.Func, s.Line, via)
+}
+
+// Warning is a statically detected unsafe hybrid programming style.
+type Warning struct {
+	Line int
+	Func string
+	Msg  string
+}
+
+func (w Warning) String() string { return fmt.Sprintf("%s:%d: %s", w.Func, w.Line, w.Msg) }
+
+// Plan is the static phase's output: the argument checklist and the
+// instrumentation site set the dynamic phase consumes.
+type Plan struct {
+	// Sites maps CallID to its instrumentation record.
+	Sites map[int]Site
+
+	// MonitoredVars is the thread-safety checklist (paper §IV-B):
+	// srctmp, tagtmp, commtmp, requesttmp, collectivetmp, finalizetmp.
+	MonitoredVars []string
+
+	// Warnings are statically detected unsafe styles.
+	Warnings []Warning
+
+	// TotalMPICalls counts every MPI call site in the program;
+	// Instrumented counts the selected subset. The difference is the
+	// overhead reduction the filtering bought.
+	TotalMPICalls int
+	Instrumented  int
+
+	// DeclaredThreadLevel is the statically visible MPI_Init_thread
+	// level argument (-1 when only runtime analysis can tell, e.g.
+	// a computed level; mpi.ThreadSingle when legacy MPI_Init is
+	// used).
+	DeclaredThreadLevel int
+}
+
+// Instrument reports whether the call site is selected.
+func (p *Plan) Instrument(callID int) bool {
+	_, ok := p.Sites[callID]
+	return ok
+}
+
+// SiteList returns the selected sites ordered by function then line.
+func (p *Plan) SiteList() []Site {
+	out := make([]Site, 0, len(p.Sites))
+	for _, s := range p.Sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Func != out[j].Func {
+			return out[i].Func < out[j].Func
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].CallID < out[j].CallID
+	})
+	return out
+}
+
+// Options selects analysis variants.
+type Options struct {
+	// InstrumentAll disables the error-free-region filter and selects
+	// every MPI call site (the overhead ablation).
+	InstrumentAll bool
+
+	// Interprocedural additionally instruments MPI calls in functions
+	// reachable from call sites inside parallel regions (the paper's
+	// future-work extension; plain HOME is intraprocedural).
+	Interprocedural bool
+}
+
+// Analyze runs the static phase over a parsed program.
+func Analyze(prog *minic.Program, opts Options) *Plan {
+	plan := &Plan{
+		Sites:               make(map[int]Site),
+		MonitoredVars:       trace.MonitoredVars(),
+		DeclaredThreadLevel: -1,
+	}
+	graphs := cfg.BuildProgram(prog)
+
+	// Pass 1: Algorithm 1 per function — walk the ordered node list,
+	// toggling on parallel begin/end markers, selecting MPI calls.
+	parallelCallers := map[string][]string{} // callee -> funcs whose parallel regions call it
+	for _, fn := range prog.Funcs {
+		g := graphs[fn.Name]
+		inPar := 0
+		for _, n := range g.Nodes {
+			switch n.Kind {
+			case cfg.NodeOmpBegin:
+				if isParallel(n.Omp) {
+					inPar++
+				}
+			case cfg.NodeOmpEnd:
+				if isParallel(n.Omp) {
+					inPar--
+				}
+			case cfg.NodeCall:
+				name := n.Call.Name
+				if cfg.IsMPICall(name) {
+					plan.TotalMPICalls++
+					if inPar > 0 || opts.InstrumentAll {
+						plan.Sites[n.Call.CallID] = Site{
+							CallID: n.Call.CallID, Name: name,
+							Line: n.Line, Func: fn.Name, Depth: inPar,
+						}
+					}
+				} else if inPar > 0 && prog.Func(name) != nil {
+					parallelCallers[name] = append(parallelCallers[name], fn.Name)
+				} else if name == "pthread_create" && len(n.Call.Args) >= 2 {
+					// The explicit-threads extension: the spawned
+					// function runs concurrently with its creator, so
+					// it is a parallel-context root regardless of
+					// where the create happens.
+					if id, ok := n.Call.Args[1].(*minic.Ident); ok && prog.Func(id.Name) != nil {
+						parallelCallers[id.Name] = append(parallelCallers[id.Name], fn.Name)
+					}
+				}
+			}
+		}
+		plan.Warnings = append(plan.Warnings, lintFunc(fn, g)...)
+	}
+
+	// Pass 2 (extension): propagate the parallel context through the
+	// user call graph.
+	if opts.Interprocedural {
+		instrumentTransitive(prog, graphs, parallelCallers, plan)
+	}
+
+	plan.Instrumented = len(plan.Sites)
+	plan.DeclaredThreadLevel = declaredLevel(prog)
+	return plan
+}
+
+// isParallel reports whether an omp construct forks threads.
+func isParallel(o *minic.OmpStmt) bool {
+	return o != nil && (o.Kind == minic.PragmaParallel || o.Kind == minic.PragmaParallelFor)
+}
+
+// instrumentTransitive walks the user call graph from functions called
+// inside parallel regions, selecting their MPI call sites too.
+func instrumentTransitive(prog *minic.Program, graphs map[string]*cfg.Graph, roots map[string][]string, plan *Plan) {
+	visited := map[string]bool{}
+	var queue []string
+	for callee := range roots {
+		queue = append(queue, callee)
+	}
+	sort.Strings(queue) // deterministic order
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		if visited[name] {
+			continue
+		}
+		visited[name] = true
+		fn := prog.Func(name)
+		if fn == nil {
+			continue
+		}
+		g := graphs[name]
+		for _, n := range g.Nodes {
+			if n.Kind != cfg.NodeCall {
+				continue
+			}
+			cname := n.Call.Name
+			if cfg.IsMPICall(cname) {
+				if _, done := plan.Sites[n.Call.CallID]; !done {
+					plan.Sites[n.Call.CallID] = Site{
+						CallID: n.Call.CallID, Name: cname,
+						Line: n.Line, Func: name, Depth: 1, ViaCall: true,
+					}
+				}
+			} else if prog.Func(cname) != nil && !visited[cname] {
+				queue = append(queue, cname)
+			}
+		}
+	}
+}
+
+// declaredLevel extracts the statically visible thread level from the
+// program's MPI_Init/MPI_Init_thread call, if any.
+func declaredLevel(prog *minic.Program) int {
+	level := -1
+	minic.Walk(prog, func(n minic.Node) bool {
+		c, ok := n.(*minic.Call)
+		if !ok {
+			return true
+		}
+		switch c.Name {
+		case "MPI_Init":
+			level = 0 // MPI_THREAD_SINGLE
+		case "MPI_Init_thread":
+			if len(c.Args) > 0 {
+				if id, ok := c.Args[0].(*minic.Ident); ok {
+					switch id.Name {
+					case "MPI_THREAD_SINGLE":
+						level = 0
+					case "MPI_THREAD_FUNNELED":
+						level = 1
+					case "MPI_THREAD_SERIALIZED":
+						level = 2
+					case "MPI_THREAD_MULTIPLE":
+						level = 3
+					}
+				}
+			}
+		}
+		return true
+	})
+	return level
+}
+
+// lintFunc reports statically detectable unsafe styles in one
+// function.
+func lintFunc(fn *minic.FuncDecl, g *cfg.Graph) []Warning {
+	var out []Warning
+	usesLegacyInit := false
+	hasParallelMPI := false
+	for _, n := range g.Nodes {
+		if n.Kind != cfg.NodeCall {
+			continue
+		}
+		name := n.Call.Name
+		inPar := n.ParallelDepth > 0
+		switch {
+		case name == "MPI_Init":
+			usesLegacyInit = true
+		case name == "MPI_Finalize" && inPar:
+			out = append(out, Warning{Line: n.Line, Func: fn.Name,
+				Msg: "MPI_Finalize inside an omp parallel region: must be called once by the main thread after all threads finish MPI"})
+		case (name == "MPI_Probe" || name == "MPI_Iprobe") && inPar:
+			out = append(out, Warning{Line: n.Line, Func: fn.Name,
+				Msg: "MPI_Probe/MPI_Iprobe inside a parallel region: concurrent probes with equal (source, tag) race on message selection"})
+		case cfg.IsMPICall(name) && inPar:
+			hasParallelMPI = true
+		}
+	}
+	if usesLegacyInit && hasParallelMPI {
+		out = append(out, Warning{Line: fn.Line, Func: fn.Name,
+			Msg: "legacy MPI_Init (MPI_THREAD_SINGLE) combined with MPI calls in omp parallel regions: use MPI_Init_thread with an appropriate level"})
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package static
+
+import (
+	"strings"
+	"testing"
+
+	"home/internal/minic"
+	"home/internal/trace"
+)
+
+func analyze(t *testing.T, src string, opts Options) *Plan {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Analyze(prog, opts)
+}
+
+const hybridSrc = `
+int main() {
+  int provided;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &provided);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  double a[4];
+  MPI_Barrier(MPI_COMM_WORLD);
+  #pragma omp parallel
+  {
+    MPI_Send(&a, 1, 1, 0, MPI_COMM_WORLD);
+    MPI_Recv(&a, 1, 1, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  }
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}`
+
+func TestSelectsOnlyParallelRegionCalls(t *testing.T) {
+	plan := analyze(t, hybridSrc, Options{})
+	sites := plan.SiteList()
+	if len(sites) != 2 {
+		t.Fatalf("sites = %v", sites)
+	}
+	names := map[string]bool{}
+	for _, s := range sites {
+		names[s.Name] = true
+		if s.Depth != 1 {
+			t.Errorf("site depth = %d", s.Depth)
+		}
+	}
+	if !names["MPI_Send"] || !names["MPI_Recv"] {
+		t.Fatalf("selected = %v", names)
+	}
+	// The barriers, init, rank and finalize outside stay unmonitored.
+	if plan.TotalMPICalls != 7 {
+		t.Fatalf("TotalMPICalls = %d, want 7", plan.TotalMPICalls)
+	}
+	if plan.Instrumented != 2 {
+		t.Fatalf("Instrumented = %d", plan.Instrumented)
+	}
+}
+
+func TestInstrumentAllAblation(t *testing.T) {
+	plan := analyze(t, hybridSrc, Options{InstrumentAll: true})
+	if plan.Instrumented != plan.TotalMPICalls {
+		t.Fatalf("instrument-all selected %d of %d", plan.Instrumented, plan.TotalMPICalls)
+	}
+}
+
+func TestMonitoredVarChecklist(t *testing.T) {
+	plan := analyze(t, hybridSrc, Options{})
+	want := trace.MonitoredVars()
+	if len(plan.MonitoredVars) != len(want) {
+		t.Fatalf("checklist = %v", plan.MonitoredVars)
+	}
+	for i := range want {
+		if plan.MonitoredVars[i] != want[i] {
+			t.Fatalf("checklist = %v", plan.MonitoredVars)
+		}
+	}
+}
+
+func TestDeclaredLevelExtraction(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{`int main() { MPI_Init(); return 0; }`, 0},
+		{`int main() { int p; MPI_Init_thread(MPI_THREAD_FUNNELED, &p); return 0; }`, 1},
+		{`int main() { int p; MPI_Init_thread(MPI_THREAD_SERIALIZED, &p); return 0; }`, 2},
+		{`int main() { int p; MPI_Init_thread(MPI_THREAD_MULTIPLE, &p); return 0; }`, 3},
+		{`int main() { return 0; }`, -1},
+	}
+	for _, c := range cases {
+		plan := analyze(t, c.src, Options{})
+		if plan.DeclaredThreadLevel != c.want {
+			t.Errorf("level(%q) = %d, want %d", c.src, plan.DeclaredThreadLevel, c.want)
+		}
+	}
+}
+
+func TestWarnsLegacyInitWithHybridRegion(t *testing.T) {
+	plan := analyze(t, `
+int main() {
+  MPI_Init();
+  double a[1];
+  #pragma omp parallel
+  { MPI_Send(&a, 1, 1, 0, MPI_COMM_WORLD); }
+  MPI_Finalize();
+  return 0;
+}`, Options{})
+	found := false
+	for _, w := range plan.Warnings {
+		if strings.Contains(w.Msg, "MPI_Init_thread") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("warnings = %v", plan.Warnings)
+	}
+}
+
+func TestWarnsFinalizeAndProbeInParallelRegion(t *testing.T) {
+	plan := analyze(t, `
+int main() {
+  int p;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &p);
+  #pragma omp parallel
+  {
+    MPI_Probe(0, 0, MPI_COMM_WORLD);
+    MPI_Finalize();
+  }
+  return 0;
+}`, Options{})
+	var probe, fin bool
+	for _, w := range plan.Warnings {
+		if strings.Contains(w.Msg, "Probe") {
+			probe = true
+		}
+		if strings.Contains(w.Msg, "MPI_Finalize inside") {
+			fin = true
+		}
+	}
+	if !probe || !fin {
+		t.Fatalf("warnings = %v", plan.Warnings)
+	}
+}
+
+func TestIntraproceduralMissesCalleeCalls(t *testing.T) {
+	src := `
+void exchange(double buf[]) {
+  MPI_Send(&buf, 1, 1, 0, MPI_COMM_WORLD);
+}
+int main() {
+  int p;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &p);
+  double a[1];
+  #pragma omp parallel
+  { exchange(a); }
+  MPI_Finalize();
+  return 0;
+}`
+	plan := analyze(t, src, Options{})
+	if plan.Instrumented != 0 {
+		t.Fatalf("plain HOME is intraprocedural; instrumented = %v", plan.SiteList())
+	}
+	ext := analyze(t, src, Options{Interprocedural: true})
+	sites := ext.SiteList()
+	if len(sites) != 1 || sites[0].Name != "MPI_Send" || !sites[0].ViaCall {
+		t.Fatalf("interprocedural sites = %v", sites)
+	}
+}
+
+func TestInterproceduralFollowsChains(t *testing.T) {
+	src := `
+void leaf() { MPI_Barrier(MPI_COMM_WORLD); }
+void mid() { leaf(); }
+int main() {
+  int p;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &p);
+  #pragma omp parallel
+  { mid(); }
+  return 0;
+}`
+	plan := analyze(t, src, Options{Interprocedural: true})
+	sites := plan.SiteList()
+	if len(sites) != 1 || sites[0].Func != "leaf" {
+		t.Fatalf("sites = %v", sites)
+	}
+}
+
+func TestInterproceduralDoesNotPullUnrelatedFunctions(t *testing.T) {
+	src := `
+void unrelated() { MPI_Barrier(MPI_COMM_WORLD); }
+int main() {
+  int p;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &p);
+  double a[1];
+  #pragma omp parallel
+  { compute(1); }
+  unrelated();
+  return 0;
+}`
+	plan := analyze(t, src, Options{Interprocedural: true})
+	if plan.Instrumented != 0 {
+		t.Fatalf("unrelated function instrumented: %v", plan.SiteList())
+	}
+}
+
+func TestParallelForRegionSelected(t *testing.T) {
+	plan := analyze(t, `
+int main() {
+  int p;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &p);
+  double a[1];
+  #pragma omp parallel for
+  for (int i = 0; i < 2; i++) {
+    MPI_Send(&a, 1, 1, i, MPI_COMM_WORLD);
+  }
+  return 0;
+}`, Options{})
+	if plan.Instrumented != 1 {
+		t.Fatalf("sites = %v", plan.SiteList())
+	}
+}
+
+func TestNoParallelRegionNothingInstrumented(t *testing.T) {
+	plan := analyze(t, `
+int main() {
+  MPI_Init();
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}`, Options{})
+	if plan.Instrumented != 0 || plan.TotalMPICalls != 3 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The paper notes dynamic analysis may run online (during execution)
+// or offline (after it terminates). This codec supports the offline
+// mode: event logs serialize to newline-delimited JSON, so a recorded
+// run can be re-analyzed later with different analysis options
+// (cmd/hometrace).
+
+// jsonEvent is the wire form of an Event: flat, with the call record
+// inlined when present.
+type jsonEvent struct {
+	Seq  uint64 `json:"seq"`
+	Rank int    `json:"rank"`
+	TID  int    `json:"tid"`
+	Time int64  `json:"time"`
+	Op   string `json:"op"`
+
+	LocRank int    `json:"locRank,omitempty"`
+	LocName string `json:"locName,omitempty"`
+
+	LockRank int    `json:"lockRank,omitempty"`
+	LockName string `json:"lockName,omitempty"`
+
+	SyncRank int    `json:"syncRank,omitempty"`
+	SyncSeq  uint64 `json:"syncSeq,omitempty"`
+
+	Call *jsonCall `json:"call,omitempty"`
+}
+
+type jsonCall struct {
+	Kind    string `json:"kind"`
+	Peer    int    `json:"peer"`
+	Tag     int    `json:"tag"`
+	Comm    int    `json:"comm"`
+	Request int    `json:"request"`
+	Level   int    `json:"level"`
+	Win     int    `json:"win"`
+	Line    int    `json:"line"`
+}
+
+// opByName and callByName invert the stringers for decoding.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		m[name] = Op(op)
+	}
+	return m
+}()
+
+var callByName = func() map[string]CallKind {
+	m := make(map[string]CallKind, len(callNames))
+	for k, name := range callNames {
+		m[name] = CallKind(k)
+	}
+	return m
+}()
+
+// WriteJSON serializes events as newline-delimited JSON.
+func WriteJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		je := jsonEvent{
+			Seq: e.Seq, Rank: e.Rank, TID: e.TID, Time: e.Time,
+			Op:      e.Op.String(),
+			LocRank: e.Loc.Rank, LocName: e.Loc.Name,
+			LockRank: e.Lock.Rank, LockName: e.Lock.Name,
+			SyncRank: e.Sync.Rank, SyncSeq: e.Sync.Seq,
+		}
+		if e.Call != nil {
+			je.Call = &jsonCall{
+				Kind: e.Call.Kind.String(), Peer: e.Call.Peer, Tag: e.Call.Tag,
+				Comm: e.Call.Comm, Request: e.Call.Request,
+				Level: e.Call.Level, Win: e.Call.Win, Line: e.Call.Line,
+			}
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON deserializes a newline-delimited JSON event stream. Call
+// records shared by several events in the original log are NOT
+// re-deduplicated: each event gets its own record with equal contents,
+// which the analyses treat identically.
+func ReadJSON(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for dec.More() {
+		var je jsonEvent
+		if err := dec.Decode(&je); err != nil {
+			return nil, fmt.Errorf("trace: decode event %d: %w", len(out), err)
+		}
+		op, ok := opByName[je.Op]
+		if !ok {
+			return nil, fmt.Errorf("trace: event %d has unknown op %q", len(out), je.Op)
+		}
+		e := Event{
+			Seq: je.Seq, Rank: je.Rank, TID: je.TID, Time: je.Time, Op: op,
+			Loc:  Loc{Rank: je.LocRank, Name: je.LocName},
+			Lock: LockID{Rank: je.LockRank, Name: je.LockName},
+			Sync: SyncID{Rank: je.SyncRank, Seq: je.SyncSeq},
+		}
+		if je.Call != nil {
+			kind, ok := callByName[je.Call.Kind]
+			if !ok {
+				return nil, fmt.Errorf("trace: event %d has unknown call kind %q", len(out), je.Call.Kind)
+			}
+			e.Call = &MPICall{
+				Kind: kind, Peer: je.Call.Peer, Tag: je.Call.Tag,
+				Comm: je.Call.Comm, Request: je.Call.Request,
+				Level: je.Call.Level, Win: je.Call.Win, Line: je.Call.Line,
+			}
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

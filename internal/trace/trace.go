@@ -1,0 +1,329 @@
+// Package trace defines the event model shared by the instrumented
+// runtime and the dynamic analyses.
+//
+// In the paper, Intel Pin observes the instrumented binary and feeds a
+// stream of events (memory accesses on the monitored variables, lock
+// operations, synchronization points, and MPI call records) to HOME's
+// dynamic phase. Here the instrumented MPI wrappers and the OpenMP
+// substrate emit the same stream as typed Go values into a Sink.
+//
+// The package is a dependency leaf: it defines only data and an
+// append-only log, so every other layer (simulation kernel, substrates,
+// detectors) can share the vocabulary without import cycles.
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Op enumerates the kinds of events the instrumentation emits.
+type Op int
+
+const (
+	// OpRead and OpWrite are accesses to a monitored memory location
+	// (for HOME: the monitored variables; for the ITC baseline: every
+	// shared location).
+	OpRead Op = iota
+	OpWrite
+
+	// OpAcquire and OpRelease are lock operations (omp critical
+	// sections, omp_lock_t style locks).
+	OpAcquire
+	OpRelease
+
+	// OpFork is emitted by the parent thread immediately before an omp
+	// parallel region forks children; OpJoin by the parent after the
+	// implicit join. Children emit OpBegin/OpEnd with the same SyncID.
+	OpFork
+	OpJoin
+	OpBegin
+	OpEnd
+
+	// OpBarrier marks participation in a barrier instance (omp barrier
+	// or the implicit barrier at the end of worksharing constructs).
+	// All events with equal SyncID form one barrier episode.
+	OpBarrier
+
+	// OpMPICall is an MPI call record; Event.Call is populated.
+	OpMPICall
+)
+
+var opNames = [...]string{
+	OpRead: "Read", OpWrite: "Write",
+	OpAcquire: "Acquire", OpRelease: "Release",
+	OpFork: "Fork", OpJoin: "Join", OpBegin: "Begin", OpEnd: "End",
+	OpBarrier: "Barrier", OpMPICall: "MPICall",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Loc identifies a memory location within the simulated cluster. The
+// monitored variables of the paper (srctmp, tagtmp, commtmp,
+// requesttmp, collectivetmp, finalizetmp) are process-global, so a
+// location is a (rank, name) pair. User variables get names qualified
+// by the interpreter.
+type Loc struct {
+	Rank int
+	Name string
+}
+
+func (l Loc) String() string { return fmt.Sprintf("p%d:%s", l.Rank, l.Name) }
+
+// Monitored variable names, exactly the checklist from the paper's MPI
+// wrapper implementation (§IV-B).
+const (
+	VarSrc        = "srctmp"
+	VarTag        = "tagtmp"
+	VarComm       = "commtmp"
+	VarRequest    = "requesttmp"
+	VarCollective = "collectivetmp"
+	VarFinalize   = "finalizetmp"
+
+	// VarWindow is the extension checklist entry for one-sided (RMA)
+	// accesses; it is not part of the paper's six-variable list.
+	VarWindow = "wintmp"
+)
+
+// MonitoredVars lists the full checklist in report order.
+func MonitoredVars() []string {
+	return []string{VarSrc, VarTag, VarComm, VarRequest, VarCollective, VarFinalize}
+}
+
+// LockID identifies a lock within a rank. Critical sections use
+// compiler-assigned names ("$critical:<label>"); omp locks use their
+// variable identity.
+type LockID struct {
+	Rank int
+	Name string
+}
+
+func (l LockID) String() string { return fmt.Sprintf("p%d:%s", l.Rank, l.Name) }
+
+// SyncID identifies one episode of a structured synchronization
+// construct (a particular dynamic instance of a parallel region fork,
+// join, or barrier) within a rank.
+type SyncID struct {
+	Rank int
+	Seq  uint64
+}
+
+// CallKind enumerates the MPI entry points the tool understands.
+type CallKind int
+
+const (
+	CallNone CallKind = iota
+	CallInit
+	CallInitThread
+	CallFinalize
+	CallSend
+	CallRecv
+	CallIsend
+	CallIrecv
+	CallWait
+	CallTest
+	CallProbe
+	CallIprobe
+	CallBarrier
+	CallBcast
+	CallReduce
+	CallAllreduce
+	CallGather
+	CallScatter
+	CallAlltoall
+	CallAllgather
+	CallSendrecv
+	CallWinCreate
+	CallPut
+	CallGet
+	CallAccumulate
+	CallWinFence
+	CallCommRank
+	CallCommSize
+)
+
+var callNames = [...]string{
+	CallNone: "none", CallInit: "MPI_Init", CallInitThread: "MPI_Init_thread",
+	CallFinalize: "MPI_Finalize", CallSend: "MPI_Send", CallRecv: "MPI_Recv",
+	CallIsend: "MPI_Isend", CallIrecv: "MPI_Irecv", CallWait: "MPI_Wait",
+	CallTest: "MPI_Test", CallProbe: "MPI_Probe", CallIprobe: "MPI_Iprobe",
+	CallBarrier: "MPI_Barrier", CallBcast: "MPI_Bcast", CallReduce: "MPI_Reduce",
+	CallAllreduce: "MPI_Allreduce", CallGather: "MPI_Gather",
+	CallScatter: "MPI_Scatter", CallAlltoall: "MPI_Alltoall",
+	CallAllgather: "MPI_Allgather", CallSendrecv: "MPI_Sendrecv",
+	CallWinCreate: "MPI_Win_create", CallPut: "MPI_Put", CallGet: "MPI_Get",
+	CallAccumulate: "MPI_Accumulate", CallWinFence: "MPI_Win_fence",
+	CallCommRank: "MPI_Comm_rank", CallCommSize: "MPI_Comm_size",
+}
+
+func (k CallKind) String() string {
+	if int(k) < len(callNames) {
+		return callNames[k]
+	}
+	return fmt.Sprintf("CallKind(%d)", int(k))
+}
+
+// IsCollective reports whether the call kind is a collective operation
+// (all ranks of the communicator must participate).
+func (k CallKind) IsCollective() bool {
+	switch k {
+	case CallBarrier, CallBcast, CallReduce, CallAllreduce, CallGather,
+		CallScatter, CallAlltoall, CallAllgather:
+		return true
+	}
+	return false
+}
+
+// IsRMA reports whether the call kind is a one-sided window access.
+func (k CallKind) IsRMA() bool {
+	switch k {
+	case CallPut, CallGet, CallAccumulate:
+		return true
+	}
+	return false
+}
+
+// IsPointToPoint reports whether the call kind is a point-to-point
+// communication call.
+func (k CallKind) IsPointToPoint() bool {
+	switch k {
+	case CallSend, CallRecv, CallIsend, CallIrecv, CallSendrecv:
+		return true
+	}
+	return false
+}
+
+// MPICall is the argument record the instrumented wrapper captures for
+// one MPI call at thread level (paper §IV-B: "StartExecLog records all
+// the arguments in log").
+type MPICall struct {
+	Kind    CallKind
+	Peer    int // source for receives/probes, dest for sends; -1 if n/a
+	Tag     int // -1 if n/a
+	Comm    int // communicator id; -1 if n/a
+	Request int // request handle id; -1 if n/a
+	Level   int // requested thread level for Init_thread; -1 otherwise
+	Win     int // window id for RMA calls; -1 if n/a
+	Line    int // source line of the call site (0 if unknown)
+}
+
+func (c MPICall) String() string {
+	return fmt.Sprintf("%s(peer=%d,tag=%d,comm=%d,req=%d)@line %d",
+		c.Kind, c.Peer, c.Tag, c.Comm, c.Request, c.Line)
+}
+
+// Event is one observation in the instrumentation stream.
+type Event struct {
+	Seq  uint64 // global sequence number, assigned by the Log
+	Rank int    // MPI rank (simulated process)
+	TID  int    // OpenMP thread id within the rank (0 = master)
+	Time int64  // virtual time in nanoseconds at emission
+	Op   Op
+
+	Loc  Loc      // for OpRead/OpWrite
+	Lock LockID   // for OpAcquire/OpRelease
+	Sync SyncID   // for OpFork/OpJoin/OpBegin/OpEnd/OpBarrier
+	Call *MPICall // for OpMPICall
+}
+
+func (e Event) String() string {
+	switch e.Op {
+	case OpRead, OpWrite:
+		return fmt.Sprintf("#%d p%d.t%d %s %s", e.Seq, e.Rank, e.TID, e.Op, e.Loc)
+	case OpAcquire, OpRelease:
+		return fmt.Sprintf("#%d p%d.t%d %s %s", e.Seq, e.Rank, e.TID, e.Op, e.Lock)
+	case OpMPICall:
+		return fmt.Sprintf("#%d p%d.t%d %s", e.Seq, e.Rank, e.TID, e.Call)
+	default:
+		return fmt.Sprintf("#%d p%d.t%d %s sync=%d/%d", e.Seq, e.Rank, e.TID, e.Op, e.Sync.Rank, e.Sync.Seq)
+	}
+}
+
+// Sink consumes instrumentation events. Implementations must be safe
+// for concurrent use; the substrates emit from many goroutines.
+type Sink interface {
+	Emit(Event)
+}
+
+// Log is an append-only, thread-safe event log assigning global
+// sequence numbers. The sequence order is the observed interleaving the
+// dynamic analyses run over.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Emit appends the event, stamping its sequence number.
+func (l *Log) Emit(e Event) {
+	l.mu.Lock()
+	e.Seq = uint64(len(l.events))
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// Events returns a snapshot of the log contents in sequence order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len returns the number of events recorded so far.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Calls extracts the MPI call records in sequence order.
+func (l *Log) Calls() []Event {
+	all := l.Events()
+	out := all[:0:0]
+	for _, e := range all {
+		if e.Op == OpMPICall {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountSink counts events without retaining them; used by baseline
+// overhead models that charge per event but do not need the contents.
+type CountSink struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// Emit increments the count.
+func (s *CountSink) Emit(Event) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// Count returns the number of events observed.
+func (s *CountSink) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// TeeSink duplicates events to multiple sinks.
+type TeeSink []Sink
+
+// Emit forwards the event to every sink in order.
+func (t TeeSink) Emit(e Event) {
+	for _, s := range t {
+		s.Emit(e)
+	}
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLogAssignsSequenceNumbers(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 5; i++ {
+		l.Emit(Event{Op: OpRead})
+	}
+	evs := l.Events()
+	for i, e := range evs {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if l.Len() != 5 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+func TestLogConcurrentEmitters(t *testing.T) {
+	l := NewLog()
+	var wg sync.WaitGroup
+	const n = 50
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				l.Emit(Event{Op: OpWrite, Rank: g})
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := l.Events()
+	if len(evs) != 8*n {
+		t.Fatalf("events = %d", len(evs))
+	}
+	seen := map[uint64]bool{}
+	for _, e := range evs {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestLogEventsIsSnapshot(t *testing.T) {
+	l := NewLog()
+	l.Emit(Event{Op: OpRead})
+	snap := l.Events()
+	l.Emit(Event{Op: OpWrite})
+	if len(snap) != 1 {
+		t.Fatalf("snapshot mutated: %d", len(snap))
+	}
+}
+
+func TestLogCallsFiltersRecords(t *testing.T) {
+	l := NewLog()
+	l.Emit(Event{Op: OpWrite})
+	l.Emit(Event{Op: OpMPICall, Call: &MPICall{Kind: CallSend}})
+	l.Emit(Event{Op: OpBarrier})
+	l.Emit(Event{Op: OpMPICall, Call: &MPICall{Kind: CallRecv}})
+	calls := l.Calls()
+	if len(calls) != 2 || calls[0].Call.Kind != CallSend || calls[1].Call.Kind != CallRecv {
+		t.Fatalf("calls = %v", calls)
+	}
+}
+
+func TestCountSink(t *testing.T) {
+	var s CountSink
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Emit(Event{})
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Count() != 400 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+func TestTeeSink(t *testing.T) {
+	a, b := NewLog(), NewLog()
+	tee := TeeSink{a, b}
+	tee.Emit(Event{Op: OpRead})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("tee delivered %d/%d", a.Len(), b.Len())
+	}
+}
+
+func TestMonitoredVarsChecklist(t *testing.T) {
+	vars := MonitoredVars()
+	want := []string{"srctmp", "tagtmp", "commtmp", "requesttmp", "collectivetmp", "finalizetmp"}
+	if len(vars) != len(want) {
+		t.Fatalf("checklist = %v", vars)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("checklist[%d] = %q, want %q", i, vars[i], want[i])
+		}
+	}
+}
+
+func TestCallKindClassification(t *testing.T) {
+	collectives := []CallKind{CallBarrier, CallBcast, CallReduce, CallAllreduce, CallGather, CallScatter, CallAlltoall}
+	for _, k := range collectives {
+		if !k.IsCollective() {
+			t.Errorf("%v should be collective", k)
+		}
+		if k.IsPointToPoint() {
+			t.Errorf("%v should not be p2p", k)
+		}
+	}
+	p2p := []CallKind{CallSend, CallRecv, CallIsend, CallIrecv}
+	for _, k := range p2p {
+		if !k.IsPointToPoint() {
+			t.Errorf("%v should be p2p", k)
+		}
+		if k.IsCollective() {
+			t.Errorf("%v should not be collective", k)
+		}
+	}
+	for _, k := range []CallKind{CallInit, CallFinalize, CallWait, CallProbe} {
+		if k.IsCollective() || k.IsPointToPoint() {
+			t.Errorf("%v misclassified", k)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if OpAcquire.String() != "Acquire" || OpMPICall.String() != "MPICall" {
+		t.Fatal("Op stringer broken")
+	}
+	if CallSend.String() != "MPI_Send" {
+		t.Fatalf("CallKind stringer: %q", CallSend.String())
+	}
+	if got := (Loc{Rank: 2, Name: "srctmp"}).String(); got != "p2:srctmp" {
+		t.Fatalf("Loc stringer: %q", got)
+	}
+	c := MPICall{Kind: CallRecv, Peer: 1, Tag: 9, Comm: 0, Request: -1, Line: 12}
+	if s := c.String(); !strings.Contains(s, "MPI_Recv") || !strings.Contains(s, "tag=9") {
+		t.Fatalf("MPICall stringer: %q", s)
+	}
+	events := []Event{
+		{Op: OpWrite, Rank: 1, TID: 0, Loc: Loc{Rank: 1, Name: "x"}},
+		{Op: OpAcquire, Rank: 0, TID: 1, Lock: LockID{Rank: 0, Name: "$critical:c"}},
+		{Op: OpMPICall, Call: &c},
+		{Op: OpBarrier, Sync: SyncID{Rank: 0, Seq: 3}},
+	}
+	for _, e := range events {
+		if e.String() == "" {
+			t.Fatalf("empty event string for %+v", e)
+		}
+	}
+	// Out-of-range values should not panic.
+	_ = Op(99).String()
+	_ = CallKind(99).String()
+	_ = fmt.Sprint(events)
+}

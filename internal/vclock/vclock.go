@@ -1,0 +1,134 @@
+// Package vclock implements vector clocks for establishing the
+// happens-before partial order among events of concurrently executing
+// threads, in the style of Lamport's logical clocks generalized to
+// vectors (one component per thread).
+//
+// A vector clock maps a thread identity to the number of "epochs" that
+// thread has completed. Clock C1 happens-before clock C2 iff every
+// component of C1 is <= the corresponding component of C2 and the two
+// clocks differ. Two clocks neither of which happens-before the other
+// are concurrent; that is the condition the race detectors test.
+//
+// Thread identities are opaque int64 values so a single clock space can
+// span MPI ranks and OpenMP threads: callers typically encode
+// (rank, tid) pairs via a scheme of their choosing.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TID identifies a logical thread within a clock space.
+type TID int64
+
+// VC is a vector clock. The zero value is a valid clock with all
+// components zero. VC values are not safe for concurrent mutation;
+// callers synchronize externally (the detectors own their clocks).
+type VC map[TID]uint64
+
+// New returns an empty vector clock.
+func New() VC { return make(VC) }
+
+// Get returns the component for thread t (zero if absent).
+func (c VC) Get(t TID) uint64 { return c[t] }
+
+// Set assigns the component for thread t.
+func (c VC) Set(t TID, v uint64) { c[t] = v }
+
+// Tick increments the component for thread t and returns the new value.
+func (c VC) Tick(t TID) uint64 {
+	c[t]++
+	return c[t]
+}
+
+// Copy returns a deep copy of the clock.
+func (c VC) Copy() VC {
+	out := make(VC, len(c))
+	for t, v := range c {
+		out[t] = v
+	}
+	return out
+}
+
+// Join sets c to the component-wise maximum of c and other. It
+// implements the "receive" side of message-based clock propagation and
+// the merge performed at synchronization points (barriers, joins).
+func (c VC) Join(other VC) {
+	for t, v := range other {
+		if v > c[t] {
+			c[t] = v
+		}
+	}
+}
+
+// Leq reports whether c happens-before-or-equals other: every component
+// of c is <= the matching component of other.
+func (c VC) Leq(other VC) bool {
+	for t, v := range c {
+		if v == 0 {
+			continue
+		}
+		if v > other[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// HappensBefore reports whether c strictly happens-before other.
+func (c VC) HappensBefore(other VC) bool {
+	return c.Leq(other) && !other.Leq(c)
+}
+
+// Concurrent reports whether neither clock happens-before the other and
+// the clocks are not equal — i.e. the events they stamp are logically
+// simultaneous.
+func (c VC) Concurrent(other VC) bool {
+	return !c.Leq(other) && !other.Leq(c)
+}
+
+// Equal reports whether the two clocks have identical components
+// (treating absent components as zero).
+func (c VC) Equal(other VC) bool {
+	return c.Leq(other) && other.Leq(c)
+}
+
+// String renders the clock as {t1:v1, t2:v2, ...} with threads sorted,
+// for stable test output and diagnostics.
+func (c VC) String() string {
+	tids := make([]TID, 0, len(c))
+	for t, v := range c {
+		if v != 0 {
+			tids = append(tids, t)
+		}
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range tids {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d:%d", t, c[t])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Epoch is a compact (thread, value) pair: the last-write epoch of a
+// location. Many race detectors store an epoch per location and fall
+// back to full vectors only on contention (FastTrack); we keep the type
+// for that optimization in the detectors.
+type Epoch struct {
+	T TID
+	V uint64
+}
+
+// Leq reports whether the epoch happens-before-or-equals clock c —
+// i.e. c has already observed this write.
+func (e Epoch) Leq(c VC) bool { return e.V <= c[e.T] }
+
+// EpochOf extracts thread t's current epoch from clock c.
+func EpochOf(c VC, t TID) Epoch { return Epoch{T: t, V: c[t]} }

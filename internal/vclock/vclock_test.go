@@ -1,0 +1,198 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueLeqEverything(t *testing.T) {
+	var zero VC = New()
+	other := VC{1: 5, 2: 3}
+	if !zero.Leq(other) {
+		t.Fatalf("empty clock must be <= any clock")
+	}
+	if other.Leq(zero) {
+		t.Fatalf("nonzero clock must not be <= empty clock")
+	}
+}
+
+func TestTickAdvances(t *testing.T) {
+	c := New()
+	if got := c.Tick(7); got != 1 {
+		t.Fatalf("first tick = %d, want 1", got)
+	}
+	if got := c.Tick(7); got != 2 {
+		t.Fatalf("second tick = %d, want 2", got)
+	}
+	if c.Get(7) != 2 {
+		t.Fatalf("Get after ticks = %d, want 2", c.Get(7))
+	}
+	if c.Get(8) != 0 {
+		t.Fatalf("untouched component = %d, want 0", c.Get(8))
+	}
+}
+
+func TestHappensBeforeBasic(t *testing.T) {
+	a := VC{1: 1}
+	b := VC{1: 2}
+	if !a.HappensBefore(b) {
+		t.Fatalf("{1:1} should happen before {1:2}")
+	}
+	if b.HappensBefore(a) {
+		t.Fatalf("{1:2} should not happen before {1:1}")
+	}
+	if a.Concurrent(b) {
+		t.Fatalf("ordered clocks must not be concurrent")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	a := VC{1: 2, 2: 0}
+	b := VC{1: 1, 2: 1}
+	if !a.Concurrent(b) || !b.Concurrent(a) {
+		t.Fatalf("%v and %v should be concurrent", a, b)
+	}
+	if a.HappensBefore(b) || b.HappensBefore(a) {
+		t.Fatalf("concurrent clocks must not be ordered")
+	}
+}
+
+func TestJoinIsComponentwiseMax(t *testing.T) {
+	a := VC{1: 2, 2: 5}
+	b := VC{1: 7, 3: 1}
+	a.Join(b)
+	want := VC{1: 7, 2: 5, 3: 1}
+	if !a.Equal(want) {
+		t.Fatalf("join = %v, want %v", a, want)
+	}
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	a := VC{1: 1}
+	b := a.Copy()
+	b.Tick(1)
+	if a.Get(1) != 1 {
+		t.Fatalf("mutating copy changed original: %v", a)
+	}
+}
+
+func TestEpoch(t *testing.T) {
+	c := VC{3: 4}
+	e := EpochOf(c, 3)
+	if e.T != 3 || e.V != 4 {
+		t.Fatalf("EpochOf = %+v", e)
+	}
+	if !e.Leq(VC{3: 4}) || !e.Leq(VC{3: 9}) {
+		t.Fatalf("epoch should be <= clocks that observed it")
+	}
+	if e.Leq(VC{3: 3}) {
+		t.Fatalf("epoch should not be <= older clock")
+	}
+}
+
+func TestStringStable(t *testing.T) {
+	c := VC{5: 1, 2: 3, 9: 7}
+	const want = "{2:3, 5:1, 9:7}"
+	for i := 0; i < 10; i++ {
+		if got := c.String(); got != want {
+			t.Fatalf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+// randVC builds a small random clock for property tests.
+func randVC(r *rand.Rand) VC {
+	c := New()
+	n := r.Intn(5)
+	for i := 0; i < n; i++ {
+		c[TID(r.Intn(4))] = uint64(r.Intn(4))
+	}
+	return c
+}
+
+func TestPropLeqPartialOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	// Reflexivity, antisymmetry (up to Equal), transitivity.
+	f := func() bool {
+		a, b, c := randVC(r), randVC(r), randVC(r)
+		if !a.Leq(a) {
+			return false
+		}
+		if a.Leq(b) && b.Leq(a) && !a.Equal(b) {
+			return false
+		}
+		if a.Leq(b) && b.Leq(c) && !a.Leq(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropJoinIsLUB(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		a, b := randVC(r), randVC(r)
+		j := a.Copy()
+		j.Join(b)
+		// Upper bound.
+		if !a.Leq(j) || !b.Leq(j) {
+			return false
+		}
+		// Least: any other upper bound dominates the join.
+		u := a.Copy()
+		u.Join(b)
+		u.Join(randVC(r)) // arbitrary larger clock
+		return j.Leq(u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropJoinCommutativeIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		a, b := randVC(r), randVC(r)
+		ab := a.Copy()
+		ab.Join(b)
+		ba := b.Copy()
+		ba.Join(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		aa := a.Copy()
+		aa.Join(a)
+		return aa.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropExactlyOneRelation(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := func() bool {
+		a, b := randVC(r), randVC(r)
+		rel := 0
+		if a.Equal(b) {
+			rel++
+		}
+		if a.HappensBefore(b) {
+			rel++
+		}
+		if b.HappensBefore(a) {
+			rel++
+		}
+		if a.Concurrent(b) {
+			rel++
+		}
+		return rel == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}
