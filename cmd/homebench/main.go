@@ -10,9 +10,15 @@
 //	homebench -exp fig4|fig5|fig6|fig7
 //	homebench -exp ablation
 //	homebench -exp fig7 -class C      # heavier workload
+//	homebench -exp table1 -json out.json   # machine-readable results
+//
+// With -json, the experiments that ran are also written to the given
+// file as one JSON document, and every HOME run carries its runtime
+// statistics (see docs/OBSERVABILITY.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,12 +29,27 @@ import (
 	"home/internal/npb"
 )
 
+// output is the -json document: one field per experiment, populated
+// only for the experiments that ran.
+type output struct {
+	Class       string                  `json:"class"`
+	Seed        int64                   `json:"seed"`
+	Threads     int                     `json:"threads"`
+	Procs       []int                   `json:"procs"`
+	Table1      []harness.TableRow      `json:"table1,omitempty"`
+	Figures     []*harness.FigureSeries `json:"figures,omitempty"`
+	Figure7     []harness.OverheadPoint `json:"figure7,omitempty"`
+	Scalability []harness.ScalePoint    `json:"scalability,omitempty"`
+	Ablation    []harness.AblationPoint `json:"ablation,omitempty"`
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, table1, fig4, fig5, fig6, fig7, ablation, scale")
 	class := flag.String("class", "A", "workload class: S, W, A, B, C")
 	seed := flag.Int64("seed", 3, "simulation seed")
 	procsFlag := flag.String("procs", "2,4,8,16,32,64", "comma-separated process counts for the figures")
 	threads := flag.Int("threads", 2, "OpenMP threads per rank")
+	jsonOut := flag.String("json", "", "also write machine-readable results (with per-run stats) to this file")
 	flag.Parse()
 
 	var procs []int
@@ -41,11 +62,13 @@ func main() {
 		procs = append(procs, n)
 	}
 	cfg := harness.Config{
-		Class:   npb.Class((*class)[0]),
-		Seed:    *seed,
-		Procs:   procs,
-		Threads: *threads,
+		Class:        npb.Class((*class)[0]),
+		Seed:         *seed,
+		Procs:        procs,
+		Threads:      *threads,
+		CollectStats: *jsonOut != "",
 	}
+	out := output{Class: *class, Seed: *seed, Threads: *threads, Procs: procs}
 
 	run := func(name string, f func() error) {
 		// "scale" goes past 64 ranks and is opt-in.
@@ -63,6 +86,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		out.Table1 = rows
 		fmt.Println("== Table I: violations detected (6 injected per benchmark) ==")
 		fmt.Print(harness.RenderTable1(rows))
 		fmt.Println()
@@ -84,6 +108,7 @@ func main() {
 			if err != nil {
 				return err
 			}
+			out.Figures = append(out.Figures, fs)
 			fmt.Printf("== Figure %d: %s ==\n", fig.num, fig.bench)
 			fmt.Print(harness.RenderFigure(fs))
 			fmt.Println(harness.Chart(fs))
@@ -95,6 +120,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		out.Figure7 = pts
 		fmt.Println("== Figure 7: overhead ==")
 		fmt.Print(harness.RenderFigure7(pts))
 		fmt.Println(harness.OverheadChart(pts))
@@ -105,6 +131,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		out.Scalability = pts
 		fmt.Println("== Scalability: HOME beyond the paper's 64 processes ==")
 		fmt.Print(harness.RenderScalability(pts))
 		fmt.Println()
@@ -115,9 +142,31 @@ func main() {
 		if err != nil {
 			return err
 		}
+		out.Ablation = pts
 		fmt.Println("== Ablation: value of the static filter ==")
 		fmt.Print(harness.RenderAblation(pts))
 		fmt.Println()
 		return nil
 	})
+
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, &out); err != nil {
+			fmt.Fprintf(os.Stderr, "homebench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeJSON(path string, out *output) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -14,6 +14,10 @@
 //	homecheck -static app.c            # static phase only (plan + warnings)
 //	homecheck -cfg app.c               # dump the CFGs in Graphviz dot
 //	homecheck -all -procs 8 app.c      # disable the static filter
+//	homecheck -stats app.c             # print runtime counters
+//	homecheck -spans spans.json app.c  # phase spans as Chrome trace JSON
+//
+// See docs/OBSERVABILITY.md for the -stats and -spans output.
 package main
 
 import (

@@ -5,14 +5,16 @@
 //
 // Usage:
 //
-//	hometrace record [-procs N] [-all] program.c > trace.jsonl
+//	hometrace record [-procs N] [-all] [-spans out.json] program.c > trace.jsonl
 //	hometrace analyze [-mode combined|lockset|hb] [-ignore-locks] trace.jsonl
 //
 // record executes the program with HOME's instrumentation and writes
-// the event stream as newline-delimited JSON. analyze re-runs the
-// dynamic analyses and the specification matcher over a saved stream
-// — so one recorded execution can be examined under different
-// analysis configurations without re-running the program.
+// the event stream as newline-delimited JSON; -spans additionally
+// profiles the recorder's phases as Chrome trace_event JSON (see
+// docs/OBSERVABILITY.md). analyze re-runs the dynamic analyses and
+// the specification matcher over a saved stream — so one recorded
+// execution can be examined under different analysis configurations
+// without re-running the program.
 package main
 
 import (

@@ -44,6 +44,7 @@ import (
 	"home/internal/interp"
 	"home/internal/minic"
 	"home/internal/msgrace"
+	"home/internal/obs"
 	"home/internal/sim"
 	"home/internal/spec"
 	"home/internal/static"
@@ -68,7 +69,26 @@ type (
 	AnalysisMode = detect.Mode
 	// CostModel is the virtual-time cost model.
 	CostModel = sim.CostModel
+	// StatsRegistry collects per-run counters, gauges and histograms
+	// from every pipeline layer (see internal/obs and
+	// docs/OBSERVABILITY.md).
+	StatsRegistry = obs.Registry
+	// StatsSnapshot is a point-in-time view of a StatsRegistry.
+	StatsSnapshot = obs.Snapshot
+	// Profile records the pipeline's phase spans (wall and virtual
+	// durations), exportable as Chrome trace_event JSON.
+	Profile = obs.Profile
+	// Span is one completed pipeline phase.
+	Span = obs.Span
 )
+
+// NewStatsRegistry returns an empty per-run stats registry to pass in
+// Options.Stats.
+func NewStatsRegistry() *StatsRegistry { return obs.NewRegistry() }
+
+// NewProfile returns an empty phase-span profile to pass in
+// Options.Profile.
+func NewProfile() *Profile { return obs.NewProfile() }
 
 // Violation kinds (paper §III-A).
 const (
@@ -123,6 +143,15 @@ type Options struct {
 	Costs CostModel
 	// MaxSteps bounds interpreted statements (0 = default).
 	MaxSteps int64
+
+	// Stats, when non-nil, collects runtime counters from every layer
+	// of the run; Report.Stats carries the final snapshot. Use one
+	// registry per run.
+	Stats *StatsRegistry
+	// Profile, when non-nil, records a span per pipeline phase
+	// (parse, static, instrument, execute, analyze, match);
+	// Report.Spans carries the result.
+	Profile *Profile
 }
 
 // HOME's own probe costs (virtual ns). The wrapper write is a fixed
@@ -176,6 +205,13 @@ type Report struct {
 	RunErrors []error
 	// EventsAnalyzed counts instrumentation events processed.
 	EventsAnalyzed int
+
+	// Stats is the run's observability snapshot (nil unless
+	// Options.Stats was set).
+	Stats *StatsSnapshot
+	// Spans are the pipeline phase spans (nil unless Options.Profile
+	// was set).
+	Spans []Span
 }
 
 // HasViolation reports whether any violation of the given kind was
@@ -218,7 +254,9 @@ func Parse(src string) (*Program, error) { return minic.Parse(src) }
 
 // Check parses the source and runs the full HOME pipeline.
 func Check(src string, opts Options) (*Report, error) {
+	sp := opts.Profile.Start("parse")
 	prog, err := minic.Parse(src)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
@@ -238,11 +276,15 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 
 	// Phase 1: compile-time checking — front-end semantic validation
 	// followed by the instrumentation analysis.
+	sp := opts.Profile.Start("static")
 	diags := minic.CheckSemantics(prog, minic.DefaultSemaOptions())
+	sp.End()
+	sp = opts.Profile.Start("instrument")
 	plan := static.Analyze(prog, static.Options{
 		InstrumentAll:   opts.InstrumentAll,
 		Interprocedural: opts.Interprocedural,
 	})
+	sp.End()
 
 	// Phase 2: instrumented execution.
 	costs := opts.Costs
@@ -256,7 +298,8 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 	// execution); the log keeps the raw records the specification
 	// matcher needs afterwards.
 	log := trace.NewLog()
-	online := detect.NewOnline(detect.Options{Mode: opts.Mode})
+	online := detect.NewOnline(detect.Options{Mode: opts.Mode, Stats: opts.Stats})
+	sp = opts.Profile.Start("execute")
 	run := interp.Run(prog, interp.Config{
 		Procs:              opts.Procs,
 		Threads:            opts.Threads,
@@ -266,13 +309,24 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 		Instrument:         plan.Instrument,
 		Sink:               trace.TeeSink{log, online},
 		MaxSteps:           opts.MaxSteps,
+		Stats:              opts.Stats,
 	})
+	sp.SetVirtual(run.Makespan)
+	sp.End()
+	// The analyze span covers the report assembly; the per-event
+	// analysis itself ran online during execute, where its virtual
+	// cost (AnalysisNsPerEvent per event) is charged.
+	sp = opts.Profile.Start("analyze")
 	rep := online.Report()
+	sp.SetVirtual(int64(rep.EventsAnalyzed) * costs.AnalysisNsPerEvent)
+	sp.End()
 
 	// Phase 4: specification matching.
+	sp = opts.Profile.Start("match")
 	violations := spec.Match(log.Events(), rep)
+	sp.End()
 
-	return &Report{
+	report := &Report{
 		Plan:           plan,
 		Warnings:       plan.Warnings,
 		Diagnostics:    diags,
@@ -283,7 +337,13 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 		Output:         run.Output,
 		RunErrors:      run.Errs,
 		EventsAnalyzed: rep.EventsAnalyzed,
-	}, nil
+		Spans:          opts.Profile.Spans(),
+	}
+	if opts.Stats != nil {
+		snap := opts.Stats.Snapshot()
+		report.Stats = &snap
+	}
+	return report, nil
 }
 
 // RunBase executes the program uninstrumented and returns its virtual
@@ -302,6 +362,7 @@ func RunBase(prog *Program, opts Options) (*interp.Result, error) {
 		Costs:              opts.Costs,
 		EnforceThreadLevel: opts.EnforceThreadLevel,
 		MaxSteps:           opts.MaxSteps,
+		Stats:              opts.Stats,
 	})
 	return res, nil
 }

@@ -67,6 +67,11 @@ func (t Tool) String() string {
 	return "Tool(?)"
 }
 
+// MarshalText renders the tool name, so Tool appears as "HOME" rather
+// than an integer when experiment results are encoded as JSON (both
+// as a value and as a map key).
+func (t Tool) MarshalText() ([]byte, error) { return []byte(t.String()), nil }
+
 // Options configures a baseline run (mirrors home.Options).
 type Options struct {
 	Procs    int

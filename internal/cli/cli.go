@@ -9,16 +9,31 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"home"
 	"home/internal/cfg"
 	"home/internal/detect"
 	"home/internal/interp"
 	"home/internal/minic"
+	"home/internal/obs"
 	"home/internal/spec"
 	"home/internal/static"
 	"home/internal/trace"
 )
+
+// writeSpans serializes phase spans as Chrome trace_event JSON.
+func writeSpans(path string, spans []obs.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // parseMode maps the -mode flag value.
 func parseMode(mode string) (detect.Mode, bool) {
@@ -49,6 +64,8 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 	dumpCFG := fs.Bool("cfg", false, "print the control-flow graphs in dot syntax and exit")
 	races := fs.Bool("races", false, "also print the raw concurrency reports")
 	msgRaces := fs.Bool("msgrace", false, "also run the cross-rank message-race extension analysis")
+	stats := fs.Bool("stats", false, "print the run's observability counters (see docs/OBSERVABILITY.md)")
+	spansOut := fs.String("spans", "", "write pipeline phase spans as Chrome trace_event JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -78,6 +95,12 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	opts.Mode = m
+	if *stats {
+		opts.Stats = home.NewStatsRegistry()
+	}
+	if *spansOut != "" {
+		opts.Profile = home.NewProfile()
+	}
 
 	if *dumpCFG {
 		prog, err := minic.Parse(src)
@@ -118,6 +141,18 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 	if *races {
 		for _, r := range rep.Races {
 			fmt.Fprintln(stdout, "race:", r)
+		}
+	}
+	if rep.Stats != nil {
+		fmt.Fprintln(stdout, "runtime stats:")
+		for _, line := range strings.Split(strings.TrimRight(rep.Stats.String(), "\n"), "\n") {
+			fmt.Fprintln(stdout, "  "+line)
+		}
+	}
+	if *spansOut != "" {
+		if err := writeSpans(*spansOut, rep.Spans); err != nil {
+			fmt.Fprintln(stderr, "homecheck:", err)
+			return 2
 		}
 	}
 	failed := len(rep.Violations) > 0
@@ -265,7 +300,7 @@ func HomeTrace(args []string, stdout, stderr io.Writer) int {
 
 func traceUsage(stderr io.Writer) {
 	fmt.Fprintln(stderr, `usage:
-  hometrace record [-procs N] [-threads N] [-seed S] [-all] program.c > trace.jsonl
+  hometrace record [-procs N] [-threads N] [-seed S] [-all] [-spans out.json] program.c > trace.jsonl
   hometrace analyze [-mode combined|lockset|hb] [-ignore-locks] trace.jsonl`)
 }
 
@@ -276,6 +311,7 @@ func traceRecord(args []string, stdout, stderr io.Writer) int {
 	threads := fs.Int("threads", 2, "OpenMP threads per rank")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	all := fs.Bool("all", false, "instrument every MPI call")
+	spansOut := fs.String("spans", "", "write phase spans as Chrome trace_event JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -283,25 +319,48 @@ func traceRecord(args []string, stdout, stderr io.Writer) int {
 		traceUsage(stderr)
 		return 2
 	}
+	var prof *obs.Profile
+	if *spansOut != "" {
+		prof = obs.NewProfile()
+	}
 	srcBytes, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(stderr, "hometrace:", err)
 		return 2
 	}
+	sp := prof.Start("parse")
 	prog, err := minic.Parse(string(srcBytes))
+	sp.End()
 	if err != nil {
 		fmt.Fprintln(stderr, "hometrace:", err)
 		return 2
 	}
+	sp = prof.Start("static")
+	_ = minic.CheckSemantics(prog, minic.DefaultSemaOptions())
+	sp.End()
+	sp = prof.Start("instrument")
 	plan := static.Analyze(prog, static.Options{InstrumentAll: *all})
+	sp.End()
 	log := trace.NewLog()
+	sp = prof.Start("execute")
 	res := interp.Run(prog, interp.Config{
 		Procs: *procs, Threads: *threads, Seed: *seed,
 		Instrument: plan.Instrument, Sink: log,
 	})
-	if err := trace.WriteJSON(stdout, log.Events()); err != nil {
+	sp.SetVirtual(res.Makespan)
+	sp.End()
+	sp = prof.Start("write")
+	err = trace.WriteJSON(stdout, log.Events())
+	sp.End()
+	if err != nil {
 		fmt.Fprintln(stderr, "hometrace:", err)
 		return 2
+	}
+	if *spansOut != "" {
+		if err := writeSpans(*spansOut, prof.Spans()); err != nil {
+			fmt.Fprintln(stderr, "hometrace:", err)
+			return 2
+		}
 	}
 	fmt.Fprintf(stderr, "recorded %d events from %d ranks (deadlocked=%v)\n",
 		log.Len(), *procs, res.Deadlocked)

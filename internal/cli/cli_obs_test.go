@@ -1,0 +1,166 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestHomeCheckExitCodes is the contract table for homecheck's exit
+// status: 0 = clean, 1 = violations found, 2 = usage/parse errors.
+// The -stats rows pin that observability flags change output, never
+// the exit discipline.
+func TestHomeCheckExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args func(t *testing.T) []string
+		want int
+	}{
+		{"clean", func(t *testing.T) []string {
+			return []string{writeTemp(t, "clean.c", cleanSrc)}
+		}, 0},
+		{"clean with stats", func(t *testing.T) []string {
+			return []string{"-stats", writeTemp(t, "clean.c", cleanSrc)}
+		}, 0},
+		{"violations", func(t *testing.T) []string {
+			return []string{writeTemp(t, "buggy.c", buggySrc)}
+		}, 1},
+		{"violations with stats", func(t *testing.T) []string {
+			return []string{"-stats", writeTemp(t, "buggy.c", buggySrc)}
+		}, 1},
+		{"no arguments", func(t *testing.T) []string {
+			return nil
+		}, 2},
+		{"missing file", func(t *testing.T) []string {
+			return []string{"/nonexistent/x.c"}
+		}, 2},
+		{"missing file with stats", func(t *testing.T) []string {
+			return []string{"-stats", "/nonexistent/x.c"}
+		}, 2},
+		{"unknown flag", func(t *testing.T) []string {
+			return []string{"-no-such-flag", writeTemp(t, "clean.c", cleanSrc)}
+		}, 2},
+		{"bad mode", func(t *testing.T) []string {
+			return []string{"-mode", "bogus", writeTemp(t, "clean.c", cleanSrc)}
+		}, 2},
+		{"parse error", func(t *testing.T) []string {
+			return []string{writeTemp(t, "bad.c", "int main( {")}
+		}, 2},
+		{"unwritable spans file", func(t *testing.T) []string {
+			return []string{"-spans", "/nonexistent/dir/spans.json", writeTemp(t, "clean.c", cleanSrc)}
+		}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := HomeCheck(tc.args(t), &out, &errb); code != tc.want {
+				t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s",
+					code, tc.want, out.String(), errb.String())
+			}
+		})
+	}
+}
+
+// TestHomeCheckStatsBlock asserts the acceptance criterion: -stats
+// prints a non-empty block with at least mpi, omp, and detect
+// counters.
+func TestHomeCheckStatsBlock(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := HomeCheck([]string{"-stats", writeTemp(t, "buggy.c", buggySrc)}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "runtime stats:") {
+		t.Fatalf("no stats block in output:\n%s", s)
+	}
+	for _, want := range []string{"mpi.sends", "omp.parallel_regions", "detect.events", "interp.statements"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("stats block missing %q:\n%s", want, s)
+		}
+	}
+	// Without -stats the block must not appear.
+	out.Reset()
+	HomeCheck([]string{writeTemp(t, "buggy.c", buggySrc)}, &out, &errb)
+	if strings.Contains(out.String(), "runtime stats:") {
+		t.Fatal("stats block printed without -stats")
+	}
+}
+
+// chromeTraceFile is the subset of the trace_event format the tests
+// validate.
+type chromeTraceFile struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Args struct {
+			VirtualNs int64 `json:"virtualNs"`
+		} `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func readChromeTrace(t *testing.T, path string) chromeTraceFile {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct chromeTraceFile
+	if err := json.Unmarshal(data, &ct); err != nil {
+		t.Fatalf("spans file is not valid JSON: %v\n%s", err, data)
+	}
+	return ct
+}
+
+// TestHomeCheckSpansFile pins the acceptance criterion for the check
+// pipeline: one complete-event span per phase, in pipeline order.
+func TestHomeCheckSpansFile(t *testing.T) {
+	spansPath := filepath.Join(t.TempDir(), "spans.json")
+	var out, errb bytes.Buffer
+	code := HomeCheck([]string{"-spans", spansPath, writeTemp(t, "clean.c", cleanSrc)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb.String())
+	}
+	ct := readChromeTrace(t, spansPath)
+	var names []string
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("span %q has phase %q, want complete event \"X\"", ev.Name, ev.Ph)
+		}
+		names = append(names, ev.Name)
+	}
+	want := []string{"parse", "static", "instrument", "execute", "analyze", "match"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("span names = %v, want %v", names, want)
+	}
+	for _, ev := range ct.TraceEvents {
+		if ev.Name == "execute" && ev.Args.VirtualNs <= 0 {
+			t.Errorf("execute span has virtualNs = %d, want > 0", ev.Args.VirtualNs)
+		}
+	}
+}
+
+// TestHomeTraceRecordSpans covers the recorder's -spans flag.
+func TestHomeTraceRecordSpans(t *testing.T) {
+	spansPath := filepath.Join(t.TempDir(), "spans.json")
+	src := writeTemp(t, "buggy.c", buggySrc)
+	var out, errb bytes.Buffer
+	code := HomeTrace([]string{"record", "-procs", "2", "-spans", spansPath, src}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb.String())
+	}
+	ct := readChromeTrace(t, spansPath)
+	var names []string
+	for _, ev := range ct.TraceEvents {
+		names = append(names, ev.Name)
+	}
+	want := []string{"parse", "static", "instrument", "execute", "write"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("span names = %v, want %v", names, want)
+	}
+}

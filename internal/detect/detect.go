@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sort"
 
+	"home/internal/obs"
 	"home/internal/sim"
 	"home/internal/trace"
 	"home/internal/vclock"
@@ -80,6 +81,11 @@ type Options struct {
 	// DefaultMaxRaces); the spec matcher needs representatives, not
 	// every pair.
 	MaxRacesPerLoc int
+
+	// Stats, when non-nil, receives the analysis counters (events
+	// consumed, vector-clock comparisons, lockset sizes, candidate vs
+	// confirmed races).
+	Stats *obs.Registry
 }
 
 // Default history/report bounds.
@@ -189,12 +195,46 @@ type analyzer struct {
 	// per-location access history
 	history map[trace.Loc][]accessRec
 	races   map[trace.Loc][]Race
+
+	st analyzerStats
+}
+
+// analyzerStats caches the analysis's observability handles (all nil
+// when no registry is configured; see package obs).
+//
+// Stat names:
+//
+//	detect.events             events consumed by the analyses
+//	detect.vc_comparisons     FastTrack epoch-vs-clock tests performed
+//	detect.lockset_size       lockset size per access (histogram)
+//	detect.lockset_candidates access pairs the lockset analysis flagged
+//	detect.hb_candidates      access pairs happens-before found concurrent
+//	detect.confirmed_races    pairs the configured mode reported
+type analyzerStats struct {
+	events      *obs.Counter
+	vcCompares  *obs.Counter
+	locksetSize *obs.Histogram
+	lsCandid    *obs.Counter
+	hbCandid    *obs.Counter
+	confirmed   *obs.Counter
+}
+
+func newAnalyzerStats(reg *obs.Registry) analyzerStats {
+	return analyzerStats{
+		events:      reg.Counter("detect.events"),
+		vcCompares:  reg.Counter("detect.vc_comparisons"),
+		locksetSize: reg.Histogram("detect.lockset_size"),
+		lsCandid:    reg.Counter("detect.lockset_candidates"),
+		hbCandid:    reg.Counter("detect.hb_candidates"),
+		confirmed:   reg.Counter("detect.confirmed_races"),
+	}
 }
 
 // newAnalyzer builds the shared replay state (opts already defaulted).
 func newAnalyzer(opts Options) *analyzer {
 	return &analyzer{
 		opts:           opts,
+		st:             newAnalyzerStats(opts.Stats),
 		threads:        make(map[vclock.TID]*threadState),
 		forkClocks:     make(map[trace.SyncID]vclock.VC),
 		joinAccs:       make(map[trace.SyncID]vclock.VC),
@@ -269,6 +309,7 @@ func (a *analyzer) thread(rank, tid int) (*threadState, vclock.TID) {
 
 // step processes one event.
 func (a *analyzer) step(e trace.Event) {
+	a.st.events.Inc()
 	st, gid := a.thread(e.Rank, e.TID)
 	switch e.Op {
 	case trace.OpFork:
@@ -345,6 +386,7 @@ func (a *analyzer) access(e trace.Event, st *threadState, gid vclock.TID) {
 		locks: copyLocks(st.locks),
 		call:  e.Call,
 	}
+	a.st.locksetSize.Observe(int64(len(rec.locks)))
 	hist := a.history[e.Loc]
 	for i := range hist {
 		prev := &hist[i]
@@ -358,7 +400,14 @@ func (a *analyzer) access(e trace.Event, st *threadState, gid vclock.TID) {
 		// prev happened earlier in the log; it is ordered before the
 		// current access iff its epoch has been observed by the
 		// current thread's clock (FastTrack's epoch test).
+		a.st.vcCompares.Inc()
 		hbRace := !prev.epoch.Leq(st.clock)
+		if lsRace {
+			a.st.lsCandid.Inc()
+		}
+		if hbRace {
+			a.st.hbCandid.Inc()
+		}
 
 		reported := false
 		switch a.opts.Mode {
@@ -368,6 +417,9 @@ func (a *analyzer) access(e trace.Event, st *threadState, gid vclock.TID) {
 			reported = lsRace
 		case ModeHappensBeforeOnly:
 			reported = hbRace
+		}
+		if reported {
+			a.st.confirmed.Inc()
 		}
 		if reported && len(a.races[e.Loc]) < a.opts.MaxRacesPerLoc {
 			a.races[e.Loc] = append(a.races[e.Loc], Race{

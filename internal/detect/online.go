@@ -67,6 +67,7 @@ func (o *Online) Emit(e trace.Event) {
 
 	switch e.Op {
 	case trace.OpBarrier:
+		o.a.st.events.Inc()
 		merge, ok := o.a.barrierMerge[e.Sync]
 		if !ok {
 			merge = vclock.New()

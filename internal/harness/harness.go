@@ -43,6 +43,20 @@ type Config struct {
 	Seed int64
 	// Threads is OpenMP threads per rank (paper default 2).
 	Threads int
+	// CollectStats attaches a fresh obs registry to every HOME run and
+	// records its snapshot on the result (TimingPoint.Stats,
+	// ToolOutcome.Stats, ScalePoint.Stats) for machine-readable output.
+	CollectStats bool
+}
+
+// homeOptions builds the options for one HOME run, attaching a stats
+// registry when the config asks for per-run statistics.
+func (c Config) homeOptions(procs int) home.Options {
+	o := home.Options{Procs: procs, Threads: c.Threads, Seed: c.Seed}
+	if c.CollectStats {
+		o.Stats = home.NewStatsRegistry()
+	}
+	return o
 }
 
 func (c Config) withDefaults() Config {
@@ -63,22 +77,25 @@ func (c Config) withDefaults() Config {
 
 // ToolOutcome is one tool's result on one injected benchmark.
 type ToolOutcome struct {
-	Tool baseline.Tool
+	Tool baseline.Tool `json:"tool"`
 	// DetectedKinds lists which injected kinds were attributed at
 	// least one report.
-	DetectedKinds []spec.Kind
+	DetectedKinds []spec.Kind `json:"detectedKinds,omitempty"`
 	// FalsePositives counts reports outside every injected site.
-	FalsePositives int
+	FalsePositives int `json:"falsePositives"`
 	// Reported is the Table I cell: detected injections + false
 	// positives.
-	Reported int
+	Reported int `json:"reported"`
+	// Stats holds the HOME run's runtime statistics when
+	// Config.CollectStats is set (nil for other tools).
+	Stats *home.StatsSnapshot `json:"stats,omitempty"`
 }
 
 // TableRow is one benchmark's row of Table I.
 type TableRow struct {
-	Benchmark npb.Benchmark
-	Injected  int
-	Outcomes  map[baseline.Tool]ToolOutcome
+	Benchmark npb.Benchmark                 `json:"benchmark"`
+	Injected  int                           `json:"injected"`
+	Outcomes  map[baseline.Tool]ToolOutcome `json:"outcomes"`
 }
 
 // Table1 reproduces the detection-accuracy table.
@@ -101,13 +118,13 @@ func Table1(cfg Config) ([]TableRow, error) {
 		}
 
 		// HOME.
-		homeRep, err := home.CheckProgram(prog, home.Options{
-			Procs: cfg.TableProcs, Threads: cfg.Threads, Seed: cfg.Seed,
-		})
+		homeRep, err := home.CheckProgram(prog, cfg.homeOptions(cfg.TableProcs))
 		if err != nil {
 			return nil, err
 		}
-		row.Outcomes[baseline.ToolHOME] = scoreOutcome(baseline.ToolHOME, src, homeRep.Violations)
+		homeOut := scoreOutcome(baseline.ToolHOME, src, homeRep.Violations)
+		homeOut.Stats = homeRep.Stats
+		row.Outcomes[baseline.ToolHOME] = homeOut
 
 		// Marmot.
 		bopts := baseline.Options{Procs: cfg.TableProcs, Threads: cfg.Threads, Seed: cfg.Seed}
@@ -146,18 +163,21 @@ func scoreOutcome(tool baseline.Tool, src *npb.Source, violations []spec.Violati
 
 // TimingPoint is one (procs, tool) measurement.
 type TimingPoint struct {
-	Procs    int
-	Tool     baseline.Tool
-	Makespan int64 // virtual ns
+	Procs    int           `json:"procs"`
+	Tool     baseline.Tool `json:"tool"`
+	Makespan int64         `json:"makespanNs"` // virtual ns
 	// OverheadPct is relative to the Base run at the same proc count
 	// (0 for Base itself).
-	OverheadPct float64
+	OverheadPct float64 `json:"overheadPct"`
+	// Stats holds the HOME run's runtime statistics when
+	// Config.CollectStats is set (nil for other tools).
+	Stats *home.StatsSnapshot `json:"stats,omitempty"`
 }
 
 // FigureSeries is one benchmark's execution-time figure (Fig. 4/5/6).
 type FigureSeries struct {
-	Benchmark npb.Benchmark
-	Points    []TimingPoint // grouped by procs, ordered Base/HOME/Marmot/ITC
+	Benchmark npb.Benchmark `json:"benchmark"`
+	Points    []TimingPoint `json:"points"` // grouped by procs, ordered Base/HOME/Marmot/ITC
 }
 
 // toolsOrder is the presentation order of the figures.
@@ -184,11 +204,13 @@ func Figure(bench npb.Benchmark, cfg Config) (*FigureSeries, error) {
 		}
 		fs.Points = append(fs.Points, TimingPoint{Procs: procs, Tool: baseline.ToolBase, Makespan: base.Makespan})
 
-		homeRep, err := home.CheckProgram(prog, home.Options{Procs: procs, Threads: cfg.Threads, Seed: cfg.Seed})
+		homeRep, err := home.CheckProgram(prog, cfg.homeOptions(procs))
 		if err != nil {
 			return nil, err
 		}
-		fs.Points = append(fs.Points, point(procs, baseline.ToolHOME, homeRep.Makespan, base.Makespan))
+		homePt := point(procs, baseline.ToolHOME, homeRep.Makespan, base.Makespan)
+		homePt.Stats = homeRep.Stats
+		fs.Points = append(fs.Points, homePt)
 
 		bopts := baseline.Options{Procs: procs, Threads: cfg.Threads, Seed: cfg.Seed}
 		marmot := baseline.RunMarmot(prog, bopts)
@@ -226,9 +248,9 @@ func firstErr(errs []error) error {
 // OverheadPoint is one (procs, tool) average-overhead measurement
 // across the three benchmarks (Fig. 7).
 type OverheadPoint struct {
-	Procs       int
-	Tool        baseline.Tool
-	OverheadPct float64
+	Procs       int           `json:"procs"`
+	Tool        baseline.Tool `json:"tool"`
+	OverheadPct float64       `json:"overheadPct"`
 }
 
 // Figure7 computes the average overhead per tool and proc count over
@@ -268,13 +290,14 @@ func Figure7(cfg Config) ([]OverheadPoint, error) {
 
 // AblationPoint compares HOME with and without the static filter.
 type AblationPoint struct {
-	Procs                                         int
-	BaseNs                                        int64
-	FilteredNs                                    int64 // HOME (selective monitoring)
-	InstrumentAllNs                               int64 // HOME without the static filter
-	FilteredOverheadPct, InstrumentAllOverheadPct float64
-	SitesFiltered                                 int // instrumented sites with the filter
-	SitesAll                                      int // without
+	Procs                    int     `json:"procs"`
+	BaseNs                   int64   `json:"baseNs"`
+	FilteredNs               int64   `json:"filteredNs"`      // HOME (selective monitoring)
+	InstrumentAllNs          int64   `json:"instrumentAllNs"` // HOME without the static filter
+	FilteredOverheadPct      float64 `json:"filteredOverheadPct"`
+	InstrumentAllOverheadPct float64 `json:"instrumentAllOverheadPct"`
+	SitesFiltered            int     `json:"sitesFiltered"` // instrumented sites with the filter
+	SitesAll                 int     `json:"sitesAll"`      // without
 }
 
 // Ablation measures the value of the static phase (the design choice

@@ -19,12 +19,15 @@ import (
 
 // ScalePoint is one scalability measurement.
 type ScalePoint struct {
-	Procs          int
-	BaseNs         int64
-	HomeNs         int64
-	OverheadPct    float64
-	ViolationKinds int // distinct classes detected (expect 6)
-	Events         int
+	Procs          int     `json:"procs"`
+	BaseNs         int64   `json:"baseNs"`
+	HomeNs         int64   `json:"homeNs"`
+	OverheadPct    float64 `json:"overheadPct"`
+	ViolationKinds int     `json:"violationKinds"` // distinct classes detected (expect 6)
+	Events         int     `json:"events"`
+	// Stats holds the HOME run's runtime statistics when
+	// Config.CollectStats is set.
+	Stats *home.StatsSnapshot `json:"stats,omitempty"`
 }
 
 // Scalability runs the sweep on the BT workload (the heaviest) with
@@ -47,7 +50,7 @@ func Scalability(cfg Config, procs []int) ([]ScalePoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := home.CheckProgram(prog, home.Options{Procs: n, Threads: cfg.Threads, Seed: cfg.Seed})
+		rep, err := home.CheckProgram(prog, cfg.homeOptions(n))
 		if err != nil {
 			return nil, err
 		}
@@ -64,6 +67,7 @@ func Scalability(cfg Config, procs []int) ([]ScalePoint, error) {
 			OverheadPct:    overheadPct(rep.Makespan, base.Makespan),
 			ViolationKinds: len(kinds),
 			Events:         rep.EventsAnalyzed,
+			Stats:          rep.Stats,
 		})
 	}
 	return out, nil

@@ -30,6 +30,15 @@ func (tc *threadCtx) evalCall(c *minic.Call) (Value, error) {
 	return tc.callFunction(fn, args, c.Line)
 }
 
+// countCall tallies the builtin-call mix (interp.call.<Name>). The
+// nil check keeps stats-off runs free of the name concatenation.
+func (tc *threadCtx) countCall(name string) {
+	if tc.in.conf.Stats == nil {
+		return
+	}
+	tc.in.conf.Stats.Counter("interp.call." + name).Inc()
+}
+
 // ---- argument helpers ----
 
 // evalInt evaluates argument i as an integer.
@@ -242,14 +251,17 @@ func (tc *threadCtx) wrapRecord(c *minic.Call, rec *trace.MPICall) *trace.MPICal
 // name was recognized.
 func (tc *threadCtx) callBuiltin(c *minic.Call) (Value, bool, error) {
 	if strings.HasPrefix(c.Name, "MPI_") {
+		tc.countCall(c.Name)
 		v, err := tc.callMPI(c)
 		return v, true, err
 	}
 	if strings.HasPrefix(c.Name, "omp_") {
+		tc.countCall(c.Name)
 		v, err := tc.callOmpRuntime(c)
 		return v, true, err
 	}
 	if strings.HasPrefix(c.Name, "pthread_") {
+		tc.countCall(c.Name)
 		switch c.Name {
 		case "pthread_create":
 			v, err := tc.pthreadCreate(c)

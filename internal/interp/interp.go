@@ -26,6 +26,7 @@ import (
 
 	"home/internal/minic"
 	"home/internal/mpi"
+	"home/internal/obs"
 	"home/internal/omp"
 	"home/internal/sim"
 	"home/internal/trace"
@@ -63,6 +64,11 @@ type Config struct {
 	MaxSteps int64
 	// StmtCostNs is virtual time charged per interpreted statement.
 	StmtCostNs int64
+
+	// Stats, when non-nil, collects runtime counters from the
+	// interpreter and both substrates (statements executed,
+	// builtin-call mix, message/collective/lock activity).
+	Stats *obs.Registry
 }
 
 // DefaultMaxSteps bounds runaway programs.
@@ -166,6 +172,7 @@ func Run(prog *minic.Program, conf Config) *Result {
 		Seed:               conf.Seed,
 		Costs:              conf.Costs,
 		EnforceThreadLevel: conf.EnforceThreadLevel,
+		Stats:              conf.Stats,
 	})
 	out := &output{}
 	var steps int64
@@ -185,6 +192,7 @@ func Run(prog *minic.Program, conf Config) *Result {
 			maxStep: conf.MaxSteps,
 		}
 		in.rt.SetNumThreads(conf.Threads)
+		in.rt.SetStats(conf.Stats)
 		tc := &threadCtx{in: in, ctx: ctx, env: in.globals}
 		// Evaluate globals per process (each rank has its own memory).
 		for _, g := range prog.Globals {
@@ -199,6 +207,8 @@ func Run(prog *minic.Program, conf Config) *Result {
 		exitCodes[p.Rank()] = code.Int()
 		return nil
 	})
+
+	conf.Stats.Counter("interp.statements").Add(atomic.LoadInt64(&steps))
 
 	return &Result{
 		Makespan:   res.Makespan,

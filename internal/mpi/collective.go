@@ -132,6 +132,7 @@ func (p *Proc) arrive(ctx *sim.Ctx, comm CommID, kind collKind, root int, op Red
 				break
 			}
 		}
+		p.world.st.collectiveRounds.Inc()
 		release := inst.maxT + c.CollectiveBaseNs + c.CollectiveNsPerRank*sim.Log2Ceil(cs.size)
 		var newComm CommID
 		if kind == collCommDup {
@@ -152,15 +153,18 @@ func (p *Proc) arrive(ctx *sim.Ctx, comm CommID, kind collKind, root int, op Red
 	inst.waiters = append(inst.waiters, w)
 	cs.mu.Unlock()
 
-	dead, release := p.world.activity.BlockDesc(p.rank, ctx.TID,
-		fmt.Sprintf("MPI_%s on communicator %d (waiting for all ranks)", kind, int(comm)))
+	dead, release := p.world.activity.BlockOp(sim.BlockedOp{
+		Rank: p.rank, TID: ctx.TID, Op: "MPI_" + kind.String(),
+		Peer: sim.NoArg, Tag: sim.NoArg, Comm: int(comm),
+		Detail: fmt.Sprintf("MPI_%s on communicator %d (waiting for all ranks)", kind, int(comm)),
+	})
 	select {
 	case res := <-w.wake:
 		release()
 		ctx.SyncTo(res.release)
 		return res, nil
 	case <-dead:
-		return collResult{}, ErrDeadlock
+		return collResult{}, p.deadlockError()
 	}
 }
 

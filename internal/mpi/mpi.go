@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"sync"
 
+	"home/internal/obs"
 	"home/internal/sim"
 )
 
@@ -113,6 +114,10 @@ type Config struct {
 	// MPI implementations may. When false the runtime always behaves
 	// as MPI_THREAD_MULTIPLE.
 	EnforceThreadLevel bool
+
+	// Stats, when non-nil, receives the runtime's counters and
+	// watermarks (message matching, bytes moved, queue depth, ...).
+	Stats *obs.Registry
 }
 
 // World is one simulated cluster run: a set of ranks sharing
@@ -123,6 +128,7 @@ type World struct {
 	procs    []*Proc
 	activity *sim.Activity
 	keeper   *sim.TimeKeeper
+	st       worldStats
 
 	mu       sync.Mutex
 	comms    map[CommID]*commState
@@ -144,6 +150,7 @@ func NewWorld(cfg Config) *World {
 		costs:    costs,
 		activity: sim.NewActivity(),
 		keeper:   &sim.TimeKeeper{},
+		st:       newWorldStats(cfg.Stats),
 		comms:    make(map[CommID]*commState),
 		nextComm: CommWorld + 1,
 	}
@@ -210,6 +217,10 @@ type RunResult struct {
 	// BlockedOps describes, when Deadlocked, what every stuck thread
 	// was waiting for (the wait-for snapshot of the deadlock report).
 	BlockedOps []string
+
+	// BlockedTable is the structured form of BlockedOps: per blocked
+	// thread, the operation's kind, peer, tag and communicator.
+	BlockedTable []sim.BlockedOp
 }
 
 // FirstError returns the first non-nil per-rank error, or nil.
@@ -249,6 +260,8 @@ func (w *World) Run(body func(p *Proc, ctx *sim.Ctx) error) *RunResult {
 	res.Deadlocked = w.activity.Deadlocked()
 	if res.Deadlocked {
 		res.BlockedOps = w.activity.StuckOps()
+		res.BlockedTable = w.activity.StuckTable()
+		w.st.blockedOps.Observe(int64(len(res.BlockedTable)))
 	}
 	return res
 }

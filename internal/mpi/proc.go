@@ -185,7 +185,7 @@ func (p *Proc) hangForever(ctx *sim.Ctx) error {
 	dead, _ := p.world.activity.BlockDesc(p.rank, ctx.TID,
 		"an MPI call issued from a non-main thread under "+ThreadLevelName(p.ThreadLevel())+" (undefined behaviour)")
 	<-dead
-	return ErrDeadlock
+	return p.deadlockError()
 }
 
 // matches reports whether message m satisfies a (src, tag, comm)
@@ -212,6 +212,7 @@ func (p *Proc) deliverLocked(m *Message) {
 	kept := p.probes[:0]
 	for _, pr := range p.probes {
 		if matches(m, pr.src, pr.tag, pr.comm) {
+			p.world.st.probesMatched.Inc()
 			p.world.activity.Unblock()
 			pr.wake <- m
 		} else {
@@ -224,6 +225,7 @@ func (p *Proc) deliverLocked(m *Message) {
 	for i, r := range p.recvs {
 		if matches(m, r.src, r.tag, r.comm) {
 			p.recvs = append(p.recvs[:i], p.recvs[i+1:]...)
+			p.world.st.msgsMatched.Inc()
 			r.req.done = true
 			r.req.msg = m
 			if r.req.waiting {
@@ -235,6 +237,7 @@ func (p *Proc) deliverLocked(m *Message) {
 		}
 	}
 	p.queue = append(p.queue, m)
+	p.world.st.queueHWM.Observe(int64(len(p.queue)))
 }
 
 // Send performs a blocking standard-mode send. The simulator's sends
@@ -259,6 +262,8 @@ func (p *Proc) Send(ctx *sim.Ctx, data []float64, dest, tag int, comm CommID) er
 	}
 	c := p.world.costs
 	ctx.Advance(c.MPICallNs)
+	p.world.st.sends.Inc()
+	p.world.st.bytesMoved.Add(int64(len(data) * 8))
 	payload := make([]float64, len(data))
 	copy(payload, data)
 	m := &Message{
@@ -301,6 +306,9 @@ func (p *Proc) Irecv(ctx *sim.Ctx, source, tag int, comm CommID) (*Request, erro
 		return nil, err
 	}
 	ctx.Advance(p.world.costs.MPICallNs)
+	if source == AnySource || tag == AnyTag {
+		p.world.st.wildcardRecvs.Inc()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.nextReq++
@@ -309,6 +317,7 @@ func (p *Proc) Irecv(ctx *sim.Ctx, source, tag int, comm CommID) (*Request, erro
 	for i, m := range p.queue {
 		if matches(m, source, tag, comm) {
 			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			p.world.st.msgsMatched.Inc()
 			req.done = true
 			req.msg = m
 			return req, nil
@@ -335,10 +344,22 @@ func (p *Proc) Wait(ctx *sim.Ctx, req *Request) (Status, error) {
 		return finishRecv(ctx, req, msg), nil
 	}
 	req.waiting = true
+	// The pending receive carries the request's selector; report it in
+	// the wait-for table.
+	op := sim.BlockedOp{
+		Rank: p.rank, TID: ctx.TID, Op: "MPI_Wait",
+		Peer: sim.NoArg, Tag: sim.NoArg, Comm: sim.NoArg,
+		Detail: fmt.Sprintf("MPI_Wait on request #%d (incomplete receive)", req.ID),
+	}
+	for _, r := range p.recvs {
+		if r.req == req {
+			op.Peer, op.Tag, op.Comm = r.src, r.tag, int(r.comm)
+			break
+		}
+	}
 	p.mu.Unlock()
 
-	dead, release := p.world.activity.BlockDesc(p.rank, ctx.TID,
-		fmt.Sprintf("MPI_Wait on request #%d (incomplete receive)", req.ID))
+	dead, release := p.world.activity.BlockOp(op)
 	select {
 	case <-req.wake:
 		release()
@@ -347,7 +368,7 @@ func (p *Proc) Wait(ctx *sim.Ctx, req *Request) (Status, error) {
 		p.mu.Unlock()
 		return finishRecv(ctx, req, msg), nil
 	case <-dead:
-		return Status{}, ErrDeadlock
+		return Status{}, p.deadlockError()
 	}
 }
 
@@ -432,15 +453,18 @@ func (p *Proc) Probe(ctx *sim.Ctx, source, tag int, comm CommID) (Status, error)
 	p.probes = append(p.probes, pr)
 	p.mu.Unlock()
 
-	dead, release := p.world.activity.BlockDesc(p.rank, ctx.TID,
-		fmt.Sprintf("MPI_Probe(source=%d, tag=%d, comm=%d)", source, tag, int(comm)))
+	dead, release := p.world.activity.BlockOp(sim.BlockedOp{
+		Rank: p.rank, TID: ctx.TID, Op: "MPI_Probe",
+		Peer: source, Tag: tag, Comm: int(comm),
+		Detail: fmt.Sprintf("MPI_Probe(source=%d, tag=%d, comm=%d)", source, tag, int(comm)),
+	})
 	select {
 	case m := <-pr.wake:
 		release()
 		ctx.SyncTo(m.Arrival)
 		return Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
 	case <-dead:
-		return Status{}, ErrDeadlock
+		return Status{}, p.deadlockError()
 	}
 }
 

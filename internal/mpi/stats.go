@@ -1,0 +1,44 @@
+package mpi
+
+import "home/internal/obs"
+
+// worldStats caches the runtime's observability handles so the hot
+// paths (message delivery, collective completion) pay one pointer
+// indirection per hook — and, with stats disabled, a nil-receiver
+// no-op call.
+//
+// Stat names (see docs/OBSERVABILITY.md):
+//
+//	mpi.sends                 point-to-point messages sent
+//	mpi.bytes_moved           payload bytes of those messages
+//	mpi.msgs_matched          receives satisfied by a message
+//	mpi.probes_matched        probes satisfied by a message
+//	mpi.wildcard_recvs        receives posted with ANY_SOURCE/ANY_TAG
+//	mpi.collective_rounds     completed collective instances
+//	mpi.unexpected_queue_hwm  unexpected-queue length high-water mark
+//	mpi.watchdog_blocked_ops  wait-for table size when the watchdog trips
+type worldStats struct {
+	sends            *obs.Counter
+	bytesMoved       *obs.Counter
+	msgsMatched      *obs.Counter
+	probesMatched    *obs.Counter
+	wildcardRecvs    *obs.Counter
+	collectiveRounds *obs.Counter
+	queueHWM         *obs.Gauge
+	blockedOps       *obs.Gauge
+}
+
+// newWorldStats resolves the handles; a nil registry yields nil
+// handles throughout (all hooks become no-ops).
+func newWorldStats(reg *obs.Registry) worldStats {
+	return worldStats{
+		sends:            reg.Counter("mpi.sends"),
+		bytesMoved:       reg.Counter("mpi.bytes_moved"),
+		msgsMatched:      reg.Counter("mpi.msgs_matched"),
+		probesMatched:    reg.Counter("mpi.probes_matched"),
+		wildcardRecvs:    reg.Counter("mpi.wildcard_recvs"),
+		collectiveRounds: reg.Counter("mpi.collective_rounds"),
+		queueHWM:         reg.Gauge("mpi.unexpected_queue_hwm"),
+		blockedOps:       reg.Gauge("mpi.watchdog_blocked_ops"),
+	}
+}

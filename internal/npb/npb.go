@@ -53,6 +53,9 @@ func (b Benchmark) String() string {
 	return fmt.Sprintf("Benchmark(%d)", int(b))
 }
 
+// MarshalText renders the benchmark name ("LU-MZ") in JSON output.
+func (b Benchmark) MarshalText() ([]byte, error) { return []byte(b.String()), nil }
+
 // All lists the three benchmarks.
 func All() []Benchmark { return []Benchmark{LU, BT, SP} }
 

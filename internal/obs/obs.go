@@ -1,0 +1,304 @@
+// Package obs is the per-run observability layer of the HOME
+// pipeline: counters, gauges and histograms collected in a Registry,
+// plus wall/virtual-time phase spans (span.go) exportable as Chrome
+// trace_event JSON.
+//
+// Design constraints, in order:
+//
+//   - Per-run, no globals. A Registry belongs to one Check (or one
+//     experiment run); two concurrent runs never share state.
+//   - Nil is off. Every handle method and Registry method is safe on a
+//     nil receiver and does nothing, so the substrate packages
+//     (mpi/omp/interp/detect) instrument unconditionally and a run
+//     without a Registry pays a nil check per hook, nothing more.
+//   - Deterministic output. Snapshots render in sorted name order, and
+//     none of the collected values involves wall-clock time — virtual
+//     time, counts and sizes only — so identical seeds produce
+//     identical snapshots wherever the underlying quantity is itself
+//     schedule-independent.
+//
+// See docs/OBSERVABILITY.md for the stat-name inventory.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing sum. The zero value is not
+// usable; obtain handles from a Registry. A nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current sum (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge tracks a high-water mark: Observe keeps the maximum value
+// seen. A nil *Gauge is a no-op.
+type Gauge struct {
+	max atomic.Int64
+}
+
+// Observe records v, retaining it if it exceeds the current maximum.
+func (g *Gauge) Observe(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.max.Load()
+		if v <= cur || g.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the maximum observed (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// Histogram aggregates a distribution of non-negative values into
+// power-of-two buckets (bucket i counts values v with bits.Len64(v)
+// == i, i.e. 0, 1, 2-3, 4-7, ...). It keeps count, sum, min and max
+// exactly; buckets give the shape. A nil *Histogram is a no-op.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+	buckets [65]int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(uint64(v))]++
+	h.mu.Unlock()
+}
+
+// Stat returns the histogram's aggregate view.
+func (h *Histogram) Stat() HistogramStat {
+	if h == nil {
+		return HistogramStat{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+}
+
+// HistogramStat is the exported aggregate of a Histogram.
+type HistogramStat struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (s HistogramStat) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Registry vends named counters, gauges and histograms for one run.
+// Handles are created on first use; asking for the same name twice
+// returns the same handle. All methods are safe on a nil *Registry
+// (they return nil handles, whose methods are no-ops).
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty per-run registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Add is shorthand for Counter(name).Add(d).
+func (r *Registry) Add(name string, d int64) { r.Counter(name).Add(d) }
+
+// Snapshot captures the registry's current values. Maps are freshly
+// allocated; the snapshot does not change as the run continues.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramStat{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counts {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Stat()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time view of a Registry, JSON-serializable
+// for the harness and renderable for the CLI.
+type Snapshot struct {
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]int64         `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStat `json:"histograms,omitempty"`
+}
+
+// Get returns the named counter value (0 when absent) — a test and
+// report convenience.
+func (s Snapshot) Get(name string) int64 { return s.Counters[name] }
+
+// Equal reports whether two snapshots carry identical values — the
+// determinism check.
+func (s Snapshot) Equal(o Snapshot) bool {
+	if len(s.Counters) != len(o.Counters) || len(s.Gauges) != len(o.Gauges) ||
+		len(s.Histograms) != len(o.Histograms) {
+		return false
+	}
+	for k, v := range s.Counters {
+		if o.Counters[k] != v {
+			return false
+		}
+	}
+	for k, v := range s.Gauges {
+		if o.Gauges[k] != v {
+			return false
+		}
+	}
+	for k, v := range s.Histograms {
+		if o.Histograms[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the snapshot as sorted "name value" lines grouped by
+// kind, suitable for the homecheck -stats block.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "%-36s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "%-36s %d (max)\n", name, s.Gauges[name])
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "%-36s count=%d sum=%d min=%d max=%d mean=%.1f\n",
+			name, h.Count, h.Sum, h.Min, h.Max, h.Mean())
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one completed pipeline phase: its host (wall-clock)
+// duration and, where the phase executes simulated work, the virtual
+// time it covered. StartWallNs is relative to the profile's creation
+// so serialized spans carry no absolute timestamps.
+type Span struct {
+	Name        string `json:"name"`
+	StartWallNs int64  `json:"startWallNs"`
+	WallNs      int64  `json:"wallNs"`
+	VirtualNs   int64  `json:"virtualNs,omitempty"`
+}
+
+// Profile collects the phase spans of one run. A nil *Profile is a
+// no-op, mirroring the Registry convention: pipeline code starts and
+// ends spans unconditionally.
+type Profile struct {
+	mu    sync.Mutex
+	t0    time.Time
+	spans []Span
+}
+
+// NewProfile returns an empty profile anchored at the current time.
+func NewProfile() *Profile {
+	return &Profile{t0: time.Now()}
+}
+
+// ActiveSpan is a started, not-yet-ended span.
+type ActiveSpan struct {
+	p       *Profile
+	name    string
+	start   time.Time
+	virtual int64
+}
+
+// Start opens a span; call End to record it. Returns nil (a no-op
+// span) on a nil profile.
+func (p *Profile) Start(name string) *ActiveSpan {
+	if p == nil {
+		return nil
+	}
+	return &ActiveSpan{p: p, name: name, start: time.Now()}
+}
+
+// SetVirtual attaches the virtual-time duration the phase covered.
+func (s *ActiveSpan) SetVirtual(ns int64) {
+	if s == nil {
+		return
+	}
+	s.virtual = ns
+}
+
+// End records the span into its profile.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.p.mu.Lock()
+	s.p.spans = append(s.p.spans, Span{
+		Name:        s.name,
+		StartWallNs: s.start.Sub(s.p.t0).Nanoseconds(),
+		WallNs:      now.Sub(s.start).Nanoseconds(),
+		VirtualNs:   s.virtual,
+	})
+	s.p.mu.Unlock()
+}
+
+// Spans returns the completed spans in recording order.
+func (p *Profile) Spans() []Span {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Span, len(p.spans))
+	copy(out, p.spans)
+	return out
+}
+
+// Chrome trace_event wire format: a JSON object with a traceEvents
+// array of complete ("ph":"X") events, timestamps and durations in
+// microseconds. chrome://tracing and Perfetto both open it directly.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace serializes spans in Chrome trace_event JSON. The
+// virtual-time duration, when present, rides along in args so it is
+// visible in the trace viewer's selection panel.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	ct := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.StartWallNs) / 1e3,
+			Dur:  float64(s.WallNs) / 1e3,
+			Pid:  1,
+			Tid:  1,
+		}
+		if s.VirtualNs != 0 {
+			ev.Args = map[string]any{"virtualNs": s.VirtualNs}
+		}
+		ct.TraceEvents = append(ct.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ct)
+}
+
+// WriteChromeTrace writes the profile's spans (see the package-level
+// WriteChromeTrace).
+func (p *Profile) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, p.Spans())
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestProfileRecordsSpans(t *testing.T) {
+	p := NewProfile()
+	sp := p.Start("execute")
+	sp.SetVirtual(12345)
+	sp.End()
+	p.Start("match").End()
+
+	spans := p.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].Name != "execute" || spans[0].VirtualNs != 12345 {
+		t.Fatalf("span[0] = %+v", spans[0])
+	}
+	if spans[1].Name != "match" || spans[1].StartWallNs < spans[0].StartWallNs {
+		t.Fatalf("span[1] = %+v", spans[1])
+	}
+	if spans[0].WallNs < 0 {
+		t.Fatalf("negative wall duration: %+v", spans[0])
+	}
+}
+
+func TestNilProfileIsNoOp(t *testing.T) {
+	var p *Profile
+	sp := p.Start("anything")
+	sp.SetVirtual(1)
+	sp.End()
+	if p.Spans() != nil {
+		t.Fatal("nil profile must have no spans")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	spans := []Span{
+		{Name: "parse", StartWallNs: 0, WallNs: 1500},
+		{Name: "execute", StartWallNs: 2000, WallNs: 3_000_000, VirtualNs: 42},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Args struct {
+				VirtualNs int64 `json:"virtualNs"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 2 {
+		t.Fatalf("got %d events", len(parsed.TraceEvents))
+	}
+	ev := parsed.TraceEvents[1]
+	if ev.Name != "execute" || ev.Ph != "X" {
+		t.Fatalf("event = %+v", ev)
+	}
+	if ev.Ts != 2.0 || ev.Dur != 3000.0 {
+		t.Fatalf("ts/dur not in microseconds: ts=%v dur=%v", ev.Ts, ev.Dur)
+	}
+	if ev.Args.VirtualNs != 42 {
+		t.Fatalf("virtualNs = %d", ev.Args.VirtualNs)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := parsed["traceEvents"].([]any); !ok {
+		t.Fatalf("traceEvents must be an array even when empty: %s", buf.String())
+	}
+}

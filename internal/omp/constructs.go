@@ -62,6 +62,7 @@ func (m *Member) barrierAt(ord uint64) error {
 		}
 		delete(t.constructs, ord)
 		t.mu.Unlock()
+		t.rt.st.barrierWait.Observe(release - m.Ctx.Now)
 		m.Ctx.SyncTo(release)
 		return nil
 	}
@@ -73,6 +74,7 @@ func (m *Member) barrierAt(ord uint64) error {
 	select {
 	case release := <-wake:
 		done()
+		t.rt.st.barrierWait.Observe(release - m.Ctx.Now)
 		m.Ctx.SyncTo(release)
 		return nil
 	case <-dead:
@@ -244,6 +246,7 @@ func (rt *Runtime) lock(name string) *lockState {
 // acquire takes the lock, blocking with watchdog accounting, and
 // advances the member clock past the previous holder's release.
 func (m *Member) acquire(l *lockState, id trace.LockID) error {
+	m.team.rt.st.acquires.Inc()
 	l.mu.Lock()
 	if !l.held {
 		l.held = true
@@ -251,6 +254,7 @@ func (m *Member) acquire(l *lockState, id trace.LockID) error {
 		l.mu.Unlock()
 		m.Ctx.SyncTo(freeAt)
 	} else {
+		m.team.rt.st.contended.Inc()
 		wake := make(chan struct{}, 1)
 		l.waiters = append(l.waiters, wake)
 		l.mu.Unlock()

@@ -50,6 +50,7 @@ type Runtime struct {
 	activity *sim.Activity
 	seed     int64
 	rank     int
+	st       rtStats
 
 	mu         sync.Mutex
 	numThreads int
@@ -162,6 +163,7 @@ func (rt *Runtime) Parallel(ctx *sim.Ctx, n int, body func(m *Member) error) err
 		n = 1
 	}
 	defer atomic.AddInt32(&rt.depth, -1)
+	rt.st.regions.Inc()
 
 	t := &team{rt: rt, size: n, constructs: make(map[uint64]*constructState)}
 

@@ -33,13 +33,41 @@ type Activity struct {
 	// stuck describes each currently blocked operation, keyed by a
 	// registration token. Entries left behind when the latch trips
 	// form the wait-for snapshot of the deadlock report.
-	stuck   map[int64]string
+	stuck   map[int64]BlockedOp
 	nextTok int64
+}
+
+// BlockedOp describes one operation blocked inside the runtime: who
+// is waiting (rank, thread) and what for. Op/Peer/Tag/Comm carry the
+// structured MPI selector when the blocked call is an MPI operation
+// (NoArg for fields that do not apply); Detail is the human-readable
+// wait-for description every blocked site provides.
+type BlockedOp struct {
+	Rank int
+	TID  int
+	// Op names the blocked call ("MPI_Wait", "MPI_Probe", ...); empty
+	// for unstructured registrations (omp constructs).
+	Op   string
+	Peer int
+	Tag  int
+	Comm int
+	// Detail is the free-form wait-for description.
+	Detail string
+}
+
+// NoArg marks a BlockedOp selector field that does not apply to the
+// operation (e.g. the peer of a collective).
+const NoArg = -2
+
+// String renders the blocked operation in the established wait-for
+// report form.
+func (o BlockedOp) String() string {
+	return fmt.Sprintf("rank %d thread %d blocked in %s", o.Rank, o.TID, o.Detail)
 }
 
 // NewActivity returns an Activity with no registered threads.
 func NewActivity() *Activity {
-	return &Activity{dead: make(chan struct{}), stuck: make(map[int64]string)}
+	return &Activity{dead: make(chan struct{}), stuck: make(map[int64]BlockedOp)}
 }
 
 // AddThreads registers n newly started threads.
@@ -71,13 +99,20 @@ func (a *Activity) Block() <-chan struct{} {
 // deadlock trip leaves its entry in place so StuckOps can report what
 // everybody was waiting for.
 func (a *Activity) BlockDesc(rank, tid int, desc string) (<-chan struct{}, func()) {
+	return a.BlockOp(BlockedOp{Rank: rank, TID: tid, Peer: NoArg, Tag: NoArg, Comm: NoArg, Detail: desc})
+}
+
+// BlockOp is BlockDesc with a structured wait-for record, so deadlock
+// reports can tabulate the blocked call's kind, peer, tag and
+// communicator rather than just a description string.
+func (a *Activity) BlockOp(op BlockedOp) (<-chan struct{}, func()) {
 	a.mu.Lock()
 	a.blocked++
 	var release func()
-	if desc != "" {
+	if op.Detail != "" {
 		tok := a.nextTok
 		a.nextTok++
-		a.stuck[tok] = fmt.Sprintf("rank %d thread %d blocked in %s", rank, tid, desc)
+		a.stuck[tok] = op
 		release = func() {
 			a.mu.Lock()
 			delete(a.stuck, tok)
@@ -96,13 +131,33 @@ func (a *Activity) BlockDesc(rank, tid int, desc string) (<-chan struct{}, func(
 // when (or since) the deadlock latch tripped, sorted for stable
 // reports.
 func (a *Activity) StuckOps() []string {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make([]string, 0, len(a.stuck))
-	for _, s := range a.stuck {
-		out = append(out, s)
+	ops := a.StuckTable()
+	out := make([]string, 0, len(ops))
+	for _, op := range ops {
+		out = append(out, op.String())
 	}
 	sort.Strings(out)
+	return out
+}
+
+// StuckTable returns the structured wait-for snapshot, sorted by
+// (rank, tid) for stable reports.
+func (a *Activity) StuckTable() []BlockedOp {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]BlockedOp, 0, len(a.stuck))
+	for _, op := range a.stuck {
+		out = append(out, op)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		if out[i].TID != out[j].TID {
+			return out[i].TID < out[j].TID
+		}
+		return out[i].Detail < out[j].Detail
+	})
 	return out
 }
 

@@ -67,6 +67,9 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// MarshalText renders the kind name in JSON output.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
 // AllKinds lists the paper's six violation classes in declaration
 // order (the extension kinds are separate; see ExtensionKinds).
 func AllKinds() []Kind {

@@ -1,0 +1,183 @@
+package home
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"home/internal/mpi"
+)
+
+// TestCheckStatsPopulated is the ISSUE acceptance test: a hybrid run
+// with a Stats registry yields non-empty counters from every layer
+// (mpi, omp, detect, interp).
+func TestCheckStatsPopulated(t *testing.T) {
+	reg := NewStatsRegistry()
+	rep, err := Check(cleanHybrid, Options{Procs: 2, Seed: 1, Stats: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats == nil {
+		t.Fatal("Report.Stats is nil despite Options.Stats")
+	}
+	for _, name := range []string{
+		"mpi.sends", "mpi.bytes_moved", "mpi.msgs_matched", "mpi.collective_rounds",
+		"omp.parallel_regions",
+		"interp.statements",
+		"detect.events", "detect.vc_comparisons",
+	} {
+		if v := rep.Stats.Get(name); v <= 0 {
+			t.Errorf("counter %s = %d, want > 0\nstats:\n%s", name, v, rep.Stats.String())
+		}
+	}
+	// Builtin-call mix: the program issues sends, so the interpreter
+	// should have counted MPI_Send calls.
+	if v := rep.Stats.Get("interp.call.MPI_Send"); v <= 0 {
+		t.Errorf("interp.call.MPI_Send = %d, want > 0", v)
+	}
+	// No stats requested -> no snapshot, and the run still works.
+	rep2, err := Check(cleanHybrid, Options{Procs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Stats != nil {
+		t.Fatal("Report.Stats non-nil without Options.Stats")
+	}
+}
+
+// statsInvariantSrc is constructed so every statistic is fixed by the
+// program structure, not the host schedule: one rank sending to
+// itself sequentially, then a symmetric two-thread region where both
+// threads do identical critical/barrier work.
+const statsInvariantSrc = `
+int main() {
+  int provided;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &provided);
+  double buf[2];
+  MPI_Send(buf, 2, 0, 9, MPI_COMM_WORLD);
+  MPI_Recv(buf, 2, 0, 9, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  int sum = 0;
+  #pragma omp parallel num_threads(2)
+  {
+    #pragma omp critical
+    { sum = sum + 1; }
+    #pragma omp barrier
+    #pragma omp critical
+    { sum = sum + 1; }
+  }
+  MPI_Finalize();
+  return 0;
+}`
+
+// TestCheckStatsDeterministic is the ISSUE acceptance test: identical
+// seeds produce identical stats snapshots.
+func TestCheckStatsDeterministic(t *testing.T) {
+	run := func() StatsSnapshot {
+		t.Helper()
+		reg := NewStatsRegistry()
+		if _, err := Check(statsInvariantSrc, Options{Procs: 1, Threads: 2, Seed: 11, Stats: reg}); err != nil {
+			t.Fatal(err)
+		}
+		return reg.Snapshot()
+	}
+	first := run()
+	// Two threads each entering two critical sections.
+	if v := first.Get("omp.lock_acquires"); v != 4 {
+		t.Errorf("omp.lock_acquires = %d, want 4", v)
+	}
+	for i := 0; i < 4; i++ {
+		got := run()
+		if !first.Equal(got) {
+			t.Fatalf("run %d stats differ:\n--- first\n%s\n--- got\n%s", i+1, first.String(), got.String())
+		}
+	}
+}
+
+// TestCheckPhaseSpans is the ISSUE acceptance test for the profile:
+// one span per pipeline phase, and a valid Chrome trace export.
+func TestCheckPhaseSpans(t *testing.T) {
+	prof := NewProfile()
+	rep, err := Check(cleanHybrid, Options{Procs: 2, Seed: 1, Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, sp := range rep.Spans {
+		names = append(names, sp.Name)
+	}
+	want := "parse,static,instrument,execute,analyze,match"
+	if strings.Join(names, ",") != want {
+		t.Fatalf("spans = %v, want %s", names, want)
+	}
+	for _, sp := range rep.Spans {
+		if sp.Name == "execute" && sp.VirtualNs != rep.Makespan {
+			t.Errorf("execute span virtualNs = %d, want makespan %d", sp.VirtualNs, rep.Makespan)
+		}
+	}
+	var buf bytes.Buffer
+	if err := prof.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid Chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(rep.Spans) {
+		t.Fatalf("trace has %d events, want %d", len(doc.TraceEvents), len(rep.Spans))
+	}
+}
+
+// TestCheckDeadlockBlockedTable exercises the enriched deadlock error
+// end to end: the structured per-rank table must be retrievable with
+// errors.As from a deadlocking run.
+func TestCheckDeadlockBlockedTable(t *testing.T) {
+	const deadlockSrc = `
+int main() {
+  int provided;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &provided);
+  double buf[1];
+  MPI_Recv(buf, 1, MPI_ANY_SOURCE, 3, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  MPI_Finalize();
+  return 0;
+}`
+	prog, err := Parse(deadlockSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBase(prog, Options{Procs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatal("expected a deadlock")
+	}
+	var found bool
+	for _, e := range res.Errs {
+		var de *mpi.DeadlockError
+		if errors.As(e, &de) {
+			found = true
+			if len(de.Ops) == 0 {
+				t.Fatal("DeadlockError has empty blocked-op table")
+			}
+			// The blocking receive surfaces as the MPI_Wait it is
+			// implemented with, carrying the receive's selector.
+			op := de.Ops[0]
+			if op.Rank != 0 || op.Op != "MPI_Wait" {
+				t.Errorf("blocked op = %+v, want rank 0 in MPI_Wait", op)
+			}
+			if !strings.Contains(e.Error(), "MPI_ANY_SOURCE") {
+				t.Errorf("error text should render the wildcard source: %s", e.Error())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no DeadlockError among run errors: %v", res.Errs)
+	}
+}
