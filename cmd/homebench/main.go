@@ -10,6 +10,7 @@
 //	homebench -exp fig4|fig5|fig6|fig7
 //	homebench -exp ablation
 //	homebench -exp fig7 -class C      # heavier workload
+//	homebench -exp chaos              # fault-injection soak (docs/ROBUSTNESS.md)
 //	homebench -exp table1 -json out.json   # machine-readable results
 //
 // With -json, the experiments that ran are also written to the given
@@ -41,10 +42,11 @@ type output struct {
 	Figure7     []harness.OverheadPoint `json:"figure7,omitempty"`
 	Scalability []harness.ScalePoint    `json:"scalability,omitempty"`
 	Ablation    []harness.AblationPoint `json:"ablation,omitempty"`
+	Chaos       *harness.ChaosReport    `json:"chaos,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig4, fig5, fig6, fig7, ablation, scale")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig4, fig5, fig6, fig7, ablation, scale, chaos")
 	class := flag.String("class", "A", "workload class: S, W, A, B, C")
 	seed := flag.Int64("seed", 3, "simulation seed")
 	procsFlag := flag.String("procs", "2,4,8,16,32,64", "comma-separated process counts for the figures")
@@ -71,8 +73,9 @@ func main() {
 	out := output{Class: *class, Seed: *seed, Threads: *threads, Procs: procs}
 
 	run := func(name string, f func() error) {
-		// "scale" goes past 64 ranks and is opt-in.
-		if *exp != name && (*exp != "all" || name == "scale") {
+		// "scale" goes past 64 ranks and "chaos" injects faults; both
+		// are opt-in.
+		if *exp != name && (*exp != "all" || name == "scale" || name == "chaos") {
 			return
 		}
 		if err := f(); err != nil {
@@ -135,6 +138,20 @@ func main() {
 		fmt.Println("== Scalability: HOME beyond the paper's 64 processes ==")
 		fmt.Print(harness.RenderScalability(pts))
 		fmt.Println()
+		return nil
+	})
+	run("chaos", func() error {
+		rep, err := harness.ChaosSoak(cfg, nil)
+		if err != nil {
+			return err
+		}
+		out.Chaos = rep
+		fmt.Println("== Chaos soak: seeded fault plans over the violation corpus ==")
+		fmt.Print(harness.RenderChaos(rep))
+		fmt.Println()
+		if !rep.OK() {
+			return fmt.Errorf("chaos contract failed (%d violations)", len(rep.Failures))
+		}
 		return nil
 	})
 	run("ablation", func() error {

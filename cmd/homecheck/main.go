@@ -16,8 +16,11 @@
 //	homecheck -all -procs 8 app.c      # disable the static filter
 //	homecheck -stats app.c             # print runtime counters
 //	homecheck -spans spans.json app.c  # phase spans as Chrome trace JSON
+//	homecheck -chaos seed=3 app.c      # check under injected fault schedules
+//	homecheck -chaos seed=3,crash=1@5 app.c   # crash-stop rank 1 at its 5th call
 //
-// See docs/OBSERVABILITY.md for the -stats and -spans output.
+// See docs/OBSERVABILITY.md for the -stats and -spans output and
+// docs/ROBUSTNESS.md for the -chaos plan syntax.
 package main
 
 import (

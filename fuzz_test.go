@@ -1,0 +1,96 @@
+package home
+
+import (
+	"errors"
+	"testing"
+
+	"home/internal/faults"
+	"home/internal/interp"
+	"home/internal/mpi"
+	"home/internal/omp"
+)
+
+// FuzzCheck drives the whole pipeline — parser, static analysis,
+// instrumented execution on the simulated cluster, dynamic analyses,
+// spec matching — on arbitrary source text with a chaos plan derived
+// from the fuzzed seed. The contract under test is the robustness
+// contract of docs/ROBUSTNESS.md: Check never panics, and every error
+// it surfaces (returned or per-rank) is one of the documented typed
+// errors.
+func FuzzCheck(f *testing.F) {
+	for _, kind := range AllViolationKinds() {
+		f.Add(faults.Program(kind), int64(1))
+	}
+	f.Add(cleanHybrid, int64(3))
+	f.Add(`int main() { MPI_Init(); MPI_Finalize(); return 0; }`, int64(0))
+	f.Add(`int main() {
+  int provided;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &provided);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  double b[1];
+  if (rank == 0) { MPI_Recv(b, 1, 1, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE); }
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}`, int64(7)) // deadlocks: rank 0 receives a message nobody sends
+	f.Add(`int x = ; #pragma omp`, int64(2)) // parse garbage
+	f.Add(`int main() { while (1) { } return 0; }`, int64(5))
+
+	f.Fuzz(func(t *testing.T, src string, seed int64) {
+		opts := Options{
+			Procs:         2,
+			Threads:       2,
+			Seed:          1,
+			MaxSteps:      20_000,
+			MaxArrayElems: 1 << 12,
+		}
+		if seed != 0 {
+			if seed%3 == 0 {
+				opts.Chaos = ChaosCrash(seed, int(seed)%opts.Procs, 2)
+			} else {
+				opts.Chaos = ChaosPerturb(seed)
+			}
+		}
+		rep, err := Check(src, opts)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Check returned an undocumented error type %T: %v", err, err)
+			}
+			return
+		}
+		if rep == nil {
+			t.Fatal("Check returned neither report nor error")
+		}
+		for rank, rerr := range rep.RunErrors {
+			if rerr != nil && !documentedRunError(rerr) {
+				t.Fatalf("rank %d surfaced an undocumented error type %T: %v", rank, rerr, rerr)
+			}
+		}
+	})
+}
+
+// documentedRunError reports whether a per-rank error from a Check run
+// belongs to the documented inventory (docs/ROBUSTNESS.md).
+func documentedRunError(err error) bool {
+	var runtimeErr *interp.RuntimeError
+	var rankErr *mpi.RankFailureError
+	switch {
+	case errors.As(err, &runtimeErr),
+		errors.As(err, &rankErr),
+		errors.Is(err, interp.ErrStepBudget),
+		errors.Is(err, mpi.ErrDeadlock),
+		errors.Is(err, mpi.ErrRankFailed),
+		errors.Is(err, mpi.ErrNotInitialized),
+		errors.Is(err, mpi.ErrFinalized),
+		errors.Is(err, mpi.ErrInvalidRank),
+		errors.Is(err, mpi.ErrInvalidComm),
+		errors.Is(err, mpi.ErrRequestReused),
+		errors.Is(err, mpi.ErrDoubleInit),
+		errors.Is(err, mpi.ErrWindowBounds),
+		errors.Is(err, omp.ErrDeadlock),
+		errors.Is(err, omp.ErrRankAborted):
+		return true
+	}
+	return false
+}

@@ -40,6 +40,7 @@ package home
 import (
 	"fmt"
 
+	"home/internal/chaos"
 	"home/internal/detect"
 	"home/internal/interp"
 	"home/internal/minic"
@@ -80,7 +81,24 @@ type (
 	Profile = obs.Profile
 	// Span is one completed pipeline phase.
 	Span = obs.Span
+	// ChaosPlan is a deterministic fault-injection plan for the
+	// simulated cluster (see internal/chaos and docs/ROBUSTNESS.md).
+	ChaosPlan = chaos.Plan
 )
+
+// ChaosPerturb returns the default legal-perturbation chaos plan for a
+// seed: message delays, queue reordering, transient send failures,
+// sender jitter and short thread stalls — no crash. Verdicts must be
+// stable under it.
+func ChaosPerturb(seed int64) *ChaosPlan { return chaos.Perturb(seed) }
+
+// ChaosCrash returns the perturbation plan plus a crash-stop of the
+// given rank after its n-th MPI call; the resulting Report is partial.
+func ChaosCrash(seed int64, rank int, n int64) *ChaosPlan { return chaos.Crash(seed, rank, n) }
+
+// ParseChaosSpec parses the CLI -chaos specification syntax (e.g.
+// "seed=3", "delay=0.5,crash=1@10") into a plan.
+func ParseChaosSpec(spec string) (*ChaosPlan, error) { return chaos.ParseSpec(spec) }
 
 // NewStatsRegistry returns an empty per-run stats registry to pass in
 // Options.Stats.
@@ -143,6 +161,18 @@ type Options struct {
 	Costs CostModel
 	// MaxSteps bounds interpreted statements (0 = default).
 	MaxSteps int64
+	// MaxArrayElems bounds a single array declaration (0 = default);
+	// fuzzing lowers it to keep memory bounded.
+	MaxArrayElems int
+
+	// Chaos, when non-nil, runs the program under deterministic fault
+	// injection (message perturbation, crash-stop ranks, thread stalls;
+	// see docs/ROBUSTNESS.md). Crash-stop plans yield partial reports.
+	Chaos *ChaosPlan
+	// WatchdogGraceNs is the deadlock watchdog's wall-clock grace for
+	// all-blocked states containing injected transient stalls (0 =
+	// default). Irrelevant without chaos stalls: detection stays exact.
+	WatchdogGraceNs int64
 
 	// Stats, when non-nil, collects runtime counters from every layer
 	// of the run; Report.Stats carries the final snapshot. Use one
@@ -206,6 +236,16 @@ type Report struct {
 	// EventsAnalyzed counts instrumentation events processed.
 	EventsAnalyzed int
 
+	// Partial reports that one or more ranks crash-stopped (chaos fault
+	// injection): the violations cover each rank's surviving prefix.
+	Partial bool
+	// DeadRanks lists the crash-stopped ranks, sorted.
+	DeadRanks []int
+	// RankCoverage summarizes, per rank, how much execution the
+	// analyses observed (instrumentation events) and whether the rank
+	// failed.
+	RankCoverage []RankCoverage
+
 	// Stats is the run's observability snapshot (nil unless
 	// Options.Stats was set).
 	Stats *StatsSnapshot
@@ -213,6 +253,22 @@ type Report struct {
 	// was set).
 	Spans []Span
 }
+
+// RankCoverage is one rank's share of the observed execution: how many
+// instrumentation events the analyses saw from it and whether it
+// crash-stopped (making its coverage a prefix).
+type RankCoverage struct {
+	Rank   int
+	Events int
+	Failed bool
+}
+
+// ParseError wraps a front-end parse failure. Its string form keeps
+// the established "parse: ..." shape.
+type ParseError struct{ Err error }
+
+func (e *ParseError) Error() string { return "parse: " + e.Err.Error() }
+func (e *ParseError) Unwrap() error { return e.Err }
 
 // HasViolation reports whether any violation of the given kind was
 // found.
@@ -237,6 +293,16 @@ func (r *Report) Summary() string {
 	if r.Deadlocked {
 		s += "note: the run ended in a global deadlock (reported violations cover the execution prefix)\n"
 	}
+	if r.Partial {
+		s += fmt.Sprintf("note: partial report — rank(s) %v crash-stopped; violations cover each rank's surviving prefix\n", r.DeadRanks)
+		for _, c := range r.RankCoverage {
+			state := "survived"
+			if c.Failed {
+				state = "crash-stopped"
+			}
+			s += fmt.Sprintf("coverage: rank %d: %d events observed (%s)\n", c.Rank, c.Events, state)
+		}
+	}
 	for _, d := range r.Diagnostics {
 		s += "diagnostic: " + d.Error() + "\n"
 	}
@@ -258,7 +324,7 @@ func Check(src string, opts Options) (*Report, error) {
 	prog, err := minic.Parse(src)
 	sp.End()
 	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
+		return nil, &ParseError{Err: err}
 	}
 	return CheckProgram(prog, opts)
 }
@@ -309,7 +375,10 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 		Instrument:         plan.Instrument,
 		Sink:               trace.TeeSink{log, online},
 		MaxSteps:           opts.MaxSteps,
+		MaxArrayElems:      opts.MaxArrayElems,
 		Stats:              opts.Stats,
+		Chaos:              opts.Chaos,
+		WatchdogGraceNs:    opts.WatchdogGraceNs,
 	})
 	sp.SetVirtual(run.Makespan)
 	sp.End()
@@ -339,11 +408,39 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 		EventsAnalyzed: rep.EventsAnalyzed,
 		Spans:          opts.Profile.Spans(),
 	}
+	if len(run.DeadRanks) > 0 {
+		// Graceful degradation: a crash-stopped rank truncates its own
+		// event stream, but the analyses are prefix-closed, so the
+		// report stands — flagged partial, with per-rank coverage.
+		report.Partial = true
+		report.DeadRanks = run.DeadRanks
+		report.RankCoverage = rankCoverage(opts.Procs, log.Events(), run.DeadRanks)
+		opts.Stats.Counter("home.partial_reports").Inc()
+	}
 	if opts.Stats != nil {
 		snap := opts.Stats.Snapshot()
 		report.Stats = &snap
 	}
 	return report, nil
+}
+
+// rankCoverage tallies the observed instrumentation events per rank.
+func rankCoverage(procs int, events []trace.Event, dead []int) []RankCoverage {
+	failed := make(map[int]bool, len(dead))
+	for _, r := range dead {
+		failed[r] = true
+	}
+	counts := make([]int, procs)
+	for i := range events {
+		if r := events[i].Rank; r >= 0 && r < procs {
+			counts[r]++
+		}
+	}
+	out := make([]RankCoverage, procs)
+	for r := range out {
+		out[r] = RankCoverage{Rank: r, Events: counts[r], Failed: failed[r]}
+	}
+	return out
 }
 
 // RunBase executes the program uninstrumented and returns its virtual
@@ -362,7 +459,10 @@ func RunBase(prog *Program, opts Options) (*interp.Result, error) {
 		Costs:              opts.Costs,
 		EnforceThreadLevel: opts.EnforceThreadLevel,
 		MaxSteps:           opts.MaxSteps,
+		MaxArrayElems:      opts.MaxArrayElems,
 		Stats:              opts.Stats,
+		Chaos:              opts.Chaos,
+		WatchdogGraceNs:    opts.WatchdogGraceNs,
 	})
 	return res, nil
 }
@@ -384,15 +484,18 @@ func MessageRaces(prog *Program, opts Options) ([]MessageRace, error) {
 	}
 	log := trace.NewLog()
 	res := interp.Run(prog, interp.Config{
-		Procs:      opts.Procs,
-		Threads:    opts.Threads,
-		Seed:       opts.Seed,
-		Costs:      opts.Costs,
-		MaxSteps:   opts.MaxSteps,
-		Instrument: func(int) bool { return true },
-		Sink:       log,
+		Procs:           opts.Procs,
+		Threads:         opts.Threads,
+		Seed:            opts.Seed,
+		Costs:           opts.Costs,
+		MaxSteps:        opts.MaxSteps,
+		MaxArrayElems:   opts.MaxArrayElems,
+		Instrument:      func(int) bool { return true },
+		Sink:            log,
+		Chaos:           opts.Chaos,
+		WatchdogGraceNs: opts.WatchdogGraceNs,
 	})
-	// A deadlocked run still yields a usable prefix.
+	// A deadlocked or crash-truncated run still yields a usable prefix.
 	_ = res
 	return msgrace.Analyze(log.Events()), nil
 }
@@ -402,7 +505,7 @@ func MessageRaces(prog *Program, opts Options) ([]MessageRace, error) {
 func StaticOnly(src string, opts Options) (*Plan, error) {
 	prog, err := minic.Parse(src)
 	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
+		return nil, &ParseError{Err: err}
 	}
 	return static.Analyze(prog, static.Options{
 		InstrumentAll:   opts.InstrumentAll,

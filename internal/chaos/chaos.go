@@ -1,0 +1,483 @@
+// Package chaos is the deterministic fault-injection layer of the
+// simulated cluster. A Plan describes which faults to inject — message
+// delivery delays, unexpected-queue reordering, transient send
+// failures with retry/backoff, sender wall-clock jitter, rank
+// crash-stop, and thread stalls — and an Injector turns the plan into
+// per-decision verdicts the runtime substrates (internal/mpi,
+// internal/omp) consult at their injection hooks.
+//
+// Determinism: every decision is a pure hash of
+// (plan seed, fault stream, rank, thread, per-thread decision index),
+// never of wall-clock time or goroutine interleaving. Two runs with
+// the same plan therefore inject the same faults at the same program
+// points, even though the host schedule differs — which is what makes
+// chaos runs replayable and the soak harness's metamorphic assertions
+// meaningful.
+//
+// Legality: the message perturbations stay inside MPI semantics. Extra
+// delivery latency and sender-side wall jitter only shift virtual or
+// wall time; queue reordering moves a message ahead of queued messages
+// from *other* sources only, preserving the non-overtaking rule
+// between every (sender, receiver) pair; transient send failures are
+// retried until they succeed, charging virtual backoff. A plan whose
+// CrashAfterCalls is zero is therefore a pure schedule perturbation: a
+// correct program must produce the same verdicts under it (see
+// docs/ROBUSTNESS.md).
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"home/internal/obs"
+)
+
+// Plan is a declarative fault-injection plan. The zero value injects
+// nothing; New fills defaults for the knobs a enabled fault family
+// leaves zero.
+type Plan struct {
+	// Seed drives every injection decision. Plans with equal fields
+	// and equal seeds inject identically.
+	Seed int64
+
+	// DelayProb is the per-send probability of extra delivery latency,
+	// uniform in [1, MaxDelayNs] virtual ns (default 50µs).
+	DelayProb  float64
+	MaxDelayNs int64
+
+	// ReorderProb is the per-send probability that the message, if it
+	// ends up on the receiver's unexpected-message queue, is placed
+	// ahead of queued messages from other sources (same-source order is
+	// always preserved — the MPI non-overtaking rule).
+	ReorderProb float64
+
+	// SendFailProb is the per-send probability of transient failure;
+	// the sender retries up to MaxRetries times (default 3), charging
+	// RetryBackoffNs virtual ns per attempt (default 5µs), and always
+	// succeeds in the end.
+	SendFailProb   float64
+	MaxRetries     int
+	RetryBackoffNs int64
+
+	// JitterProb is the per-send probability of a wall-clock pause of
+	// up to JitterWall (default 200µs) before the send executes. The
+	// pause perturbs the host schedule — which goroutine delivers
+	// first — creating unexpected-queue pressure without touching
+	// virtual time.
+	JitterProb float64
+	JitterWall time.Duration
+
+	// CrashRank and CrashAfterCalls inject a crash-stop: CrashRank
+	// fails permanently during its CrashAfterCalls-th MPI call (the
+	// call itself returns the failure, so crash=R@1 fires on R's very
+	// first call). CrashAfterCalls == 0 disables the crash.
+	CrashRank       int
+	CrashAfterCalls int64
+
+	// StallProb is the per-decision-point probability that a thread
+	// stalls: StallNs virtual ns (default 100µs) plus a StallWall
+	// wall-clock pause (default 2ms) during which the thread counts as
+	// transiently blocked, exercising the deadlock watchdog's grace
+	// logic.
+	StallProb float64
+	StallNs   int64
+	StallWall time.Duration
+}
+
+// Default knob values filled in by New for enabled fault families.
+const (
+	DefaultMaxDelayNs     = 50_000
+	DefaultMaxRetries     = 3
+	DefaultRetryBackoffNs = 5_000
+	DefaultJitterWall     = 200 * time.Microsecond
+	DefaultStallNs        = 100_000
+	DefaultStallWall      = 2 * time.Millisecond
+)
+
+// CrashEnabled reports whether the plan injects a crash-stop.
+func (p *Plan) CrashEnabled() bool { return p != nil && p.CrashAfterCalls > 0 }
+
+// LegalOnly reports whether the plan is a pure schedule perturbation
+// (no crash-stop): verdicts must be stable under it.
+func (p *Plan) LegalOnly() bool { return !p.CrashEnabled() }
+
+// String renders the plan in ParseSpec syntax.
+func (p *Plan) String() string {
+	if p == nil {
+		return "none"
+	}
+	parts := []string{fmt.Sprintf("seed=%d", p.Seed)}
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+		}
+	}
+	add("delay", p.DelayProb)
+	add("reorder", p.ReorderProb)
+	add("fail", p.SendFailProb)
+	add("jitter", p.JitterProb)
+	add("stall", p.StallProb)
+	if p.CrashEnabled() {
+		parts = append(parts, fmt.Sprintf("crash=%d@%d", p.CrashRank, p.CrashAfterCalls))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Perturb returns the default legal-perturbation plan: delays,
+// reorders, transient send failures, sender jitter and short stalls,
+// no crash. It is the plan `-chaos seed=N` selects.
+func Perturb(seed int64) *Plan {
+	return &Plan{
+		Seed:         seed,
+		DelayProb:    0.25,
+		ReorderProb:  0.25,
+		SendFailProb: 0.15,
+		JitterProb:   0.20,
+		StallProb:    0.05,
+	}
+}
+
+// Crash returns the Perturb plan plus a crash-stop of the given rank
+// during its n-th MPI call (n is 1-based).
+func Crash(seed int64, rank int, n int64) *Plan {
+	p := Perturb(seed)
+	p.CrashRank = rank
+	p.CrashAfterCalls = n
+	return p
+}
+
+// ParseSpec parses the -chaos flag syntax: comma-separated key=value
+// pairs. Keys: seed=N, delay=P, delayns=N, reorder=P, fail=P,
+// retries=N, backoffns=N, jitter=P, jitterus=N, stall=P, stallns=N,
+// stallus=N (wall), crash=RANK@CALLS. A spec containing only seed=N
+// (or the bare form "N") yields Perturb(N); an explicit fault key
+// builds the plan from scratch so specs compose predictably.
+func ParseSpec(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return Perturb(1), nil
+	}
+	if n, err := strconv.ParseInt(spec, 10, 64); err == nil {
+		return Perturb(n), nil
+	}
+	p := &Plan{}
+	seed := int64(1)
+	seedOnly := true
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: bad spec entry %q (want key=value)", part)
+		}
+		prob := func() (float64, error) {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 1 {
+				return 0, fmt.Errorf("chaos: %s wants a probability in [0,1], got %q", k, v)
+			}
+			return f, nil
+		}
+		num := func() (int64, error) {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				return 0, fmt.Errorf("chaos: %s wants a non-negative integer, got %q", k, v)
+			}
+			return n, nil
+		}
+		var err error
+		switch k {
+		case "seed":
+			seed, err = num()
+		case "delay":
+			seedOnly = false
+			p.DelayProb, err = prob()
+		case "delayns":
+			seedOnly = false
+			p.MaxDelayNs, err = num()
+		case "reorder":
+			seedOnly = false
+			p.ReorderProb, err = prob()
+		case "fail":
+			seedOnly = false
+			p.SendFailProb, err = prob()
+		case "retries":
+			seedOnly = false
+			var n int64
+			n, err = num()
+			p.MaxRetries = int(n)
+		case "backoffns":
+			seedOnly = false
+			p.RetryBackoffNs, err = num()
+		case "jitter":
+			seedOnly = false
+			p.JitterProb, err = prob()
+		case "jitterus":
+			seedOnly = false
+			var n int64
+			n, err = num()
+			p.JitterWall = time.Duration(n) * time.Microsecond
+		case "stall":
+			seedOnly = false
+			p.StallProb, err = prob()
+		case "stallns":
+			seedOnly = false
+			p.StallNs, err = num()
+		case "stallus":
+			seedOnly = false
+			var n int64
+			n, err = num()
+			p.StallWall = time.Duration(n) * time.Microsecond
+		case "crash":
+			seedOnly = false
+			rank, calls, ok := strings.Cut(v, "@")
+			if !ok {
+				return nil, fmt.Errorf("chaos: crash wants RANK@CALLS, got %q", v)
+			}
+			r, err1 := strconv.Atoi(rank)
+			n, err2 := strconv.ParseInt(calls, 10, 64)
+			if err1 != nil || err2 != nil || r < 0 || n < 1 {
+				return nil, fmt.Errorf("chaos: crash wants RANK@CALLS, got %q", v)
+			}
+			p.CrashRank, p.CrashAfterCalls = r, n
+		default:
+			return nil, fmt.Errorf("chaos: unknown spec key %q", k)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if seedOnly {
+		return Perturb(seed), nil
+	}
+	p.Seed = seed
+	return p, nil
+}
+
+// Fault streams: each fault family rolls on its own stream so enabling
+// one family never shifts another's decisions.
+const (
+	streamDelay = iota + 1
+	streamDelayAmt
+	streamReorder
+	streamFail
+	streamFailAmt
+	streamJitter
+	streamJitterAmt
+	streamStall
+)
+
+// SendFault is the verdict for one point-to-point send.
+type SendFault struct {
+	// DelayNs is extra virtual delivery latency (0 = none).
+	DelayNs int64
+	// Reorder asks the receiver to queue the message ahead of queued
+	// messages from other sources.
+	Reorder bool
+	// Retries is the number of transient failures before the send
+	// succeeds; each charges BackoffNs virtual ns on top of the MPI
+	// call cost.
+	Retries   int
+	BackoffNs int64
+	// JitterWall is a wall-clock pause taken before the send.
+	JitterWall time.Duration
+}
+
+// Stall is the verdict for one stall decision point.
+type Stall struct {
+	// VirtualNs is charged to the thread's virtual clock.
+	VirtualNs int64
+	// Wall is the wall-clock pause, taken as a transient block so the
+	// deadlock watchdog can tell it from a genuine hang.
+	Wall time.Duration
+}
+
+// Injector evaluates a Plan. All methods are safe on a nil receiver
+// (nil = chaos off) and on concurrent use.
+type Injector struct {
+	plan  Plan
+	stats injStats
+}
+
+// injStats caches the chaos.* observability handles (nil-safe, same
+// pattern as the substrates' stat caches).
+type injStats struct {
+	delays      *obs.Counter
+	delayVns    *obs.Counter
+	reorders    *obs.Counter
+	sendRetries *obs.Counter
+	jitters     *obs.Counter
+	stalls      *obs.Counter
+	stallVns    *obs.Counter
+	crashStops  *obs.Counter
+}
+
+// New builds an Injector for the plan, resolving observability
+// handles from reg (both may be nil: a nil plan returns a nil
+// Injector, a nil registry disables counting).
+func New(plan *Plan, reg *obs.Registry) *Injector {
+	if plan == nil {
+		return nil
+	}
+	p := *plan
+	if p.MaxDelayNs <= 0 {
+		p.MaxDelayNs = DefaultMaxDelayNs
+	}
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = DefaultMaxRetries
+	}
+	if p.RetryBackoffNs <= 0 {
+		p.RetryBackoffNs = DefaultRetryBackoffNs
+	}
+	if p.JitterWall <= 0 {
+		p.JitterWall = DefaultJitterWall
+	}
+	if p.StallNs <= 0 {
+		p.StallNs = DefaultStallNs
+	}
+	if p.StallWall <= 0 {
+		p.StallWall = DefaultStallWall
+	}
+	return &Injector{
+		plan: p,
+		stats: injStats{
+			delays:      reg.Counter("chaos.msg_delays"),
+			delayVns:    reg.Counter("chaos.msg_delay_vns"),
+			reorders:    reg.Counter("chaos.msg_reorders"),
+			sendRetries: reg.Counter("chaos.send_retries"),
+			jitters:     reg.Counter("chaos.send_jitters"),
+			stalls:      reg.Counter("chaos.stalls"),
+			stallVns:    reg.Counter("chaos.stall_vns"),
+			crashStops:  reg.Counter("chaos.crash_stops"),
+		},
+	}
+}
+
+// Plan returns a copy of the injector's plan with defaults filled
+// (zero Plan if the injector is nil).
+func (in *Injector) Plan() Plan {
+	if in == nil {
+		return Plan{}
+	}
+	return in.plan
+}
+
+// roll hashes (seed, stream, rank, tid, seq) into a uniform uint64
+// (splitmix64 over the mixed key).
+func (in *Injector) roll(stream, rank, tid int, seq uint64) uint64 {
+	z := uint64(in.plan.Seed)
+	z ^= 0x9e3779b97f4a7c15 * (uint64(stream)<<48 ^ uint64(rank)<<32 ^ uint64(tid)<<24 ^ (seq + 1))
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hit converts a roll to a probability verdict.
+func (in *Injector) hit(prob float64, stream, rank, tid int, seq uint64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	return float64(in.roll(stream, rank, tid, seq)>>11)/(1<<53) < prob
+}
+
+// amount draws a deterministic value in [1, max].
+func (in *Injector) amount(max int64, stream, rank, tid int, seq uint64) int64 {
+	if max <= 1 {
+		return max
+	}
+	return 1 + int64(in.roll(stream, rank, tid, seq)%uint64(max))
+}
+
+// SendFault returns the faults to apply to the send identified by
+// (rank, tid, seq). seq is the caller thread's decision index
+// (sim.Ctx.NextChaosSeq), which makes the verdict independent of the
+// host schedule.
+func (in *Injector) SendFault(rank, tid int, seq uint64) SendFault {
+	if in == nil {
+		return SendFault{}
+	}
+	var f SendFault
+	if in.hit(in.plan.DelayProb, streamDelay, rank, tid, seq) {
+		f.DelayNs = in.amount(in.plan.MaxDelayNs, streamDelayAmt, rank, tid, seq)
+		in.stats.delays.Inc()
+		in.stats.delayVns.Add(f.DelayNs)
+	}
+	if in.hit(in.plan.ReorderProb, streamReorder, rank, tid, seq) {
+		f.Reorder = true
+		in.stats.reorders.Inc()
+	}
+	if in.hit(in.plan.SendFailProb, streamFail, rank, tid, seq) {
+		f.Retries = int(in.amount(int64(in.plan.MaxRetries), streamFailAmt, rank, tid, seq))
+		f.BackoffNs = in.plan.RetryBackoffNs
+		in.stats.sendRetries.Add(int64(f.Retries))
+	}
+	if in.hit(in.plan.JitterProb, streamJitter, rank, tid, seq) {
+		us := in.amount(int64(in.plan.JitterWall/time.Microsecond), streamJitterAmt, rank, tid, seq)
+		f.JitterWall = time.Duration(us) * time.Microsecond
+		in.stats.jitters.Inc()
+	}
+	return f
+}
+
+// StallAt returns the stall to take at decision point (rank, tid,
+// seq), if any.
+func (in *Injector) StallAt(rank, tid int, seq uint64) (Stall, bool) {
+	if in == nil || !in.hit(in.plan.StallProb, streamStall, rank, tid, seq) {
+		return Stall{}, false
+	}
+	in.stats.stalls.Inc()
+	in.stats.stallVns.Add(in.plan.StallNs)
+	return Stall{VirtualNs: in.plan.StallNs, Wall: in.plan.StallWall}, true
+}
+
+// CrashPoint returns the 1-based index of the MPI call during which
+// the given rank crash-stops, or -1 when the rank never crashes.
+func (in *Injector) CrashPoint(rank int) int64 {
+	if in == nil || in.plan.CrashAfterCalls <= 0 || in.plan.CrashRank != rank {
+		return -1
+	}
+	return in.plan.CrashAfterCalls
+}
+
+// CountCrash records that a crash-stop fired.
+func (in *Injector) CountCrash() {
+	if in != nil {
+		in.stats.crashStops.Inc()
+	}
+}
+
+// Describe returns a sorted human-readable list of the plan's enabled
+// fault families (diagnostics and soak reports).
+func (in *Injector) Describe() []string {
+	if in == nil {
+		return nil
+	}
+	var out []string
+	if in.plan.DelayProb > 0 {
+		out = append(out, fmt.Sprintf("delay p=%g max=%dns", in.plan.DelayProb, in.plan.MaxDelayNs))
+	}
+	if in.plan.ReorderProb > 0 {
+		out = append(out, fmt.Sprintf("reorder p=%g", in.plan.ReorderProb))
+	}
+	if in.plan.SendFailProb > 0 {
+		out = append(out, fmt.Sprintf("sendfail p=%g retries<=%d", in.plan.SendFailProb, in.plan.MaxRetries))
+	}
+	if in.plan.JitterProb > 0 {
+		out = append(out, fmt.Sprintf("jitter p=%g wall<=%s", in.plan.JitterProb, in.plan.JitterWall))
+	}
+	if in.plan.StallProb > 0 {
+		out = append(out, fmt.Sprintf("stall p=%g", in.plan.StallProb))
+	}
+	if in.plan.CrashEnabled() {
+		out = append(out, fmt.Sprintf("crash rank %d at call %d", in.plan.CrashRank, in.plan.CrashAfterCalls))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseSpecForms(t *testing.T) {
+	cases := []struct {
+		spec string
+		want func(*Plan) bool
+	}{
+		{"7", func(p *Plan) bool { return *p == *Perturb(7) }},
+		{"seed=9", func(p *Plan) bool { return *p == *Perturb(9) }},
+		{"seed=2,crash=1@5", func(p *Plan) bool {
+			return p.Seed == 2 && p.CrashRank == 1 && p.CrashAfterCalls == 5 &&
+				p.DelayProb == 0 // explicit fault key: built from scratch
+		}},
+		{"seed=3,delay=0.5,delayns=1000,fail=0.1,retries=2,backoffns=500", func(p *Plan) bool {
+			return p.Seed == 3 && p.DelayProb == 0.5 && p.MaxDelayNs == 1000 &&
+				p.SendFailProb == 0.1 && p.MaxRetries == 2 && p.RetryBackoffNs == 500
+		}},
+		{"stall=0.2,stallus=3000", func(p *Plan) bool {
+			return p.StallProb == 0.2 && p.StallWall == 3*time.Millisecond
+		}},
+	}
+	for _, c := range cases {
+		p, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.spec, err)
+		}
+		if !c.want(p) {
+			t.Fatalf("ParseSpec(%q) = %+v", c.spec, p)
+		}
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{"bogus=1", "crash=1", "crash=x@y", "delay=oops", "seed="} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestPlanStringRoundTrips(t *testing.T) {
+	orig := Crash(4, 2, 9)
+	p, err := ParseSpec(orig.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 4 || p.CrashRank != 2 || p.CrashAfterCalls != 9 ||
+		p.DelayProb != orig.DelayProb || p.StallProb != orig.StallProb {
+		t.Fatalf("round trip: %s -> %+v", orig, p)
+	}
+}
+
+// Fault decisions must be a pure function of (plan seed, rank, tid,
+// seq) — independent of call timing, host scheduling, or how many
+// other ranks consulted the injector in between.
+func TestInjectorDeterministic(t *testing.T) {
+	a := New(Perturb(42), nil)
+	b := New(Perturb(42), nil)
+	// Consume b's streams in a different interleaving first.
+	for seq := uint64(50); seq > 0; seq-- {
+		b.SendFault(3, 1, seq)
+	}
+	for rank := 0; rank < 4; rank++ {
+		for seq := uint64(1); seq <= 20; seq++ {
+			fa := a.SendFault(rank, 0, seq)
+			fb := b.SendFault(rank, 0, seq)
+			if fa != fb {
+				t.Fatalf("rank %d seq %d: %+v vs %+v", rank, seq, fa, fb)
+			}
+			sa, oka := a.StallAt(rank, 0, seq)
+			sb, okb := b.StallAt(rank, 0, seq)
+			if oka != okb || sa != sb {
+				t.Fatalf("stall rank %d seq %d: (%v,%v) vs (%v,%v)", rank, seq, sa, oka, sb, okb)
+			}
+		}
+	}
+}
+
+func TestInjectorDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(Perturb(1), nil), New(Perturb(2), nil)
+	same := true
+	for seq := uint64(1); seq <= 64 && same; seq++ {
+		if a.SendFault(0, 0, seq) != b.SendFault(0, 0, seq) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical fault schedules")
+	}
+}
+
+func TestCrashPointAndLegalOnly(t *testing.T) {
+	legal := New(Perturb(1), nil)
+	if cp := legal.CrashPoint(0); cp != -1 {
+		t.Fatalf("legal plan CrashPoint = %d", cp)
+	}
+	if !Perturb(1).LegalOnly() || Crash(1, 0, 1).LegalOnly() {
+		t.Fatal("LegalOnly misclassifies plans")
+	}
+	crash := New(Crash(1, 2, 5), nil)
+	if cp := crash.CrashPoint(2); cp != 5 {
+		t.Fatalf("CrashPoint(2) = %d, want 5", cp)
+	}
+	if cp := crash.CrashPoint(1); cp != -1 {
+		t.Fatalf("CrashPoint(1) = %d, want -1", cp)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if f := in.SendFault(0, 0, 1); f != (SendFault{}) {
+		t.Fatalf("nil injector fault = %+v", f)
+	}
+	if _, ok := in.StallAt(0, 0, 1); ok {
+		t.Fatal("nil injector stalled")
+	}
+	if cp := in.CrashPoint(0); cp != -1 {
+		t.Fatalf("nil injector CrashPoint = %d", cp)
+	}
+	if New(nil, nil) != nil {
+		t.Fatal("New(nil plan) should be nil")
+	}
+}

@@ -5,6 +5,7 @@
 package cli
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -66,6 +67,8 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 	msgRaces := fs.Bool("msgrace", false, "also run the cross-rank message-race extension analysis")
 	stats := fs.Bool("stats", false, "print the run's observability counters (see docs/OBSERVABILITY.md)")
 	spansOut := fs.String("spans", "", "write pipeline phase spans as Chrome trace_event JSON to this file")
+	chaosSpec := fs.String("chaos", "", "inject faults from a chaos plan, e.g. seed=3 or seed=3,crash=1@5 (see docs/ROBUSTNESS.md)")
+	graceMs := fs.Int64("watchdog-grace-ms", 0, "deadlock watchdog grace window under transient stalls (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -100,6 +103,18 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 	}
 	if *spansOut != "" {
 		opts.Profile = home.NewProfile()
+	}
+	if *chaosSpec != "" {
+		plan, perr := home.ParseChaosSpec(*chaosSpec)
+		if perr != nil {
+			fmt.Fprintln(stderr, "homecheck:", perr)
+			return 2
+		}
+		opts.Chaos = plan
+		fmt.Fprintf(stderr, "chaos: injecting faults from plan %s\n", plan)
+	}
+	if *graceMs > 0 {
+		opts.WatchdogGraceNs = *graceMs * 1e6
 	}
 
 	if *dumpCFG {
@@ -387,8 +402,14 @@ func traceAnalyze(args []string, stdout, stderr io.Writer) int {
 	defer f.Close()
 	events, err := trace.ReadJSON(f)
 	if err != nil {
-		fmt.Fprintln(stderr, "hometrace:", err)
-		return 2
+		var te *trace.TruncatedError
+		if !errors.As(err, &te) {
+			fmt.Fprintln(stderr, "hometrace:", err)
+			return 2
+		}
+		// A recording cut short (crashed run, partial copy) still has an
+		// analyzable prefix; warn and continue with what was salvaged.
+		fmt.Fprintf(stderr, "hometrace: warning: %v; analyzing the salvaged prefix\n", te)
 	}
 
 	opts := detect.Options{IgnoreLocks: *ignoreLocks}

@@ -1,0 +1,233 @@
+package harness
+
+// Chaos soak: sweep seeded fault plans over the injected-violation
+// corpus (internal/faults) and assert the robustness contract of
+// docs/ROBUSTNESS.md:
+//
+//   1. no run panics — every outcome is a Report or a typed error;
+//   2. metamorphic verdict stability — legal schedule perturbations
+//      (delays, reorders within non-overtaking, transient send
+//      failures, jitter, stalls) never change the confirmed
+//      violation set;
+//   3. graceful degradation — crash-stop plans yield a partial report
+//      with the dead ranks and per-rank coverage filled in.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"home"
+	"home/internal/chaos"
+	"home/internal/faults"
+	"home/internal/minic"
+	"home/internal/spec"
+)
+
+// DefaultChaosSeeds is the fixed seed sweep used by the soak test and
+// the CLIs. Eight legal-perturbation seeds per corpus kind plus two
+// crash plans per kind keeps the sweep above 50 plans total while
+// staying fast enough for -race CI runs.
+func DefaultChaosSeeds() []int64 {
+	return []int64{1, 2, 3, 5, 8, 13, 21, 34}
+}
+
+// ChaosOutcome records one (program kind, fault plan) soak cell.
+type ChaosOutcome struct {
+	Kind spec.Kind `json:"kind"`
+	// Plan is the compact plan description (chaos.Plan.String()).
+	Plan string `json:"plan"`
+	// LegalOnly marks plans whose faults preserve program semantics,
+	// so the violation signature must match the baseline.
+	LegalOnly bool `json:"legalOnly"`
+	// Signature is the confirmed-violation identity set, sorted.
+	Signature []string `json:"signature"`
+	// Stable is set on legal-only plans whose signature matched the
+	// unperturbed baseline.
+	Stable bool `json:"stable"`
+	// Partial/DeadRanks mirror the report fields on crash plans.
+	Partial   bool  `json:"partial"`
+	DeadRanks []int `json:"deadRanks,omitempty"`
+	// Err is the run's error string, if any ("" on success).
+	Err string `json:"err,omitempty"`
+}
+
+// ChaosReport aggregates a soak sweep.
+type ChaosReport struct {
+	// Plans counts the fault plans executed (excluding baselines).
+	Plans int `json:"plans"`
+	// Baselines maps each corpus kind to its unperturbed signature.
+	Baselines map[spec.Kind][]string `json:"baselines"`
+	// Outcomes holds one entry per (kind, plan) cell.
+	Outcomes []ChaosOutcome `json:"outcomes"`
+	// Unstable counts legal-only plans whose signature diverged.
+	Unstable int `json:"unstable"`
+	// Failures lists contract violations (divergent signatures,
+	// missing partial metadata, unexpected errors).
+	Failures []string `json:"failures,omitempty"`
+}
+
+// OK reports whether the sweep satisfied the robustness contract.
+func (r *ChaosReport) OK() bool { return len(r.Failures) == 0 }
+
+// violationSignature is the order-independent identity of a report's
+// confirmed violation set: sorted "kind|rank|lines" strings, matching
+// the dedup key used by spec.Match.
+func violationSignature(rep *home.Report) []string {
+	sig := make([]string, 0, len(rep.Violations))
+	for _, v := range rep.Violations {
+		sig = append(sig, fmt.Sprintf("%s|%d|%v", v.Kind, v.Rank, v.Lines))
+	}
+	sort.Strings(sig)
+	return sig
+}
+
+func sameSignature(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ChaosSoak sweeps seeds × fault plans over the injected-violation
+// corpus. For every kind it first computes the unperturbed baseline
+// signature, then runs one legal-perturbation plan per seed (asserting
+// signature stability) and two crash-stop plans (asserting partial
+// reports with coverage). Nil or empty seeds selects
+// DefaultChaosSeeds.
+func ChaosSoak(cfg Config, seeds []int64) (*ChaosReport, error) {
+	cfg = cfg.withDefaults()
+	if len(seeds) == 0 {
+		seeds = DefaultChaosSeeds()
+	}
+	report := &ChaosReport{Baselines: map[spec.Kind][]string{}}
+
+	for _, kind := range faults.AllKinds() {
+		prog, err := minic.Parse(faults.Program(kind))
+		if err != nil {
+			return nil, fmt.Errorf("%v corpus program: %w", kind, err)
+		}
+
+		// Unperturbed baseline.
+		base, err := home.CheckProgram(prog, cfg.homeOptions(cfg.TableProcs))
+		if err != nil {
+			return nil, fmt.Errorf("%v baseline: %w", kind, err)
+		}
+		baseline := violationSignature(base)
+		report.Baselines[kind] = baseline
+
+		// Legal perturbation plans: one per seed, verdicts must match.
+		for _, seed := range seeds {
+			plan := chaos.Perturb(seed)
+			out := ChaosOutcome{Kind: kind, Plan: plan.String(), LegalOnly: true}
+			opts := cfg.homeOptions(cfg.TableProcs)
+			opts.Chaos = plan
+			rep, err := home.CheckProgram(prog, opts)
+			if err != nil {
+				out.Err = err.Error()
+				report.Failures = append(report.Failures,
+					fmt.Sprintf("%v seed=%d: unexpected error: %v", kind, seed, err))
+			} else {
+				out.Signature = violationSignature(rep)
+				out.Stable = sameSignature(out.Signature, baseline)
+				if !out.Stable {
+					report.Unstable++
+					report.Failures = append(report.Failures,
+						fmt.Sprintf("%v seed=%d: verdict drift: baseline %v, perturbed %v",
+							kind, seed, baseline, out.Signature))
+				}
+			}
+			report.Plans++
+			report.Outcomes = append(report.Outcomes, out)
+		}
+
+		// Crash-stop plans: two per kind, crashing different ranks on
+		// their first MPI call under different perturbation seeds (the
+		// corpus programs are tiny, so call 1 is the only point every
+		// rank is guaranteed to reach). These must degrade gracefully
+		// into a partial report naming the dead rank and its coverage.
+		crashes := []*chaos.Plan{
+			chaos.Crash(seeds[0], 1, 1),
+			chaos.Crash(seeds[len(seeds)-1], 0, 1),
+		}
+		for _, plan := range crashes {
+			out := ChaosOutcome{Kind: kind, Plan: plan.String()}
+			opts := cfg.homeOptions(cfg.TableProcs)
+			opts.Chaos = plan
+			rep, err := home.CheckProgram(prog, opts)
+			if err != nil {
+				out.Err = err.Error()
+				report.Failures = append(report.Failures,
+					fmt.Sprintf("%v crash plan %s: unexpected error: %v", kind, plan, err))
+			} else {
+				out.Signature = violationSignature(rep)
+				out.Partial = rep.Partial
+				out.DeadRanks = rep.DeadRanks
+				if !rep.Partial {
+					report.Failures = append(report.Failures,
+						fmt.Sprintf("%v crash plan %s: report not marked partial", kind, plan))
+				}
+				if len(rep.DeadRanks) == 0 {
+					report.Failures = append(report.Failures,
+						fmt.Sprintf("%v crash plan %s: no dead ranks recorded", kind, plan))
+				}
+				if err := checkCoverage(rep, cfg.TableProcs); err != nil {
+					report.Failures = append(report.Failures,
+						fmt.Sprintf("%v crash plan %s: %v", kind, plan, err))
+				}
+			}
+			report.Plans++
+			report.Outcomes = append(report.Outcomes, out)
+		}
+	}
+	return report, nil
+}
+
+// checkCoverage validates the per-rank coverage of a partial report:
+// one entry per simulated rank, dead ranks flagged as failed.
+func checkCoverage(rep *home.Report, procs int) error {
+	if len(rep.RankCoverage) != procs {
+		return fmt.Errorf("coverage has %d entries, want %d", len(rep.RankCoverage), procs)
+	}
+	dead := map[int]bool{}
+	for _, r := range rep.DeadRanks {
+		dead[r] = true
+	}
+	for _, c := range rep.RankCoverage {
+		if c.Failed != dead[c.Rank] {
+			return fmt.Errorf("rank %d coverage failed=%v, dead=%v", c.Rank, c.Failed, dead[c.Rank])
+		}
+	}
+	return nil
+}
+
+// RenderChaos renders a soak report for terminal output.
+func RenderChaos(r *ChaosReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos soak: %d fault plans over %d corpus programs\n",
+		r.Plans, len(r.Baselines))
+	legal, crash := 0, 0
+	for _, o := range r.Outcomes {
+		if o.LegalOnly {
+			legal++
+		} else {
+			crash++
+		}
+	}
+	fmt.Fprintf(&b, "  legal-perturbation plans: %d (%d unstable)\n", legal, r.Unstable)
+	fmt.Fprintf(&b, "  crash-stop plans:         %d\n", crash)
+	if r.OK() {
+		b.WriteString("  contract: OK — verdicts stable, crashes degraded gracefully\n")
+	} else {
+		fmt.Fprintf(&b, "  contract: FAILED (%d violations)\n", len(r.Failures))
+		for _, f := range r.Failures {
+			fmt.Fprintf(&b, "    - %s\n", f)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestChaosSoak runs the full seed × fault-plan sweep over the
+// injected-violation corpus: ≥ 50 plans, no panics, legal
+// perturbations keep the confirmed violation set identical to the
+// unperturbed baseline, and crash-stop plans yield partial reports
+// with per-rank coverage.
+func TestChaosSoak(t *testing.T) {
+	rep, err := ChaosSoak(Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plans < 50 {
+		t.Fatalf("soak ran %d plans, want >= 50", rep.Plans)
+	}
+	if !rep.OK() {
+		t.Fatalf("chaos contract failed:\n%s", RenderChaos(rep))
+	}
+	// Every corpus kind must have a non-empty baseline: a soak over
+	// programs that never trigger their violation would be vacuous.
+	for kind, sig := range rep.Baselines {
+		if len(sig) == 0 {
+			t.Errorf("%v: empty baseline violation signature", kind)
+		}
+	}
+}
+
+// TestChaosSoakDeterministic re-runs a small sweep and asserts every
+// legal-only outcome is identical: legal fault schedules derive only
+// from the plan seed and virtual state, never from host scheduling.
+// (Crash-plan violation sets are a per-rank *prefix* — the crash
+// fires at a deterministic call index, but how far surviving ranks
+// got by then is host-schedule-dependent — so only the crash plans'
+// contract fields are compared, not their signatures.)
+func TestChaosSoakDeterministic(t *testing.T) {
+	seeds := []int64{7, 11}
+	a, err := ChaosSoak(Config{}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChaosSoak(Config{}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := RenderChaos(a), RenderChaos(b)
+	if ra != rb {
+		t.Fatalf("soak not deterministic:\n--- first\n%s\n--- second\n%s", ra, rb)
+	}
+	if len(a.Outcomes) != len(b.Outcomes) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(a.Outcomes), len(b.Outcomes))
+	}
+	for i := range a.Outcomes {
+		oa, ob := a.Outcomes[i], b.Outcomes[i]
+		if oa.Plan != ob.Plan || oa.Partial != ob.Partial || fmt.Sprint(oa.DeadRanks) != fmt.Sprint(ob.DeadRanks) {
+			t.Fatalf("outcome %d contract fields differ: %+v vs %+v", i, oa, ob)
+		}
+		if oa.LegalOnly && strings.Join(oa.Signature, ";") != strings.Join(ob.Signature, ";") {
+			t.Fatalf("legal outcome %d signatures differ: %v vs %v", i, oa.Signature, ob.Signature)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"home/internal/chaos"
 	"home/internal/minic"
 	"home/internal/mpi"
 	"home/internal/obs"
@@ -64,11 +65,21 @@ type Config struct {
 	MaxSteps int64
 	// StmtCostNs is virtual time charged per interpreted statement.
 	StmtCostNs int64
+	// MaxArrayElems bounds a single array declaration (0 = the default
+	// 1<<26 elements); fuzzing lowers it to keep memory bounded.
+	MaxArrayElems int
 
 	// Stats, when non-nil, collects runtime counters from the
 	// interpreter and both substrates (statements executed,
 	// builtin-call mix, message/collective/lock activity).
 	Stats *obs.Registry
+
+	// Chaos, when non-nil, enables deterministic fault injection in the
+	// substrates (see internal/chaos).
+	Chaos *chaos.Plan
+	// WatchdogGraceNs passes through to the MPI runtime's deadlock
+	// watchdog (grace for injected transient stalls; 0 = default).
+	WatchdogGraceNs int64
 }
 
 // DefaultMaxSteps bounds runaway programs.
@@ -89,6 +100,9 @@ type Result struct {
 	// BlockedOps describes, when Deadlocked, what every stuck thread
 	// was waiting for.
 	BlockedOps []string
+	// DeadRanks lists ranks that crash-stopped during the run (chaos
+	// fault injection), sorted.
+	DeadRanks []int
 }
 
 // FirstError returns the first per-rank error, if any.
@@ -107,9 +121,21 @@ var (
 	ErrStepBudget = errors.New("interp: statement budget exhausted (infinite loop?)")
 )
 
+// RuntimeError is a program-level error carrying its source line. Its
+// string form keeps the established "runtime error at line N: ..."
+// shape.
+type RuntimeError struct {
+	Line int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime error at line %d: %s", e.Line, e.Msg)
+}
+
 // runtimeError wraps a program-level error with its source line.
 func runtimeError(line int, format string, args ...any) error {
-	return fmt.Errorf("runtime error at line %d: %s", line, fmt.Sprintf(format, args...))
+	return &RuntimeError{Line: line, Msg: fmt.Sprintf(format, args...)}
 }
 
 // Instance is the per-rank interpreter state.
@@ -123,6 +149,7 @@ type Instance struct {
 	out     *output
 	steps   *int64 // shared across ranks: global budget
 	maxStep int64
+	chaosOn bool
 
 	// irecvBufs tracks pending Irecv destination buffers until
 	// Wait/Test completes them.
@@ -173,6 +200,8 @@ func Run(prog *minic.Program, conf Config) *Result {
 		Costs:              conf.Costs,
 		EnforceThreadLevel: conf.EnforceThreadLevel,
 		Stats:              conf.Stats,
+		Chaos:              conf.Chaos,
+		WatchdogGraceNs:    conf.WatchdogGraceNs,
 	})
 	out := &output{}
 	var steps int64
@@ -190,9 +219,11 @@ func Run(prog *minic.Program, conf Config) *Result {
 			out:     out,
 			steps:   &steps,
 			maxStep: conf.MaxSteps,
+			chaosOn: conf.Chaos != nil,
 		}
 		in.rt.SetNumThreads(conf.Threads)
 		in.rt.SetStats(conf.Stats)
+		in.rt.SetChaos(world.Chaos())
 		tc := &threadCtx{in: in, ctx: ctx, env: in.globals}
 		// Evaluate globals per process (each rank has its own memory).
 		for _, g := range prog.Globals {
@@ -217,6 +248,7 @@ func Run(prog *minic.Program, conf Config) *Result {
 		Output:     out.String(),
 		ExitCodes:  exitCodes,
 		BlockedOps: res.BlockedOps,
+		DeadRanks:  res.DeadRanks,
 	}
 }
 
@@ -248,10 +280,15 @@ func (tc *threadCtx) child() *threadCtx {
 }
 
 // bumpStep enforces the global statement budget and charges the
-// per-statement virtual cost.
+// per-statement virtual cost. On a crash-stopped rank it aborts the
+// thread's compute loops too, so a dead rank stops executing rather
+// than running on without a working MPI library.
 func (tc *threadCtx) bumpStep() error {
 	if atomic.AddInt64(tc.in.steps, 1) > tc.in.maxStep {
 		return ErrStepBudget
+	}
+	if tc.in.chaosOn && tc.in.proc.Dead() {
+		return &mpi.RankFailureError{Rank: tc.ctx.Rank, Op: "statement"}
 	}
 	tc.ctx.Advance(tc.in.conf.StmtCostNs)
 	return nil
@@ -389,7 +426,11 @@ func (tc *threadCtx) declare(ds *minic.DeclStmt, d minic.Declarator) error {
 			return err
 		}
 		n := szv.Int()
-		if n < 0 || n > 1<<26 {
+		limit := tc.in.conf.MaxArrayElems
+		if limit <= 0 {
+			limit = 1 << 26
+		}
+		if n < 0 || n > limit {
 			return runtimeError(ds.Line, "bad array size %d for %s", n, d.Name)
 		}
 		tc.env.declare(d.Name, isFloat, true, Value{Arr: make([]float64, n), ArrMu: &sync.Mutex{}})

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"home/internal/minic"
+	"home/internal/mpi"
 	"home/internal/trace"
 )
 
@@ -162,7 +163,19 @@ func (tc *threadCtx) pthreadJoin(c *minic.Call) (Value, error) {
 		case <-pt.wake:
 			release()
 		case <-dead:
-			return Value{}, runtimeError(c.Line, "global deadlock while joining thread %d", pt.id)
+			if activity.Deadlocked() {
+				return Value{}, runtimeError(c.Line, "global deadlock while joining thread %d", pt.id)
+			}
+			// Rank abort (crash-stop): stop waiting; the spawned thread
+			// unwinds on its own. Self-unblock unless it finished first.
+			pt.mu.Lock()
+			if pt.waiting {
+				pt.waiting = false
+				activity.Unblock()
+			}
+			pt.mu.Unlock()
+			release()
+			return Value{}, &mpi.RankFailureError{Rank: tc.ctx.Rank, Op: "pthread_join"}
 		}
 		pt.mu.Lock()
 	}

@@ -47,11 +47,12 @@ func (k collKind) String() string {
 }
 
 // collResult is what each participant receives when an instance
-// completes.
+// completes (or fails: err set means a participant crash-stopped).
 type collResult struct {
 	data    []float64
 	release int64
 	newComm CommID
+	err     error
 }
 
 // collWaiter is a blocked participant.
@@ -92,6 +93,9 @@ func (p *Proc) arrive(ctx *sim.Ctx, comm CommID, kind collKind, root int, op Red
 	if err := p.checkState(); err != nil {
 		return collResult{}, err
 	}
+	if err := p.chaosEnter("MPI_" + kind.String()); err != nil {
+		return collResult{}, err
+	}
 	if _, hang := p.threadGuard(ctx, false); hang {
 		return collResult{}, p.hangForever(ctx)
 	}
@@ -101,11 +105,19 @@ func (p *Proc) arrive(ctx *sim.Ctx, comm CommID, kind collKind, root int, op Red
 	}
 	c := p.world.costs
 	ctx.Advance(c.MPICallNs)
+	p.maybeStall(ctx)
 
 	payload := make([]float64, len(data))
 	copy(payload, data)
 
 	cs.mu.Lock()
+	// Checked under cs.mu so it serializes against failAll: either we
+	// see the dead rank here and fail fast, or our waiter registers
+	// before failAll drains the instance and wakes it with the error.
+	if p.world.AnyRankDead() {
+		cs.mu.Unlock()
+		return collResult{}, p.world.failure(p.world.firstDead(), "MPI_"+kind.String())
+	}
 	var inst *collInstance
 	for _, in := range cs.pending {
 		if in.kind == kind && in.root == root && in.op == op {
@@ -161,10 +173,54 @@ func (p *Proc) arrive(ctx *sim.Ctx, comm CommID, kind collKind, root int, op Red
 	select {
 	case res := <-w.wake:
 		release()
+		if res.err != nil {
+			return collResult{}, res.err
+		}
 		ctx.SyncTo(res.release)
 		return res, nil
 	case <-dead:
-		return collResult{}, p.deadlockError()
+		if p.world.activity.Deadlocked() {
+			return collResult{}, p.deadlockError()
+		}
+		// Rank abort (own crash-stop): withdraw from the instance. If
+		// the waiter is gone, failAll or the completing rank already
+		// unblocked us; otherwise the cleanup is ours.
+		cs.mu.Lock()
+		found := false
+	scan:
+		for _, in := range cs.pending {
+			for i, ww := range in.waiters {
+				if ww.wake == w.wake {
+					in.waiters = append(in.waiters[:i], in.waiters[i+1:]...)
+					delete(in.arrived, p.rank)
+					found = true
+					break scan
+				}
+			}
+		}
+		cs.mu.Unlock()
+		if found {
+			p.world.activity.Unblock()
+		}
+		release()
+		return collResult{}, p.world.failure(p.rank, "MPI_"+kind.String())
+	}
+}
+
+// failAll drains every pending collective instance of the
+// communicator: with the dead rank gone none of them can ever
+// complete, so every blocked participant wakes with a rank-failure
+// error instead of hanging until the watchdog.
+func (cs *commState) failAll(w *World, dead int) {
+	cs.mu.Lock()
+	pending := cs.pending
+	cs.pending = nil
+	cs.mu.Unlock()
+	for _, inst := range pending {
+		for _, wt := range inst.waiters {
+			w.activity.Unblock()
+			wt.wake <- collResult{err: w.failure(dead, "MPI_"+inst.kind.String())}
+		}
 	}
 }
 

@@ -33,8 +33,11 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
+	"home/internal/chaos"
 	"home/internal/obs"
 	"home/internal/sim"
 )
@@ -95,7 +98,35 @@ var (
 	// ErrRequestReused reports Wait/Test on an already-completed-and-
 	// consumed request handle.
 	ErrRequestReused = errors.New("mpi: request already consumed")
+
+	// ErrDoubleInit reports a second MPI_Init on the same rank.
+	ErrDoubleInit = errors.New("mpi: MPI_Init called twice")
+
+	// ErrRankFailed reports an operation that cannot complete because
+	// a rank crash-stopped (chaos fault injection). Operations return
+	// a *RankFailureError, which unwraps to this sentinel.
+	ErrRankFailed = errors.New("mpi: rank failed (crash-stop)")
 )
+
+// RankFailureError is the structured form of ErrRankFailed: which
+// rank failed and which operation observed the failure. It propagates
+// to every surviving operation that depended on the failed rank —
+// receives and probes selecting it, collectives over communicators
+// containing it, and every call the failed rank itself issues after
+// the crash point.
+type RankFailureError struct {
+	// Rank is the crash-stopped rank.
+	Rank int
+	// Op names the MPI operation that observed the failure.
+	Op string
+}
+
+func (e *RankFailureError) Error() string {
+	return fmt.Sprintf("mpi: %s failed: rank %d crash-stopped", e.Op, e.Rank)
+}
+
+// Unwrap makes errors.Is(err, ErrRankFailed) match.
+func (e *RankFailureError) Unwrap() error { return ErrRankFailed }
 
 // Config parameterizes a simulated world.
 type Config struct {
@@ -118,6 +149,16 @@ type Config struct {
 	// Stats, when non-nil, receives the runtime's counters and
 	// watermarks (message matching, bytes moved, queue depth, ...).
 	Stats *obs.Registry
+
+	// Chaos, when non-nil, enables deterministic fault injection
+	// (message perturbation, crash-stop, stalls; see internal/chaos).
+	Chaos *chaos.Plan
+
+	// WatchdogGraceNs is the deadlock watchdog's wall-clock grace for
+	// all-blocked states that contain injected transient stalls
+	// (0 = sim.DefaultGraceNs). Without chaos stalls it never applies:
+	// detection stays exact and immediate.
+	WatchdogGraceNs int64
 }
 
 // World is one simulated cluster run: a set of ranks sharing
@@ -129,6 +170,12 @@ type World struct {
 	activity *sim.Activity
 	keeper   *sim.TimeKeeper
 	st       worldStats
+	chaos    *chaos.Injector
+
+	// deadRanks flags crash-stopped ranks; anyDead is the cheap guard
+	// the hot paths test first.
+	deadRanks []atomic.Bool
+	anyDead   atomic.Bool
 
 	mu       sync.Mutex
 	comms    map[CommID]*commState
@@ -146,14 +193,17 @@ func NewWorld(cfg Config) *World {
 		costs = sim.DefaultCostModel()
 	}
 	w := &World{
-		cfg:      cfg,
-		costs:    costs,
-		activity: sim.NewActivity(),
-		keeper:   &sim.TimeKeeper{},
-		st:       newWorldStats(cfg.Stats),
-		comms:    make(map[CommID]*commState),
-		nextComm: CommWorld + 1,
+		cfg:       cfg,
+		costs:     costs,
+		activity:  sim.NewActivity(),
+		keeper:    &sim.TimeKeeper{},
+		st:        newWorldStats(cfg.Stats),
+		chaos:     chaos.New(cfg.Chaos, cfg.Stats),
+		deadRanks: make([]atomic.Bool, cfg.Procs),
+		comms:     make(map[CommID]*commState),
+		nextComm:  CommWorld + 1,
 	}
+	w.activity.SetGrace(cfg.WatchdogGraceNs)
 	w.comms[CommWorld] = newCommState(CommWorld, cfg.Procs)
 	w.procs = make([]*Proc, cfg.Procs)
 	for r := 0; r < cfg.Procs; r++ {
@@ -177,6 +227,84 @@ func (w *World) Keeper() *sim.TimeKeeper { return w.keeper }
 
 // Costs returns the world's cost model.
 func (w *World) Costs() *sim.CostModel { return &w.costs }
+
+// Chaos exposes the fault injector (nil when chaos is off) so the
+// other substrates share the same plan and decision streams.
+func (w *World) Chaos() *chaos.Injector { return w.chaos }
+
+// RankDead reports whether the rank has crash-stopped.
+func (w *World) RankDead(rank int) bool {
+	return rank >= 0 && rank < len(w.deadRanks) && w.deadRanks[rank].Load()
+}
+
+// AnyRankDead reports whether any rank has crash-stopped.
+func (w *World) AnyRankDead() bool { return w.anyDead.Load() }
+
+// DeadRanks lists the crash-stopped ranks, sorted.
+func (w *World) DeadRanks() []int {
+	var out []int
+	for r := range w.deadRanks {
+		if w.deadRanks[r].Load() {
+			out = append(out, r)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// firstDead returns the lowest crash-stopped rank, or -1.
+func (w *World) firstDead() int {
+	for r := range w.deadRanks {
+		if w.deadRanks[r].Load() {
+			return r
+		}
+	}
+	return -1
+}
+
+// failure builds the structured rank-failure error and counts it.
+func (w *World) failure(rank int, op string) error {
+	w.st.rankFailures.Inc()
+	return &RankFailureError{Rank: rank, Op: op}
+}
+
+// MarkRankDead crash-stops a rank: every operation of the rank fails
+// from now on, and every surviving operation that can no longer
+// complete — receives and probes selecting the rank, and all pending
+// and future collectives — wakes with a *RankFailureError instead of
+// hanging until the watchdog. Idempotent.
+func (w *World) MarkRankDead(rank int) {
+	if rank < 0 || rank >= len(w.deadRanks) {
+		return
+	}
+	if w.deadRanks[rank].Swap(true) {
+		return
+	}
+	w.anyDead.Store(true)
+	w.chaos.CountCrash()
+
+	// Fail the survivors' dependent point-to-point operations.
+	for _, p := range w.procs {
+		if p.rank != rank {
+			p.failWaitersFor(rank)
+		}
+	}
+
+	// Fail every pending collective instance: with a participant gone
+	// none of them can complete.
+	w.mu.Lock()
+	comms := make([]*commState, 0, len(w.comms))
+	for _, cs := range w.comms {
+		comms = append(comms, cs)
+	}
+	w.mu.Unlock()
+	for _, cs := range comms {
+		cs.failAll(w, rank)
+	}
+
+	// Wake the dead rank's own blocked threads so they unwind.
+	w.activity.AbortRank(rank)
+}
 
 // comm looks up a communicator's shared state.
 func (w *World) comm(id CommID) (*commState, error) {
@@ -221,6 +349,10 @@ type RunResult struct {
 	// BlockedTable is the structured form of BlockedOps: per blocked
 	// thread, the operation's kind, peer, tag and communicator.
 	BlockedTable []sim.BlockedOp
+
+	// DeadRanks lists ranks that crash-stopped during the run (chaos
+	// fault injection), sorted.
+	DeadRanks []int
 }
 
 // FirstError returns the first non-nil per-rank error, or nil.
@@ -258,6 +390,7 @@ func (w *World) Run(body func(p *Proc, ctx *sim.Ctx) error) *RunResult {
 	wg.Wait()
 	res.Makespan = w.keeper.Makespan()
 	res.Deadlocked = w.activity.Deadlocked()
+	res.DeadRanks = w.DeadRanks()
 	if res.Deadlocked {
 		res.BlockedOps = w.activity.StuckOps()
 		res.BlockedTable = w.activity.StuckTable()

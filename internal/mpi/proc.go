@@ -3,7 +3,10 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"home/internal/chaos"
 	"home/internal/sim"
 )
 
@@ -43,6 +46,7 @@ type Request struct {
 	done    bool
 	waiting bool
 	msg     *Message
+	err     error // completion error (rank failure)
 	wake    chan struct{}
 }
 
@@ -55,6 +59,9 @@ type Proc struct {
 
 	// mainCtx is the root thread's context, set by World.Run.
 	mainCtx *sim.Ctx
+
+	// calls counts this rank's MPI calls for the crash-stop fault.
+	calls atomic.Int64
 
 	mu          sync.Mutex
 	queue       []*Message
@@ -101,7 +108,7 @@ func (p *Proc) InitThread(ctx *sim.Ctx, required int) (int, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.initialized {
-		return p.level, fmt.Errorf("mpi: MPI_Init called twice on rank %d", p.rank)
+		return p.level, fmt.Errorf("%w on rank %d", ErrDoubleInit, p.rank)
 	}
 	if required < ThreadSingle || required > ThreadMultiple {
 		required = ThreadSingle
@@ -123,6 +130,9 @@ func (p *Proc) IsThreadMain(ctx *sim.Ctx) bool {
 
 // Finalize shuts down MPI for this rank. Further calls error.
 func (p *Proc) Finalize(ctx *sim.Ctx) error {
+	if err := p.chaosEnter("MPI_Finalize"); err != nil {
+		return err
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if !p.initialized {
@@ -156,6 +166,83 @@ func (p *Proc) checkState() error {
 	return nil
 }
 
+// Dead reports whether this rank has crash-stopped.
+func (p *Proc) Dead() bool { return p.world.RankDead(p.rank) }
+
+// chaosEnter is the crash-stop hook at the top of every communication
+// call: it charges the call against the rank's crash budget and fails
+// the call outright once the rank is dead.
+func (p *Proc) chaosEnter(op string) error {
+	w := p.world
+	if w.chaos == nil {
+		return nil
+	}
+	if w.RankDead(p.rank) {
+		return w.failure(p.rank, op)
+	}
+	if cp := w.chaos.CrashPoint(p.rank); cp >= 0 && p.calls.Add(1) >= cp {
+		w.MarkRankDead(p.rank)
+		return w.failure(p.rank, op)
+	}
+	return nil
+}
+
+// maybeStall applies an injected thread stall at a blocking call site:
+// virtual time on the thread's clock plus a transient wall-clock pause
+// the deadlock watchdog knows will end on its own.
+func (p *Proc) maybeStall(ctx *sim.Ctx) {
+	if p.world.chaos == nil {
+		return
+	}
+	if st, ok := p.world.chaos.StallAt(p.rank, ctx.TID, ctx.NextChaosSeq()); ok {
+		ctx.Advance(st.VirtualNs)
+		p.world.activity.StallPause(st.Wall)
+	}
+}
+
+// failWaitersFor wakes this (surviving) rank's blocked operations that
+// only the dead rank could satisfy: posted receives and probes
+// selecting it by explicit source. Wildcard operations are left alone —
+// another sender may still satisfy them, and if none does the deadlock
+// watchdog reports the hang, which is the defined degradation.
+func (p *Proc) failWaitersFor(dead int) {
+	p.mu.Lock()
+	var wakeRecvs []*Request
+	keptR := p.recvs[:0]
+	for _, r := range p.recvs {
+		if r.src == dead {
+			r.req.done = true
+			r.req.err = p.world.failure(dead, "MPI_Recv")
+			if r.req.waiting {
+				r.req.waiting = false
+				wakeRecvs = append(wakeRecvs, r.req)
+			}
+			continue
+		}
+		keptR = append(keptR, r)
+	}
+	p.recvs = keptR
+	var wakeProbes []chan *Message
+	keptP := p.probes[:0]
+	for _, pr := range p.probes {
+		if pr.src == dead {
+			wakeProbes = append(wakeProbes, pr.wake)
+			continue
+		}
+		keptP = append(keptP, pr)
+	}
+	p.probes = keptP
+	p.mu.Unlock()
+	for _, req := range wakeRecvs {
+		p.world.activity.Unblock()
+		req.wake <- struct{}{}
+	}
+	for _, wake := range wakeProbes {
+		p.world.activity.Unblock()
+		wake <- nil
+	}
+}
+
 // threadGuard models the faithful misbehaviour of calls issued from
 // non-main threads when the provided level forbids them. It returns
 // (drop, hang): drop means the call silently does nothing (lost send),
@@ -180,12 +267,20 @@ func (p *Proc) threadGuard(ctx *sim.Ctx, isSend bool) (drop, hang bool) {
 }
 
 // hangForever parks the calling thread until the deadlock watchdog
-// trips, modelling undefined behaviour that manifests as a hang.
+// trips (or the rank itself crash-stops), modelling undefined behaviour
+// that manifests as a hang.
 func (p *Proc) hangForever(ctx *sim.Ctx) error {
-	dead, _ := p.world.activity.BlockDesc(p.rank, ctx.TID,
+	dead, release := p.world.activity.BlockDesc(p.rank, ctx.TID,
 		"an MPI call issued from a non-main thread under "+ThreadLevelName(p.ThreadLevel())+" (undefined behaviour)")
 	<-dead
-	return p.deadlockError()
+	if p.world.activity.Deadlocked() {
+		return p.deadlockError()
+	}
+	// Rank abort: nobody else will ever wake this thread, so it unwinds
+	// itself (the watchdog protocol's self-Unblock for abandoned waits).
+	p.world.activity.Unblock()
+	release()
+	return p.world.failure(p.rank, "MPI call")
 }
 
 // matches reports whether message m satisfies a (src, tag, comm)
@@ -205,9 +300,12 @@ func matches(m *Message, src, tag int, comm CommID) bool {
 
 // deliver places a message at this rank: it first satisfies all
 // pending probes that match, then the earliest-posted matching
-// receive, and otherwise queues the message. Called with p.mu held by
-// the sender's goroutine.
-func (p *Proc) deliverLocked(m *Message) {
+// receive, and otherwise queues the message. reorder (chaos fault)
+// asks for the message to jump ahead of queued messages from other
+// sources; same-source order is always preserved, keeping the MPI
+// non-overtaking rule intact. Called with p.mu held by the sender's
+// goroutine.
+func (p *Proc) deliverLocked(m *Message, reorder bool) {
 	// Satisfy probes (they inspect, not consume).
 	kept := p.probes[:0]
 	for _, pr := range p.probes {
@@ -236,7 +334,19 @@ func (p *Proc) deliverLocked(m *Message) {
 			return
 		}
 	}
-	p.queue = append(p.queue, m)
+	if reorder {
+		// Insert before the trailing run of other-source messages; an
+		// earlier message from the same source is never overtaken.
+		i := len(p.queue)
+		for i > 0 && p.queue[i-1].Source != m.Source {
+			i--
+		}
+		p.queue = append(p.queue, nil)
+		copy(p.queue[i+1:], p.queue[i:])
+		p.queue[i] = m
+	} else {
+		p.queue = append(p.queue, m)
+	}
 	p.world.st.queueHWM.Observe(int64(len(p.queue)))
 }
 
@@ -248,11 +358,17 @@ func (p *Proc) Send(ctx *sim.Ctx, data []float64, dest, tag int, comm CommID) er
 	if err := p.checkState(); err != nil {
 		return err
 	}
+	if err := p.chaosEnter("MPI_Send"); err != nil {
+		return err
+	}
 	if dest < 0 || dest >= p.world.Size() {
 		return fmt.Errorf("%w: dest %d", ErrInvalidRank, dest)
 	}
 	if _, err := p.world.comm(comm); err != nil {
 		return err
+	}
+	if p.world.RankDead(dest) {
+		return p.world.failure(dest, "MPI_Send")
 	}
 	if drop, hang := p.threadGuard(ctx, true); drop {
 		ctx.Advance(p.world.costs.MPICallNs)
@@ -262,6 +378,21 @@ func (p *Proc) Send(ctx *sim.Ctx, data []float64, dest, tag int, comm CommID) er
 	}
 	c := p.world.costs
 	ctx.Advance(c.MPICallNs)
+	var fault chaos.SendFault
+	if p.world.chaos != nil {
+		fault = p.world.chaos.SendFault(p.rank, ctx.TID, ctx.NextChaosSeq())
+		if fault.JitterWall > 0 {
+			// Wall-clock pause only: perturbs which goroutine delivers
+			// first without touching virtual time.
+			time.Sleep(fault.JitterWall)
+		}
+		if fault.Retries > 0 {
+			// Transient failures: each retry re-enters the library and
+			// backs off in virtual time; the send always succeeds in the
+			// end, so no message is ever lost.
+			ctx.Advance(int64(fault.Retries) * (c.MPICallNs + fault.BackoffNs))
+		}
+	}
 	p.world.st.sends.Inc()
 	p.world.st.bytesMoved.Add(int64(len(data) * 8))
 	payload := make([]float64, len(data))
@@ -271,11 +402,11 @@ func (p *Proc) Send(ctx *sim.Ctx, data []float64, dest, tag int, comm CommID) er
 		Tag:     tag,
 		Comm:    comm,
 		Data:    payload,
-		Arrival: ctx.Now + c.MsgLatencyNs + int64(len(data)*8)*c.MsgNsPerByte,
+		Arrival: ctx.Now + c.MsgLatencyNs + int64(len(data)*8)*c.MsgNsPerByte + fault.DelayNs,
 	}
 	dst := p.world.procs[dest]
 	dst.mu.Lock()
-	dst.deliverLocked(m)
+	dst.deliverLocked(m, fault.Reorder)
 	dst.mu.Unlock()
 	return nil
 }
@@ -297,6 +428,9 @@ func (p *Proc) Isend(ctx *sim.Ctx, data []float64, dest, tag int, comm CommID) (
 // Irecv posts a nonblocking receive and returns its request handle.
 func (p *Proc) Irecv(ctx *sim.Ctx, source, tag int, comm CommID) (*Request, error) {
 	if err := p.checkState(); err != nil {
+		return nil, err
+	}
+	if err := p.chaosEnter("MPI_Irecv"); err != nil {
 		return nil, err
 	}
 	if source != AnySource && (source < 0 || source >= p.world.Size()) {
@@ -323,6 +457,12 @@ func (p *Proc) Irecv(ctx *sim.Ctx, source, tag int, comm CommID) (*Request, erro
 			return req, nil
 		}
 	}
+	// The queue scan above runs first so messages sent before a crash
+	// are still received; only then does an explicit selection of a
+	// dead source fail.
+	if source != AnySource && p.world.RankDead(source) {
+		return nil, p.world.failure(source, "MPI_Irecv")
+	}
 	p.recvs = append(p.recvs, &pendingRecv{src: source, tag: tag, comm: comm, req: req})
 	return req, nil
 }
@@ -333,14 +473,21 @@ func (p *Proc) Wait(ctx *sim.Ctx, req *Request) (Status, error) {
 	if err := p.checkState(); err != nil {
 		return Status{}, err
 	}
+	if err := p.chaosEnter("MPI_Wait"); err != nil {
+		return Status{}, err
+	}
 	if _, hang := p.threadGuard(ctx, false); hang {
 		return Status{}, p.hangForever(ctx)
 	}
 	ctx.Advance(p.world.costs.MPICallNs)
+	p.maybeStall(ctx)
 	p.mu.Lock()
 	if req.done {
-		msg := req.msg
+		msg, rerr := req.msg, req.err
 		p.mu.Unlock()
+		if rerr != nil {
+			return Status{}, rerr
+		}
 		return finishRecv(ctx, req, msg), nil
 	}
 	req.waiting = true
@@ -364,11 +511,33 @@ func (p *Proc) Wait(ctx *sim.Ctx, req *Request) (Status, error) {
 	case <-req.wake:
 		release()
 		p.mu.Lock()
-		msg := req.msg
+		msg, rerr := req.msg, req.err
 		p.mu.Unlock()
+		if rerr != nil {
+			return Status{}, rerr
+		}
 		return finishRecv(ctx, req, msg), nil
 	case <-dead:
-		return Status{}, p.deadlockError()
+		if p.world.activity.Deadlocked() {
+			return Status{}, p.deadlockError()
+		}
+		// Rank abort (own crash-stop): unwind the wait. If a waker got
+		// there first it already unblocked us and left a wake token;
+		// otherwise the registration is still ours to clean up.
+		p.mu.Lock()
+		if req.waiting {
+			req.waiting = false
+			for i, r := range p.recvs {
+				if r.req == req {
+					p.recvs = append(p.recvs[:i], p.recvs[i+1:]...)
+					break
+				}
+			}
+			p.world.activity.Unblock()
+		}
+		p.mu.Unlock()
+		release()
+		return Status{}, p.world.failure(p.rank, "MPI_Wait")
 	}
 }
 
@@ -377,12 +546,18 @@ func (p *Proc) Test(ctx *sim.Ctx, req *Request) (ok bool, st Status, err error) 
 	if err := p.checkState(); err != nil {
 		return false, Status{}, err
 	}
+	if err := p.chaosEnter("MPI_Test"); err != nil {
+		return false, Status{}, err
+	}
 	ctx.Advance(p.world.costs.MPICallNs)
 	p.mu.Lock()
-	done, msg := req.done, req.msg
+	done, msg, rerr := req.done, req.msg, req.err
 	p.mu.Unlock()
 	if !done {
 		return false, Status{}, nil
+	}
+	if rerr != nil {
+		return false, Status{}, rerr
 	}
 	return true, finishRecv(ctx, req, msg), nil
 }
@@ -437,10 +612,14 @@ func (p *Proc) Probe(ctx *sim.Ctx, source, tag int, comm CommID) (Status, error)
 	if err := p.checkState(); err != nil {
 		return Status{}, err
 	}
+	if err := p.chaosEnter("MPI_Probe"); err != nil {
+		return Status{}, err
+	}
 	if _, hang := p.threadGuard(ctx, false); hang {
 		return Status{}, p.hangForever(ctx)
 	}
 	ctx.Advance(p.world.costs.MPICallNs)
+	p.maybeStall(ctx)
 	p.mu.Lock()
 	for _, m := range p.queue {
 		if matches(m, source, tag, comm) {
@@ -448,6 +627,12 @@ func (p *Proc) Probe(ctx *sim.Ctx, source, tag int, comm CommID) (Status, error)
 			ctx.SyncTo(m.Arrival)
 			return Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
 		}
+	}
+	// Queued pre-crash messages (above) still probe successfully; an
+	// explicit selection of a dead source with nothing queued fails.
+	if source != AnySource && p.world.RankDead(source) {
+		p.mu.Unlock()
+		return Status{}, p.world.failure(source, "MPI_Probe")
 	}
 	pr := &pendingProbe{src: source, tag: tag, comm: comm, wake: make(chan *Message, 1)}
 	p.probes = append(p.probes, pr)
@@ -461,16 +646,42 @@ func (p *Proc) Probe(ctx *sim.Ctx, source, tag int, comm CommID) (Status, error)
 	select {
 	case m := <-pr.wake:
 		release()
+		if m == nil {
+			// Woken by failWaitersFor: the probed source crash-stopped.
+			return Status{}, p.world.failure(source, "MPI_Probe")
+		}
 		ctx.SyncTo(m.Arrival)
 		return Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
 	case <-dead:
-		return Status{}, p.deadlockError()
+		if p.world.activity.Deadlocked() {
+			return Status{}, p.deadlockError()
+		}
+		// Rank abort (own crash-stop): unwind. If the registration is
+		// gone a waker already unblocked us; otherwise clean up here.
+		p.mu.Lock()
+		found := false
+		for i, q := range p.probes {
+			if q == pr {
+				p.probes = append(p.probes[:i], p.probes[i+1:]...)
+				found = true
+				break
+			}
+		}
+		p.mu.Unlock()
+		if found {
+			p.world.activity.Unblock()
+		}
+		release()
+		return Status{}, p.world.failure(p.rank, "MPI_Probe")
 	}
 }
 
 // Iprobe checks nonblockingly for a matching message.
 func (p *Proc) Iprobe(ctx *sim.Ctx, source, tag int, comm CommID) (bool, Status, error) {
 	if err := p.checkState(); err != nil {
+		return false, Status{}, err
+	}
+	if err := p.chaosEnter("MPI_Iprobe"); err != nil {
 		return false, Status{}, err
 	}
 	ctx.Advance(p.world.costs.MPICallNs)
@@ -480,6 +691,9 @@ func (p *Proc) Iprobe(ctx *sim.Ctx, source, tag int, comm CommID) (bool, Status,
 		if matches(m, source, tag, comm) && m.Arrival <= ctx.Now {
 			return true, Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
 		}
+	}
+	if source != AnySource && p.world.RankDead(source) {
+		return false, Status{}, p.world.failure(source, "MPI_Iprobe")
 	}
 	return false, Status{}, nil
 }

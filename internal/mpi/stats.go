@@ -17,6 +17,7 @@ import "home/internal/obs"
 //	mpi.collective_rounds     completed collective instances
 //	mpi.unexpected_queue_hwm  unexpected-queue length high-water mark
 //	mpi.watchdog_blocked_ops  wait-for table size when the watchdog trips
+//	mpi.rank_failures         operations failed by a crash-stopped rank
 type worldStats struct {
 	sends            *obs.Counter
 	bytesMoved       *obs.Counter
@@ -24,6 +25,7 @@ type worldStats struct {
 	probesMatched    *obs.Counter
 	wildcardRecvs    *obs.Counter
 	collectiveRounds *obs.Counter
+	rankFailures     *obs.Counter
 	queueHWM         *obs.Gauge
 	blockedOps       *obs.Gauge
 }
@@ -38,6 +40,7 @@ func newWorldStats(reg *obs.Registry) worldStats {
 		probesMatched:    reg.Counter("mpi.probes_matched"),
 		wildcardRecvs:    reg.Counter("mpi.wildcard_recvs"),
 		collectiveRounds: reg.Counter("mpi.collective_rounds"),
+		rankFailures:     reg.Counter("mpi.rank_failures"),
 		queueHWM:         reg.Gauge("mpi.unexpected_queue_hwm"),
 		blockedOps:       reg.Gauge("mpi.watchdog_blocked_ops"),
 	}

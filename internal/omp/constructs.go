@@ -42,6 +42,7 @@ func (m *Member) Barrier() error {
 // barrierAt implements the rendezvous for a given construct ordinal.
 func (m *Member) barrierAt(ord uint64) error {
 	t := m.team
+	t.rt.maybeStall(m.Ctx)
 	if t.size == 1 {
 		m.Ctx.Advance(barrierCostNs)
 		return nil
@@ -78,7 +79,27 @@ func (m *Member) barrierAt(ord uint64) error {
 		m.Ctx.SyncTo(release)
 		return nil
 	case <-dead:
-		return ErrDeadlock
+		if t.rt.activity.Deadlocked() {
+			return ErrDeadlock
+		}
+		// Rank abort (crash-stop): withdraw from the rendezvous. If our
+		// waiter is gone the completing member already unblocked us.
+		t.mu.Lock()
+		found := false
+		for i, w := range st.waiters {
+			if w == wake {
+				st.waiters = append(st.waiters[:i], st.waiters[i+1:]...)
+				st.arrived--
+				found = true
+				break
+			}
+		}
+		t.mu.Unlock()
+		if found {
+			t.rt.activity.Unblock()
+		}
+		done()
+		return ErrRankAborted
 	}
 }
 
@@ -269,7 +290,37 @@ func (m *Member) acquire(l *lockState, id trace.LockID) error {
 			l.mu.Unlock()
 			m.Ctx.SyncTo(freeAt)
 		case <-dead:
-			return ErrDeadlock
+			if m.team.rt.activity.Deadlocked() {
+				return ErrDeadlock
+			}
+			// Rank abort (crash-stop). If we are still queued, withdraw
+			// and self-unblock. If not, the releaser handed us ownership
+			// concurrently — pass it on so the lock isn't stranded.
+			l.mu.Lock()
+			found := false
+			for i, w := range l.waiters {
+				if w == wake {
+					l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+					found = true
+					break
+				}
+			}
+			if !found {
+				if len(l.waiters) > 0 {
+					next := l.waiters[0]
+					l.waiters = l.waiters[1:]
+					m.team.rt.activity.Unblock()
+					next <- struct{}{}
+				} else {
+					l.held = false
+				}
+			}
+			l.mu.Unlock()
+			if found {
+				m.team.rt.activity.Unblock()
+			}
+			done()
+			return ErrRankAborted
 		}
 	}
 	m.Ctx.Advance(lockCostNs)

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"home/internal/chaos"
 	"home/internal/sim"
 	"home/internal/trace"
 )
@@ -36,6 +37,11 @@ import (
 // ErrDeadlock reports that the global deadlock watchdog tripped while
 // an OpenMP construct was blocked.
 var ErrDeadlock = errors.New("omp: global deadlock detected while blocked in construct")
+
+// ErrRankAborted reports that the owning rank crash-stopped (chaos
+// fault injection) while an OpenMP construct was blocked; the thread
+// unwinds instead of waiting forever for teammates that are gone.
+var ErrRankAborted = errors.New("omp: rank crash-stopped while blocked in construct")
 
 // Cost constants for the substrate's own operations (virtual ns).
 const (
@@ -51,6 +57,7 @@ type Runtime struct {
 	seed     int64
 	rank     int
 	st       rtStats
+	chaos    *chaos.Injector
 
 	mu         sync.Mutex
 	numThreads int
@@ -73,6 +80,24 @@ func NewRuntime(rank int, activity *sim.Activity, seed int64) *Runtime {
 		rank:       rank,
 		numThreads: 2,
 		locks:      make(map[string]*lockState),
+	}
+}
+
+// SetChaos installs the fault injector shared with the MPI world (nil
+// = chaos off), enabling injected thread stalls at construct
+// boundaries.
+func (rt *Runtime) SetChaos(in *chaos.Injector) { rt.chaos = in }
+
+// maybeStall applies an injected thread stall at a construct boundary:
+// virtual time on the thread's clock plus a transient wall-clock pause
+// the deadlock watchdog knows will end on its own.
+func (rt *Runtime) maybeStall(ctx *sim.Ctx) {
+	if rt.chaos == nil {
+		return
+	}
+	if st, ok := rt.chaos.StallAt(ctx.Rank, ctx.TID, ctx.NextChaosSeq()); ok {
+		ctx.Advance(st.VirtualNs)
+		rt.activity.StallPause(st.Wall)
 	}
 }
 
@@ -230,7 +255,20 @@ func (rt *Runtime) Parallel(ctx *sim.Ctx, n int, body func(m *Member) error) err
 		case <-js.wake:
 			joined()
 		case <-dead:
-			return ErrDeadlock
+			if rt.activity.Deadlocked() {
+				return ErrDeadlock
+			}
+			// Rank abort (crash-stop): stop waiting for workers that are
+			// unwinding themselves. Self-unblock unless the last worker
+			// beat us to it.
+			js.mu.Lock()
+			if js.waiting {
+				js.waiting = false
+				rt.activity.Unblock()
+			}
+			js.mu.Unlock()
+			joined()
+			return ErrRankAborted
 		}
 	} else {
 		js.mu.Unlock()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Activity tracks how many simulated threads exist and how many are
@@ -23,12 +24,39 @@ import (
 //     blocked count never over-reports.
 //   - A woken thread does not decrement; its waker already did. A
 //     thread abandoning a wait for another reason calls Unblock itself.
+//
+// Two extensions serve the chaos layer:
+//
+//   - Transient blocks (StallPause): an injected stall parks its
+//     thread for a bounded wall-clock pause. It counts as blocked, but
+//     an all-blocked state that includes transient blocks is not an
+//     immediate deadlock — the stalled thread will wake on its own.
+//     Instead of tripping, the watchdog arms a wall-clock grace timer
+//     (SetGrace); if no progress happens within the grace, the state
+//     is treated as a hang after all. With no transient blocks the
+//     original exact, immediate detection is unchanged.
+//   - Per-rank aborts (AbortRank): when a rank crash-stops, its
+//     blocked threads must wake and unwind even though the world keeps
+//     running. The channel Block returns is a per-rank latch that
+//     closes on either the global deadlock trip or the rank's abort;
+//     woken sites consult Deadlocked to tell the two apart.
 type Activity struct {
-	mu      sync.Mutex
-	active  int
-	blocked int
-	dead    chan struct{}
-	tripped bool
+	mu        sync.Mutex
+	active    int
+	blocked   int
+	transient int // blocked threads that will wake on their own (injected stalls)
+	dead      chan struct{}
+	tripped   bool
+
+	// Watchdog grace for transient blocks.
+	graceNs    int64
+	graceGen   uint64
+	graceArmed bool
+
+	// ranks holds the per-rank deadlock-or-abort latches; aborted
+	// records ranks whose latch closed by AbortRank.
+	ranks   map[int]*rankLatch
+	aborted map[int]bool
 
 	// stuck describes each currently blocked operation, keyed by a
 	// registration token. Entries left behind when the latch trips
@@ -36,6 +64,18 @@ type Activity struct {
 	stuck   map[int64]BlockedOp
 	nextTok int64
 }
+
+type rankLatch struct {
+	ch     chan struct{}
+	closed bool
+}
+
+// DefaultGraceNs is the wall-clock grace granted to an all-blocked
+// state that contains transient (self-waking) blocks before it is
+// declared a deadlock anyway. Injected stall pauses are a couple of
+// milliseconds; anything "transient" outliving this is treated as a
+// hang.
+const DefaultGraceNs = 250 * int64(time.Millisecond)
 
 // BlockedOp describes one operation blocked inside the runtime: who
 // is waiting (rank, thread) and what for. Op/Peer/Tag/Comm carry the
@@ -67,7 +107,20 @@ func (o BlockedOp) String() string {
 
 // NewActivity returns an Activity with no registered threads.
 func NewActivity() *Activity {
-	return &Activity{dead: make(chan struct{}), stuck: make(map[int64]BlockedOp)}
+	return &Activity{
+		dead:    make(chan struct{}),
+		ranks:   make(map[int]*rankLatch),
+		aborted: make(map[int]bool),
+		stuck:   make(map[int64]BlockedOp),
+	}
+}
+
+// SetGrace sets the wall-clock grace (nanoseconds) for all-blocked
+// states containing transient blocks; ns <= 0 keeps DefaultGraceNs.
+func (a *Activity) SetGrace(ns int64) {
+	a.mu.Lock()
+	a.graceNs = ns
+	a.mu.Unlock()
 }
 
 // AddThreads registers n newly started threads.
@@ -104,7 +157,10 @@ func (a *Activity) BlockDesc(rank, tid int, desc string) (<-chan struct{}, func(
 
 // BlockOp is BlockDesc with a structured wait-for record, so deadlock
 // reports can tabulate the blocked call's kind, peer, tag and
-// communicator rather than just a description string.
+// communicator rather than just a description string. The returned
+// channel closes on global deadlock or, when op.Rank >= 0, when that
+// rank is aborted (crash-stop); woken sites use Deadlocked to
+// distinguish.
 func (a *Activity) BlockOp(op BlockedOp) (<-chan struct{}, func()) {
 	a.mu.Lock()
 	a.blocked++
@@ -123,8 +179,69 @@ func (a *Activity) BlockOp(op BlockedOp) (<-chan struct{}, func()) {
 	}
 	a.checkLocked()
 	d := a.dead
+	if op.Rank >= 0 {
+		d = a.rankLatchLocked(op.Rank).ch
+	}
 	a.mu.Unlock()
 	return d, release
+}
+
+// rankLatchLocked returns (creating if needed) the rank's latch; new
+// latches start closed if the watchdog already tripped or the rank is
+// already aborted.
+func (a *Activity) rankLatchLocked(rank int) *rankLatch {
+	rl, ok := a.ranks[rank]
+	if !ok {
+		rl = &rankLatch{ch: make(chan struct{})}
+		if a.tripped || a.aborted[rank] {
+			rl.closed = true
+			close(rl.ch)
+		}
+		a.ranks[rank] = rl
+	}
+	return rl
+}
+
+// AbortRank closes the rank's latch: every thread of that rank
+// blocked through BlockOp wakes and (seeing Deadlocked false) unwinds
+// with its own cleanup. Used by the crash-stop fault.
+func (a *Activity) AbortRank(rank int) {
+	a.mu.Lock()
+	a.aborted[rank] = true
+	rl := a.rankLatchLocked(rank)
+	if !rl.closed {
+		rl.closed = true
+		close(rl.ch)
+	}
+	a.mu.Unlock()
+}
+
+// RankAborted reports whether AbortRank was called for the rank.
+func (a *Activity) RankAborted(rank int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.aborted[rank]
+}
+
+// StallPause marks the calling thread transiently blocked for the
+// given wall-clock pause, then resumes it. The pause models an
+// injected thread stall: the watchdog counts the thread as blocked
+// but knows it will wake on its own.
+func (a *Activity) StallPause(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	a.mu.Lock()
+	a.blocked++
+	a.transient++
+	a.checkLocked()
+	a.mu.Unlock()
+	time.Sleep(d)
+	a.mu.Lock()
+	a.blocked--
+	a.transient--
+	a.graceGen++ // progress: invalidate any pending grace check
+	a.mu.Unlock()
 }
 
 // StuckOps returns the descriptions of operations that were blocked
@@ -166,6 +283,7 @@ func (a *Activity) StuckTable() []BlockedOp {
 func (a *Activity) Unblock() {
 	a.mu.Lock()
 	a.blocked--
+	a.graceGen++ // progress: invalidate any pending grace check
 	a.mu.Unlock()
 }
 
@@ -180,10 +298,62 @@ func (a *Activity) Deadlocked() bool {
 func (a *Activity) Dead() <-chan struct{} { return a.dead }
 
 func (a *Activity) checkLocked() {
-	if !a.tripped && a.active > 0 && a.blocked >= a.active {
-		a.tripped = true
-		close(a.dead)
+	if a.tripped || a.active <= 0 || a.blocked < a.active {
+		return
 	}
+	if a.transient > 0 {
+		// Some blocked threads are injected stalls that will wake on
+		// their own; grant a wall-clock grace instead of tripping. If
+		// nothing has made progress when the grace expires, treat the
+		// state as a hang after all.
+		a.armGraceLocked()
+		return
+	}
+	a.tripLocked()
+}
+
+func (a *Activity) tripLocked() {
+	a.tripped = true
+	close(a.dead)
+	for _, rl := range a.ranks {
+		if !rl.closed {
+			rl.closed = true
+			close(rl.ch)
+		}
+	}
+}
+
+// armGraceLocked schedules the delayed re-check for an all-blocked
+// state that contains transient blocks.
+func (a *Activity) armGraceLocked() {
+	if a.graceArmed {
+		return
+	}
+	a.graceArmed = true
+	gen := a.graceGen
+	ns := a.graceNs
+	if ns <= 0 {
+		ns = DefaultGraceNs
+	}
+	time.AfterFunc(time.Duration(ns), func() {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		a.graceArmed = false
+		if a.tripped {
+			return
+		}
+		if gen == a.graceGen && a.active > 0 && a.blocked >= a.active {
+			// No progress for the whole grace: the "transient" block
+			// outlived its budget; declare the deadlock.
+			a.tripLocked()
+			return
+		}
+		// Progress happened; if we are all-blocked again with
+		// transients, re-arm for the new episode.
+		if a.active > 0 && a.blocked >= a.active && a.transient > 0 {
+			a.armGraceLocked()
+		}
+	})
 }
 
 // Counts returns the current (active, blocked) thread counts; useful

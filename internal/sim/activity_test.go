@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// An injected stall that resolves within the grace window must not
+// trip the watchdog, even though the stall briefly makes every live
+// thread count as blocked.
+func TestActivityStallGraceNoFalseTrip(t *testing.T) {
+	a := NewActivity()
+	a.SetGrace(int64(100 * time.Millisecond))
+	a.AddThreads(2)
+
+	wake := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d, release := a.BlockDesc(0, 0, "peer wait")
+		select {
+		case <-wake:
+			release()
+		case <-d:
+		}
+	}()
+
+	// Give the other goroutine time to register as blocked, then stall
+	// this thread: 2 live threads, 1 real block + 1 transient.
+	time.Sleep(10 * time.Millisecond)
+	a.StallPause(20 * time.Millisecond)
+
+	// Wait out the grace window; the stall resolved, so no trip.
+	time.Sleep(150 * time.Millisecond)
+	if a.Deadlocked() {
+		t.Fatal("watchdog tripped on a transient stall that resolved")
+	}
+
+	a.Unblock()
+	wake <- struct{}{}
+	<-done
+	a.DoneThread()
+	a.DoneThread()
+}
+
+// A real hang that merely looks transient (the stall outlives the
+// grace) must still be declared a deadlock once the grace expires.
+func TestActivityGraceTripsOnRealHang(t *testing.T) {
+	a := NewActivity()
+	a.SetGrace(int64(30 * time.Millisecond))
+	a.AddThreads(2)
+
+	go func() {
+		d, _ := a.BlockDesc(0, 0, "forever wait")
+		<-d
+	}()
+	time.Sleep(10 * time.Millisecond)
+	go a.StallPause(2 * time.Second) // "transient" block outliving the grace
+
+	select {
+	case <-a.Dead():
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never tripped on a hang containing a transient block")
+	}
+	if !a.Deadlocked() {
+		t.Fatal("latch closed but Deadlocked() is false")
+	}
+}
+
+// AbortRank wakes only the aborted rank's blocked operations; other
+// ranks stay blocked and the global latch stays open.
+func TestActivityAbortRankWakesOnlyThatRank(t *testing.T) {
+	a := NewActivity()
+	a.AddThreads(3) // rank 0 waiter, rank 1 waiter, plus this thread
+
+	woken := make(chan int, 2)
+	for rank := 0; rank < 2; rank++ {
+		rank := rank
+		go func() {
+			d, release := a.BlockOp(BlockedOp{Rank: rank, TID: 0, Peer: NoArg, Tag: NoArg, Comm: NoArg, Detail: "abort wait"})
+			<-d
+			if !a.Deadlocked() {
+				a.Unblock() // abandoning the wait: self-unblock
+				release()
+			}
+			woken <- rank
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	a.AbortRank(0)
+	select {
+	case r := <-woken:
+		if r != 0 {
+			t.Fatalf("rank %d woke, want rank 0", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("aborted rank never woke")
+	}
+	if !a.RankAborted(0) || a.RankAborted(1) {
+		t.Fatal("abort bookkeeping wrong")
+	}
+	if a.Deadlocked() {
+		t.Fatal("rank abort must not trip the global latch")
+	}
+	select {
+	case r := <-woken:
+		t.Fatalf("rank %d woke without being aborted", r)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// A latch requested after the abort is born closed.
+	d, release := a.BlockOp(BlockedOp{Rank: 0, TID: 1, Peer: NoArg, Tag: NoArg, Comm: NoArg, Detail: "late wait"})
+	select {
+	case <-d:
+		a.Unblock()
+		release()
+	case <-time.After(time.Second):
+		t.Fatal("post-abort latch not pre-closed")
+	}
+
+	a.AbortRank(1)
+	<-woken
+}

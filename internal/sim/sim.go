@@ -103,6 +103,18 @@ type Ctx struct {
 
 	// Keeper, when non-nil, observes the final clock at Finish.
 	Keeper *TimeKeeper
+
+	// ChaosSeq counts the fault-injection decision points this thread
+	// has passed. The chaos layer keys its deterministic rolls on it,
+	// so verdicts depend on the thread's own progress, never on the
+	// host schedule.
+	ChaosSeq uint64
+}
+
+// NextChaosSeq advances and returns the thread's fault-decision index.
+func (c *Ctx) NextChaosSeq() uint64 {
+	c.ChaosSeq++
+	return c.ChaosSeq
 }
 
 // NewCtx builds a context for (rank, tid) with a seed-derived random

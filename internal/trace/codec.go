@@ -3,9 +3,31 @@ package trace
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ErrTruncated reports a trace stream that ends mid-record — the
+// signature of a recording cut short by a crash. ReadJSON returns a
+// *TruncatedError (unwrapping to this sentinel) together with the
+// events salvaged before the cut, so callers can analyze the prefix.
+var ErrTruncated = errors.New("trace: truncated stream")
+
+// TruncatedError carries how much of a truncated stream was salvaged.
+type TruncatedError struct {
+	// Events is the number of complete events decoded before the cut.
+	Events int
+	// Err is the decoder error at the point of truncation.
+	Err error
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("trace: truncated stream after %d events: %v", e.Events, e.Err)
+}
+
+// Unwrap makes errors.Is(err, ErrTruncated) match.
+func (e *TruncatedError) Unwrap() error { return ErrTruncated }
 
 // The paper notes dynamic analysis may run online (during execution)
 // or offline (after it terminates). This codec supports the offline
@@ -92,12 +114,19 @@ func WriteJSON(w io.Writer, events []Event) error {
 // records shared by several events in the original log are NOT
 // re-deduplicated: each event gets its own record with equal contents,
 // which the analyses treat identically.
+//
+// A stream that ends mid-record returns the complete events decoded so
+// far together with a *TruncatedError, so a recording cut short by a
+// crash can still be replayed as a prefix.
 func ReadJSON(r io.Reader) ([]Event, error) {
 	dec := json.NewDecoder(r)
 	var out []Event
 	for dec.More() {
 		var je jsonEvent
 		if err := dec.Decode(&je); err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return out, &TruncatedError{Events: len(out), Err: err}
+			}
 			return nil, fmt.Errorf("trace: decode event %d: %w", len(out), err)
 		}
 		op, ok := opByName[je.Op]

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"strings"
 	"testing"
 )
@@ -81,5 +83,45 @@ func TestReadJSONEmpty(t *testing.T) {
 	events, err := ReadJSON(strings.NewReader(""))
 	if err != nil || len(events) != 0 {
 		t.Fatalf("events=%v err=%v", events, err)
+	}
+}
+
+func TestReadJSONTruncatedGolden(t *testing.T) {
+	f, err := os.Open("testdata/truncated.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := ReadJSON(f)
+	if err == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want errors.Is(_, ErrTruncated)", err)
+	}
+	var te *TruncatedError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T, want *TruncatedError", err)
+	}
+	if te.Events != 2 || len(events) != 2 {
+		t.Fatalf("salvaged %d events (reported %d), want 2", len(events), te.Events)
+	}
+	if events[0].Op != OpFork || events[1].Op != OpWrite {
+		t.Fatalf("salvaged prefix mismatch: %+v", events)
+	}
+	if events[1].Call == nil || events[1].Call.Kind != CallRecv {
+		t.Fatalf("salvaged call record mismatch: %+v", events[1].Call)
+	}
+}
+
+func TestReadJSONTruncatedMidLiteral(t *testing.T) {
+	// Cut inside a JSON value (not just mid-object) must also salvage.
+	events, err := ReadJSON(strings.NewReader(
+		"{\"seq\":0,\"rank\":0,\"tid\":0,\"time\":1,\"op\":\"Fork\"}\n{\"seq\":1,\"ra"))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("salvaged %d events, want 1", len(events))
 	}
 }
