@@ -18,9 +18,12 @@
 //	homecheck -spans spans.json app.c  # phase spans as Chrome trace JSON
 //	homecheck -chaos seed=3 app.c      # check under injected fault schedules
 //	homecheck -chaos seed=3,crash=1@5 app.c   # crash-stop rank 1 at its 5th call
+//	homecheck -chaos seed=3 -record-sched s.jsonl app.c  # record the realized schedule
+//	homecheck -replay-sched s.jsonl app.c     # force the recorded interleaving
 //
 // See docs/OBSERVABILITY.md for the -stats and -spans output and
-// docs/ROBUSTNESS.md for the -chaos plan syntax.
+// docs/ROBUSTNESS.md for the -chaos plan syntax and the schedule
+// record/replay format.
 package main
 
 import (

@@ -7,6 +7,7 @@
 //
 //	hometrace record [-procs N] [-all] [-spans out.json] program.c > trace.jsonl
 //	hometrace analyze [-mode combined|lockset|hb] [-ignore-locks] trace.jsonl
+//	hometrace replay [-procs N] [-threads N] [-seed S] sched.jsonl program.c
 //
 // record executes the program with HOME's instrumentation and writes
 // the event stream as newline-delimited JSON; -spans additionally
@@ -14,7 +15,9 @@
 // docs/OBSERVABILITY.md). analyze re-runs the dynamic analyses and
 // the specification matcher over a saved stream — so one recorded
 // execution can be examined under different analysis configurations
-// without re-running the program.
+// without re-running the program. replay re-checks a program while
+// forcing a fault schedule recorded by homecheck -record-sched,
+// reproducing the recorded report exactly (see docs/ROBUSTNESS.md).
 package main
 
 import (

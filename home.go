@@ -46,6 +46,7 @@ import (
 	"home/internal/minic"
 	"home/internal/msgrace"
 	"home/internal/obs"
+	"home/internal/sched"
 	"home/internal/sim"
 	"home/internal/spec"
 	"home/internal/static"
@@ -84,7 +85,22 @@ type (
 	// ChaosPlan is a deterministic fault-injection plan for the
 	// simulated cluster (see internal/chaos and docs/ROBUSTNESS.md).
 	ChaosPlan = chaos.Plan
+	// ScheduleRecorder accumulates a run's realized fault schedule —
+	// every fault decision and nondeterministic resolution — as a
+	// replayable artifact (see internal/sched and docs/ROBUSTNESS.md).
+	ScheduleRecorder = sched.Recorder
+	// Schedule is a recorded fault schedule loaded for replay.
+	Schedule = sched.Schedule
 )
+
+// NewScheduleRecorder returns an empty schedule recorder to pass in
+// Options.RecordSchedule.
+func NewScheduleRecorder() *ScheduleRecorder { return sched.NewRecorder() }
+
+// ReadScheduleFile loads a recorded schedule for Options.ReplaySchedule.
+// A stream cut mid-record still returns the salvaged prefix together
+// with an error unwrapping to sched.ErrTruncated.
+func ReadScheduleFile(path string) (*Schedule, error) { return sched.ReadFile(path) }
 
 // ChaosPerturb returns the default legal-perturbation chaos plan for a
 // seed: message delays, queue reordering, transient send failures,
@@ -173,6 +189,17 @@ type Options struct {
 	// all-blocked states containing injected transient stalls (0 =
 	// default). Irrelevant without chaos stalls: detection stays exact.
 	WatchdogGraceNs int64
+
+	// RecordSchedule, when non-nil, records the run's realized fault
+	// schedule (every fault decision and nondeterministic resolution)
+	// into the given recorder; serialize it with its Write/WriteFile
+	// methods. Ignored when ReplaySchedule is set.
+	RecordSchedule *ScheduleRecorder
+	// ReplaySchedule, when non-nil, replays a recorded schedule: the
+	// run takes its chaos plan from the schedule header (Options.Chaos
+	// is ignored), disables the seed-hash fault path, and forces the
+	// recorded interleaving, reproducing the recorded Report verdicts.
+	ReplaySchedule *Schedule
 
 	// Stats, when non-nil, collects runtime counters from every layer
 	// of the run; Report.Stats carries the final snapshot. Use one
@@ -365,6 +392,7 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 	// matcher needs afterwards.
 	log := trace.NewLog()
 	online := detect.NewOnline(detect.Options{Mode: opts.Mode, Stats: opts.Stats})
+	chaosPlan, schedRec, schedSrc := resolveSched(&opts)
 	sp = opts.Profile.Start("execute")
 	run := interp.Run(prog, interp.Config{
 		Procs:              opts.Procs,
@@ -377,7 +405,9 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 		MaxSteps:           opts.MaxSteps,
 		MaxArrayElems:      opts.MaxArrayElems,
 		Stats:              opts.Stats,
-		Chaos:              opts.Chaos,
+		Chaos:              chaosPlan,
+		SchedRecorder:      schedRec,
+		SchedSource:        schedSrc,
 		WatchdogGraceNs:    opts.WatchdogGraceNs,
 	})
 	sp.SetVirtual(run.Makespan)
@@ -424,6 +454,25 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 	return report, nil
 }
 
+// resolveSched resolves the run's chaos plan and record/replay hooks
+// from the options. Replay takes precedence: the plan embedded in the
+// schedule header reconstructs the recorded injector exactly, and
+// recording a replayed run is meaningless (replay branches re-apply
+// decisions rather than observing fresh ones).
+func resolveSched(opts *Options) (*chaos.Plan, chaos.Recorder, chaos.Source) {
+	if opts.ReplaySchedule != nil {
+		plan := opts.ReplaySchedule.Plan()
+		return &plan, nil, opts.ReplaySchedule
+	}
+	if opts.RecordSchedule != nil {
+		if opts.Chaos != nil {
+			opts.RecordSchedule.SetPlan(*opts.Chaos)
+		}
+		return opts.Chaos, opts.RecordSchedule, nil
+	}
+	return opts.Chaos, nil, nil
+}
+
 // rankCoverage tallies the observed instrumentation events per rank.
 func rankCoverage(procs int, events []trace.Event, dead []int) []RankCoverage {
 	failed := make(map[int]bool, len(dead))
@@ -452,6 +501,7 @@ func RunBase(prog *Program, opts Options) (*interp.Result, error) {
 	if opts.Threads <= 0 {
 		opts.Threads = 2
 	}
+	chaosPlan, schedRec, schedSrc := resolveSched(&opts)
 	res := interp.Run(prog, interp.Config{
 		Procs:              opts.Procs,
 		Threads:            opts.Threads,
@@ -461,7 +511,9 @@ func RunBase(prog *Program, opts Options) (*interp.Result, error) {
 		MaxSteps:           opts.MaxSteps,
 		MaxArrayElems:      opts.MaxArrayElems,
 		Stats:              opts.Stats,
-		Chaos:              opts.Chaos,
+		Chaos:              chaosPlan,
+		SchedRecorder:      schedRec,
+		SchedSource:        schedSrc,
 		WatchdogGraceNs:    opts.WatchdogGraceNs,
 	})
 	return res, nil
@@ -483,6 +535,7 @@ func MessageRaces(prog *Program, opts Options) ([]MessageRace, error) {
 		opts.Threads = 2
 	}
 	log := trace.NewLog()
+	chaosPlan, schedRec, schedSrc := resolveSched(&opts)
 	res := interp.Run(prog, interp.Config{
 		Procs:           opts.Procs,
 		Threads:         opts.Threads,
@@ -492,7 +545,9 @@ func MessageRaces(prog *Program, opts Options) ([]MessageRace, error) {
 		MaxArrayElems:   opts.MaxArrayElems,
 		Instrument:      func(int) bool { return true },
 		Sink:            log,
-		Chaos:           opts.Chaos,
+		Chaos:           chaosPlan,
+		SchedRecorder:   schedRec,
+		SchedSource:     schedSrc,
 		WatchdogGraceNs: opts.WatchdogGraceNs,
 	})
 	// A deadlocked or crash-truncated run still yields a usable prefix.

@@ -85,6 +85,14 @@ type Plan struct {
 	StallProb float64
 	StallNs   int64
 	StallWall time.Duration
+
+	// RMAProb is the per-RMA-operation probability of extra virtual
+	// latency before the window access, uniform in [1, MaxRMADelayNs]
+	// (default 30µs). Within a fence epoch RMA operations are
+	// unordered, so the delay legally reorders Put/Get/Accumulate
+	// completions without changing epoch semantics.
+	RMAProb       float64
+	MaxRMADelayNs int64
 }
 
 // Default knob values filled in by New for enabled fault families.
@@ -95,6 +103,7 @@ const (
 	DefaultJitterWall     = 200 * time.Microsecond
 	DefaultStallNs        = 100_000
 	DefaultStallWall      = 2 * time.Millisecond
+	DefaultMaxRMADelayNs  = 30_000
 )
 
 // CrashEnabled reports whether the plan injects a crash-stop.
@@ -120,6 +129,7 @@ func (p *Plan) String() string {
 	add("fail", p.SendFailProb)
 	add("jitter", p.JitterProb)
 	add("stall", p.StallProb)
+	add("rma", p.RMAProb)
 	if p.CrashEnabled() {
 		parts = append(parts, fmt.Sprintf("crash=%d@%d", p.CrashRank, p.CrashAfterCalls))
 	}
@@ -137,6 +147,7 @@ func Perturb(seed int64) *Plan {
 		SendFailProb: 0.15,
 		JitterProb:   0.20,
 		StallProb:    0.05,
+		RMAProb:      0.20,
 	}
 }
 
@@ -152,7 +163,8 @@ func Crash(seed int64, rank int, n int64) *Plan {
 // ParseSpec parses the -chaos flag syntax: comma-separated key=value
 // pairs. Keys: seed=N, delay=P, delayns=N, reorder=P, fail=P,
 // retries=N, backoffns=N, jitter=P, jitterus=N, stall=P, stallns=N,
-// stallus=N (wall), crash=RANK@CALLS. A spec containing only seed=N
+// stallus=N (wall), rma=P, rmans=N, crash=RANK@CALLS. A spec
+// containing only seed=N
 // (or the bare form "N") yields Perturb(N); an explicit fault key
 // builds the plan from scratch so specs compose predictably.
 func ParseSpec(spec string) (*Plan, error) {
@@ -232,6 +244,12 @@ func ParseSpec(spec string) (*Plan, error) {
 			var n int64
 			n, err = num()
 			p.StallWall = time.Duration(n) * time.Microsecond
+		case "rma":
+			seedOnly = false
+			p.RMAProb, err = prob()
+		case "rmans":
+			seedOnly = false
+			p.MaxRMADelayNs, err = num()
 		case "crash":
 			seedOnly = false
 			rank, calls, ok := strings.Cut(v, "@")
@@ -269,6 +287,8 @@ const (
 	streamJitter
 	streamJitterAmt
 	streamStall
+	streamRMA
+	streamRMAAmt
 )
 
 // SendFault is the verdict for one point-to-point send.
@@ -296,11 +316,74 @@ type Stall struct {
 	Wall time.Duration
 }
 
+// MsgID identifies one point-to-point message by its sending thread
+// and the sender's per-thread schedule-point index at the send — a
+// host-schedule-independent identity used by record/replay to force
+// message-match resolutions. The zero MsgID (Seq == 0; real stamps
+// are always >= 1) means "no specific message".
+type MsgID struct {
+	Rank int
+	TID  int
+	Seq  uint64
+}
+
+// Zero reports whether the MsgID carries no message identity.
+func (m MsgID) Zero() bool { return m.Seq == 0 }
+
+// Recorder receives every realized fault decision and nondeterministic
+// resolution during a recorded chaos run (implemented by
+// internal/sched). Implementations must be safe for concurrent use:
+// match resolutions are recorded from the *sender's* goroutine.
+type Recorder interface {
+	// RecordSend logs a realized (non-trivial) send fault at chaos
+	// decision point (rank, tid, seq).
+	RecordSend(rank, tid int, seq uint64, f SendFault)
+	// RecordStall logs a realized thread stall.
+	RecordStall(rank, tid int, seq uint64, s Stall)
+	// RecordRMADelay logs a realized RMA delay.
+	RecordRMADelay(rank, tid int, seq uint64, delayNs int64)
+	// RecordFail logs that the operation at schedule point (rank, tid,
+	// seq) observed the failure of rank dead.
+	RecordFail(rank, tid int, seq uint64, dead int)
+	// RecordAbort logs that the OpenMP construct at the schedule point
+	// was abandoned by a crash-stop.
+	RecordAbort(rank, tid int, seq uint64)
+	// RecordMatch logs which message satisfied the receive or probe
+	// posted at the schedule point.
+	RecordMatch(rank, tid int, seq uint64, m MsgID)
+	// RecordPoll logs a successful non-blocking poll (MPI_Test,
+	// MPI_Iprobe) at the schedule point; m is the matched message for
+	// probes, zero for request-completion tests.
+	RecordPoll(rank, tid int, seq uint64, m MsgID)
+	// RecordCrash logs that the given rank crash-stopped.
+	RecordCrash(rank int)
+}
+
+// Source answers the same decision points from a recorded schedule
+// during replay (implemented by internal/sched). A false/absent
+// answer means "nothing was recorded here": no fault, no failure, no
+// match.
+type Source interface {
+	SendFault(rank, tid int, seq uint64) (SendFault, bool)
+	Stall(rank, tid int, seq uint64) (Stall, bool)
+	RMADelay(rank, tid int, seq uint64) (int64, bool)
+	Fail(rank, tid int, seq uint64) (dead int, ok bool)
+	Abort(rank, tid int, seq uint64) bool
+	Match(rank, tid int, seq uint64) (MsgID, bool)
+	Poll(rank, tid int, seq uint64) (MsgID, bool)
+	// Crashes lists the ranks that crash-stopped in the recorded run;
+	// the world pre-marks them (without failure propagation) so replay
+	// reproduces DeadRanks exactly from the recorded fail/abort records.
+	Crashes() []int
+}
+
 // Injector evaluates a Plan. All methods are safe on a nil receiver
 // (nil = chaos off) and on concurrent use.
 type Injector struct {
 	plan  Plan
 	stats injStats
+	rec   Recorder
+	src   Source
 }
 
 // injStats caches the chaos.* observability handles (nil-safe, same
@@ -314,6 +397,8 @@ type injStats struct {
 	stalls      *obs.Counter
 	stallVns    *obs.Counter
 	crashStops  *obs.Counter
+	rmaDelays   *obs.Counter
+	rmaDelayVns *obs.Counter
 }
 
 // New builds an Injector for the plan, resolving observability
@@ -342,6 +427,9 @@ func New(plan *Plan, reg *obs.Registry) *Injector {
 	if p.StallWall <= 0 {
 		p.StallWall = DefaultStallWall
 	}
+	if p.MaxRMADelayNs <= 0 {
+		p.MaxRMADelayNs = DefaultMaxRMADelayNs
+	}
 	return &Injector{
 		plan: p,
 		stats: injStats{
@@ -353,9 +441,49 @@ func New(plan *Plan, reg *obs.Registry) *Injector {
 			stalls:      reg.Counter("chaos.stalls"),
 			stallVns:    reg.Counter("chaos.stall_vns"),
 			crashStops:  reg.Counter("chaos.crash_stops"),
+			rmaDelays:   reg.Counter("chaos.rma_delays"),
+			rmaDelayVns: reg.Counter("chaos.rma_delay_vns"),
 		},
 	}
 }
+
+// SetRecorder attaches a schedule recorder: every realized fault
+// decision and observed nondeterministic resolution is logged to it.
+func (in *Injector) SetRecorder(r Recorder) {
+	if in != nil {
+		in.rec = r
+	}
+}
+
+// SetSource attaches a schedule source, switching the injector to
+// replay mode: fault decisions are read from the recorded schedule
+// instead of hashing the plan seed, and the runtime substrates force
+// the recorded failure observations and match resolutions.
+func (in *Injector) SetSource(s Source) {
+	if in != nil {
+		in.src = s
+	}
+}
+
+// ReplayCrashes lists the crash-stopped ranks of the replayed
+// schedule (nil when not replaying).
+func (in *Injector) ReplayCrashes() []int {
+	if in == nil || in.src == nil {
+		return nil
+	}
+	return in.src.Crashes()
+}
+
+// Recording reports whether a schedule recorder is attached.
+func (in *Injector) Recording() bool { return in != nil && in.rec != nil }
+
+// Replaying reports whether the injector replays a recorded schedule.
+func (in *Injector) Replaying() bool { return in != nil && in.src != nil }
+
+// SchedActive reports whether the run is either recording or
+// replaying a schedule — the substrates then allocate schedule points
+// (sim.Ctx.NextSchedSeq) at every nondeterministic resolution site.
+func (in *Injector) SchedActive() bool { return in.Recording() || in.Replaying() }
 
 // Plan returns a copy of the injector's plan with defaults filled
 // (zero Plan if the injector is nil).
@@ -403,38 +531,179 @@ func (in *Injector) SendFault(rank, tid int, seq uint64) SendFault {
 	if in == nil {
 		return SendFault{}
 	}
+	if in.src != nil {
+		f, ok := in.src.SendFault(rank, tid, seq)
+		if !ok {
+			return SendFault{}
+		}
+		// Wall jitter exists only to provoke host-schedule races; in
+		// replay the resolutions are forced, so don't waste the time.
+		f.JitterWall = 0
+		in.countSend(f)
+		return f
+	}
 	var f SendFault
 	if in.hit(in.plan.DelayProb, streamDelay, rank, tid, seq) {
 		f.DelayNs = in.amount(in.plan.MaxDelayNs, streamDelayAmt, rank, tid, seq)
-		in.stats.delays.Inc()
-		in.stats.delayVns.Add(f.DelayNs)
 	}
 	if in.hit(in.plan.ReorderProb, streamReorder, rank, tid, seq) {
 		f.Reorder = true
-		in.stats.reorders.Inc()
 	}
 	if in.hit(in.plan.SendFailProb, streamFail, rank, tid, seq) {
 		f.Retries = int(in.amount(int64(in.plan.MaxRetries), streamFailAmt, rank, tid, seq))
 		f.BackoffNs = in.plan.RetryBackoffNs
-		in.stats.sendRetries.Add(int64(f.Retries))
 	}
 	if in.hit(in.plan.JitterProb, streamJitter, rank, tid, seq) {
 		us := in.amount(int64(in.plan.JitterWall/time.Microsecond), streamJitterAmt, rank, tid, seq)
 		f.JitterWall = time.Duration(us) * time.Microsecond
-		in.stats.jitters.Inc()
+	}
+	in.countSend(f)
+	if in.rec != nil && f != (SendFault{}) {
+		in.rec.RecordSend(rank, tid, seq, f)
 	}
 	return f
+}
+
+// countSend charges the observability counters for a realized send
+// fault (shared by the seed-hash and replay paths).
+func (in *Injector) countSend(f SendFault) {
+	if f.DelayNs > 0 {
+		in.stats.delays.Inc()
+		in.stats.delayVns.Add(f.DelayNs)
+	}
+	if f.Reorder {
+		in.stats.reorders.Inc()
+	}
+	if f.Retries > 0 {
+		in.stats.sendRetries.Add(int64(f.Retries))
+	}
+	if f.JitterWall > 0 {
+		in.stats.jitters.Inc()
+	}
 }
 
 // StallAt returns the stall to take at decision point (rank, tid,
 // seq), if any.
 func (in *Injector) StallAt(rank, tid int, seq uint64) (Stall, bool) {
-	if in == nil || !in.hit(in.plan.StallProb, streamStall, rank, tid, seq) {
+	if in == nil {
+		return Stall{}, false
+	}
+	if in.src != nil {
+		s, ok := in.src.Stall(rank, tid, seq)
+		if !ok {
+			return Stall{}, false
+		}
+		s.Wall = 0 // as with jitter: host-race provocation is pointless in replay
+		in.stats.stalls.Inc()
+		in.stats.stallVns.Add(s.VirtualNs)
+		return s, true
+	}
+	if !in.hit(in.plan.StallProb, streamStall, rank, tid, seq) {
 		return Stall{}, false
 	}
 	in.stats.stalls.Inc()
 	in.stats.stallVns.Add(in.plan.StallNs)
-	return Stall{VirtualNs: in.plan.StallNs, Wall: in.plan.StallWall}, true
+	s := Stall{VirtualNs: in.plan.StallNs, Wall: in.plan.StallWall}
+	if in.rec != nil {
+		in.rec.RecordStall(rank, tid, seq, s)
+	}
+	return s, true
+}
+
+// RMADelay returns the extra virtual latency to charge before the RMA
+// operation at decision point (rank, tid, seq), if any.
+func (in *Injector) RMADelay(rank, tid int, seq uint64) (int64, bool) {
+	if in == nil {
+		return 0, false
+	}
+	if in.src != nil {
+		d, ok := in.src.RMADelay(rank, tid, seq)
+		if !ok {
+			return 0, false
+		}
+		in.stats.rmaDelays.Inc()
+		in.stats.rmaDelayVns.Add(d)
+		return d, true
+	}
+	if !in.hit(in.plan.RMAProb, streamRMA, rank, tid, seq) {
+		return 0, false
+	}
+	d := in.amount(in.plan.MaxRMADelayNs, streamRMAAmt, rank, tid, seq)
+	in.stats.rmaDelays.Inc()
+	in.stats.rmaDelayVns.Add(d)
+	if in.rec != nil {
+		in.rec.RecordRMADelay(rank, tid, seq, d)
+	}
+	return d, true
+}
+
+// ObserveFail records that the operation at schedule point (rank,
+// tid, seq) observed the failure of rank dead.
+func (in *Injector) ObserveFail(rank, tid int, seq uint64, dead int) {
+	if in != nil && in.rec != nil {
+		in.rec.RecordFail(rank, tid, seq, dead)
+	}
+}
+
+// ReplayFail returns the recorded failure observation at the schedule
+// point, if any.
+func (in *Injector) ReplayFail(rank, tid int, seq uint64) (int, bool) {
+	if in == nil || in.src == nil {
+		return 0, false
+	}
+	return in.src.Fail(rank, tid, seq)
+}
+
+// ObserveAbort records a crash-stop abort of an OpenMP construct.
+func (in *Injector) ObserveAbort(rank, tid int, seq uint64) {
+	if in != nil && in.rec != nil {
+		in.rec.RecordAbort(rank, tid, seq)
+	}
+}
+
+// ReplayAbort reports whether an abort was recorded at the point.
+func (in *Injector) ReplayAbort(rank, tid int, seq uint64) bool {
+	return in != nil && in.src != nil && in.src.Abort(rank, tid, seq)
+}
+
+// ObserveMatch records which message satisfied the receive or probe
+// posted at the schedule point. Safe to call from the sender's
+// goroutine (the Recorder contract requires concurrency safety).
+func (in *Injector) ObserveMatch(rank, tid int, seq uint64, m MsgID) {
+	if in != nil && in.rec != nil {
+		in.rec.RecordMatch(rank, tid, seq, m)
+	}
+}
+
+// ReplayMatch returns the recorded match resolution for the receive
+// or probe posted at the schedule point, if any.
+func (in *Injector) ReplayMatch(rank, tid int, seq uint64) (MsgID, bool) {
+	if in == nil || in.src == nil {
+		return MsgID{}, false
+	}
+	return in.src.Match(rank, tid, seq)
+}
+
+// ObservePoll records a successful non-blocking poll.
+func (in *Injector) ObservePoll(rank, tid int, seq uint64, m MsgID) {
+	if in != nil && in.rec != nil {
+		in.rec.RecordPoll(rank, tid, seq, m)
+	}
+}
+
+// ReplayPoll returns the recorded poll outcome at the point, if any.
+func (in *Injector) ReplayPoll(rank, tid int, seq uint64) (MsgID, bool) {
+	if in == nil || in.src == nil {
+		return MsgID{}, false
+	}
+	return in.src.Poll(rank, tid, seq)
+}
+
+// ObserveCrash records that a rank crash-stopped.
+func (in *Injector) ObserveCrash(rank int) {
+	if in != nil && in.rec != nil {
+		in.rec.RecordCrash(rank)
+	}
 }
 
 // CrashPoint returns the 1-based index of the MPI call during which
@@ -474,6 +743,9 @@ func (in *Injector) Describe() []string {
 	}
 	if in.plan.StallProb > 0 {
 		out = append(out, fmt.Sprintf("stall p=%g", in.plan.StallProb))
+	}
+	if in.plan.RMAProb > 0 {
+		out = append(out, fmt.Sprintf("rma p=%g max=%dns", in.plan.RMAProb, in.plan.MaxRMADelayNs))
 	}
 	if in.plan.CrashEnabled() {
 		out = append(out, fmt.Sprintf("crash rank %d at call %d", in.plan.CrashRank, in.plan.CrashAfterCalls))

@@ -126,3 +126,61 @@ func TestNilInjectorIsInert(t *testing.T) {
 		t.Fatal("New(nil plan) should be nil")
 	}
 }
+
+func TestParseSpecRMAKeys(t *testing.T) {
+	p, err := ParseSpec("seed=6,rma=0.3,rmans=500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 6 || p.RMAProb != 0.3 || p.MaxRMADelayNs != 500 {
+		t.Fatalf("plan = %+v", p)
+	}
+	// Explicit fault keys build from scratch: no other family enabled.
+	if p.DelayProb != 0 || p.StallProb != 0 {
+		t.Fatalf("rma spec enabled unrelated faults: %+v", p)
+	}
+}
+
+func TestPerturbRMARoundTrips(t *testing.T) {
+	orig := Perturb(11)
+	if orig.RMAProb == 0 {
+		t.Fatal("Perturb must enable RMA perturbation")
+	}
+	p, err := ParseSpec(orig.String())
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", orig, err)
+	}
+	if p.RMAProb != orig.RMAProb {
+		t.Fatalf("rma= did not round-trip: %s -> %+v", orig, p)
+	}
+}
+
+// RMA delay decisions must be a pure function of (seed, rank, tid,
+// seq), bounded by the plan's knob, and drawn from a stream
+// independent of the send/stall streams.
+func TestRMADelayDeterministic(t *testing.T) {
+	plan := &Plan{Seed: 8, RMAProb: 1, MaxRMADelayNs: 2_000}
+	a, b := New(plan, nil), New(plan, nil)
+	hits := 0
+	for seq := uint64(1); seq <= 50; seq++ {
+		da, oka := a.RMADelay(0, 1, seq)
+		db, okb := b.RMADelay(0, 1, seq)
+		if oka != okb || da != db {
+			t.Fatalf("seq %d: (%d,%v) vs (%d,%v)", seq, da, oka, db, okb)
+		}
+		if oka {
+			hits++
+			if da < 1 || da > 2_000 {
+				t.Fatalf("delay %d outside [1, 2000]", da)
+			}
+		}
+	}
+	if hits != 50 {
+		t.Fatalf("probability-1 plan hit %d/50", hits)
+	}
+	// Probability 0 never fires even with the seed shared.
+	none := New(&Plan{Seed: 8, DelayProb: 0.5}, nil)
+	if _, ok := none.RMADelay(0, 1, 1); ok {
+		t.Fatal("RMA delay fired with RMAProb=0")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"home/internal/interp"
 	"home/internal/minic"
 	"home/internal/obs"
+	"home/internal/sched"
 	"home/internal/spec"
 	"home/internal/static"
 	"home/internal/trace"
@@ -69,6 +70,8 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 	spansOut := fs.String("spans", "", "write pipeline phase spans as Chrome trace_event JSON to this file")
 	chaosSpec := fs.String("chaos", "", "inject faults from a chaos plan, e.g. seed=3 or seed=3,crash=1@5 (see docs/ROBUSTNESS.md)")
 	graceMs := fs.Int64("watchdog-grace-ms", 0, "deadlock watchdog grace window under transient stalls (0 = default)")
+	recordSched := fs.String("record-sched", "", "record the run's realized fault schedule to this file (replay it with -replay-sched)")
+	replaySched := fs.String("replay-sched", "", "replay a recorded fault schedule, forcing the recorded interleaving (plan comes from the schedule; excludes -chaos)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -116,6 +119,36 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 	if *graceMs > 0 {
 		opts.WatchdogGraceNs = *graceMs * 1e6
 	}
+	if *recordSched != "" && *replaySched != "" {
+		fmt.Fprintln(stderr, "homecheck: -record-sched and -replay-sched are mutually exclusive")
+		return 2
+	}
+	var schedRec *home.ScheduleRecorder
+	if *recordSched != "" {
+		schedRec = home.NewScheduleRecorder()
+		opts.RecordSchedule = schedRec
+	}
+	if *replaySched != "" {
+		if *chaosSpec != "" {
+			fmt.Fprintln(stderr, "homecheck: -replay-sched takes its fault plan from the schedule header; drop -chaos")
+			return 2
+		}
+		schedule, rerr := home.ReadScheduleFile(*replaySched)
+		if rerr != nil {
+			var te *sched.TruncatedError
+			if !errors.As(rerr, &te) {
+				fmt.Fprintln(stderr, "homecheck:", rerr)
+				return 2
+			}
+			// A schedule cut short still forces the recorded prefix of
+			// the interleaving; warn and replay what was salvaged.
+			fmt.Fprintf(stderr, "homecheck: warning: %v; replaying the salvaged prefix\n", te)
+		}
+		opts.ReplaySchedule = schedule
+		plan := schedule.Plan()
+		fmt.Fprintf(stderr, "replay: forcing recorded schedule from %s (plan %s)\n",
+			*replaySched, &plan)
+	}
 
 	if *dumpCFG {
 		prog, err := minic.Parse(src)
@@ -152,6 +185,13 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "homecheck:", err)
 		return 2
 	}
+	if schedRec != nil {
+		if werr := schedRec.WriteFile(*recordSched); werr != nil {
+			fmt.Fprintln(stderr, "homecheck:", werr)
+			return 2
+		}
+		fmt.Fprintf(stderr, "recorded schedule: %d decisions to %s\n", schedRec.Len(), *recordSched)
+	}
 	fmt.Fprint(stdout, rep.Summary())
 	if *races {
 		for _, r := range rep.Races {
@@ -177,6 +217,9 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "homecheck:", perr)
 			return 2
 		}
+		// The schedule covers the main check run only; the extension
+		// analysis is a separate execution with its own interleaving.
+		opts.RecordSchedule, opts.ReplaySchedule = nil, nil
 		mrs, merr := home.MessageRaces(prog, opts)
 		if merr != nil {
 			fmt.Fprintln(stderr, "homecheck:", merr)
@@ -297,7 +340,7 @@ func HomeFmt(args []string, stdout, stderr io.Writer) int {
 	return status
 }
 
-// HomeTrace implements the hometrace command (record/analyze).
+// HomeTrace implements the hometrace command (record/analyze/replay).
 func HomeTrace(args []string, stdout, stderr io.Writer) int {
 	if len(args) < 1 {
 		traceUsage(stderr)
@@ -308,6 +351,8 @@ func HomeTrace(args []string, stdout, stderr io.Writer) int {
 		return traceRecord(args[1:], stdout, stderr)
 	case "analyze":
 		return traceAnalyze(args[1:], stdout, stderr)
+	case "replay":
+		return traceReplay(args[1:], stdout, stderr)
 	}
 	traceUsage(stderr)
 	return 2
@@ -316,7 +361,70 @@ func HomeTrace(args []string, stdout, stderr io.Writer) int {
 func traceUsage(stderr io.Writer) {
 	fmt.Fprintln(stderr, `usage:
   hometrace record [-procs N] [-threads N] [-seed S] [-all] [-spans out.json] program.c > trace.jsonl
-  hometrace analyze [-mode combined|lockset|hb] [-ignore-locks] trace.jsonl`)
+  hometrace analyze [-mode combined|lockset|hb] [-ignore-locks] trace.jsonl
+  hometrace replay [-procs N] [-threads N] [-seed S] [-mode M] sched.jsonl program.c
+
+replay re-checks the program while forcing the fault schedule recorded
+by homecheck -record-sched; pass the same -procs/-threads/-seed as the
+recording run to reproduce its report exactly.`)
+}
+
+// traceReplay re-runs the full checker forcing a recorded schedule.
+// Exit codes mirror homecheck: 0 clean, 1 violations, 2 errors.
+func traceReplay(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	procs := fs.Int("procs", 2, "MPI ranks (must match the recording run)")
+	threads := fs.Int("threads", 2, "OpenMP threads per rank (must match the recording run)")
+	seed := fs.Int64("seed", 1, "simulation seed (must match the recording run)")
+	mode := fs.String("mode", "combined", "dynamic analysis: combined, lockset, or hb")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		traceUsage(stderr)
+		return 2
+	}
+	schedule, err := home.ReadScheduleFile(fs.Arg(0))
+	if err != nil {
+		var te *sched.TruncatedError
+		if !errors.As(err, &te) {
+			fmt.Fprintln(stderr, "hometrace:", err)
+			return 2
+		}
+		// A schedule cut short still forces the recorded prefix of the
+		// interleaving; warn and replay what was salvaged.
+		fmt.Fprintf(stderr, "hometrace: warning: %v; replaying the salvaged prefix\n", te)
+	}
+	srcBytes, err := os.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "hometrace:", err)
+		return 2
+	}
+	opts := home.Options{
+		Procs:          *procs,
+		Threads:        *threads,
+		Seed:           *seed,
+		ReplaySchedule: schedule,
+	}
+	m, ok := parseMode(*mode)
+	if !ok {
+		traceUsage(stderr)
+		return 2
+	}
+	opts.Mode = m
+	plan := schedule.Plan()
+	fmt.Fprintf(stderr, "replay: forcing recorded schedule from %s (plan %s)\n", fs.Arg(0), &plan)
+	rep, err := home.Check(string(srcBytes), opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "hometrace:", err)
+		return 2
+	}
+	fmt.Fprint(stdout, rep.Summary())
+	if len(rep.Violations) > 0 {
+		return 1
+	}
+	return 0
 }
 
 func traceRecord(args []string, stdout, stderr io.Writer) int {

@@ -235,3 +235,108 @@ func TestHomeCheckMsgraceExtension(t *testing.T) {
 		t.Fatalf("plain check exit = %d:\n%s", code, out.String())
 	}
 }
+
+func TestHomeCheckRecordReplaySchedule(t *testing.T) {
+	src := writeTemp(t, "buggy.c", buggySrc)
+	schedPath := filepath.Join(t.TempDir(), "sched.jsonl")
+
+	var recOut, errb bytes.Buffer
+	code := HomeCheck([]string{"-chaos", "seed=3", "-record-sched", schedPath, src}, &recOut, &errb)
+	if code != 1 {
+		t.Fatalf("record exit = %d, stderr = %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "recorded schedule:") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+	if _, err := os.Stat(schedPath); err != nil {
+		t.Fatalf("schedule file: %v", err)
+	}
+
+	// Replay must force the recorded interleaving and reproduce the
+	// recorded verdict summary byte for byte.
+	var repOut bytes.Buffer
+	errb.Reset()
+	code = HomeCheck([]string{"-replay-sched", schedPath, src}, &repOut, &errb)
+	if code != 1 {
+		t.Fatalf("replay exit = %d, stderr = %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "replay: forcing recorded schedule") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+	if recOut.String() != repOut.String() {
+		t.Fatalf("replay summary diverged\nrecorded: %s\nreplayed: %s", recOut.String(), repOut.String())
+	}
+}
+
+func TestHomeCheckScheduleFlagConflicts(t *testing.T) {
+	src := writeTemp(t, "clean.c", cleanSrc)
+	sched := filepath.Join(t.TempDir(), "s.jsonl")
+	var out, errb bytes.Buffer
+	if code := HomeCheck([]string{"-record-sched", sched, "-replay-sched", sched, src}, &out, &errb); code != 2 {
+		t.Fatalf("record+replay exit = %d", code)
+	}
+	if !strings.Contains(errb.String(), "mutually exclusive") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+	errb.Reset()
+	if code := HomeCheck([]string{"-chaos", "seed=1", "-replay-sched", sched, src}, &out, &errb); code != 2 {
+		t.Fatalf("chaos+replay exit = %d", code)
+	}
+	if !strings.Contains(errb.String(), "drop -chaos") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+}
+
+func TestHomeTraceReplaySchedule(t *testing.T) {
+	src := writeTemp(t, "buggy.c", buggySrc)
+	schedPath := filepath.Join(t.TempDir(), "sched.jsonl")
+
+	var recOut, errb bytes.Buffer
+	if code := HomeCheck([]string{"-chaos", "seed=5", "-record-sched", schedPath, src}, &recOut, &errb); code != 1 {
+		t.Fatalf("record exit = %d, stderr = %s", code, errb.String())
+	}
+
+	var repOut bytes.Buffer
+	errb.Reset()
+	code := HomeTrace([]string{"replay", schedPath, src}, &repOut, &errb)
+	if code != 1 {
+		t.Fatalf("replay exit = %d, stderr = %s", code, errb.String())
+	}
+	if recOut.String() != repOut.String() {
+		t.Fatalf("replay summary diverged\nrecorded: %s\nreplayed: %s", recOut.String(), repOut.String())
+	}
+
+	// Usage and error paths.
+	if code := HomeTrace([]string{"replay", schedPath}, &repOut, &errb); code != 2 {
+		t.Fatal("missing program arg should fail")
+	}
+	garbage := writeTemp(t, "bad.jsonl", "not a schedule")
+	if code := HomeTrace([]string{"replay", garbage, src}, &repOut, &errb); code != 2 {
+		t.Fatal("garbage schedule should fail")
+	}
+}
+
+func TestHomeTraceReplayTruncatedScheduleSalvages(t *testing.T) {
+	src := writeTemp(t, "buggy.c", buggySrc)
+	schedPath := filepath.Join(t.TempDir(), "sched.jsonl")
+	var out, errb bytes.Buffer
+	if code := HomeCheck([]string{"-chaos", "seed=3", "-record-sched", schedPath, src}, &out, &errb); code != 1 {
+		t.Fatalf("record exit = %d, stderr = %s", code, errb.String())
+	}
+	full, err := os.ReadFile(schedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the stream mid-record: drop the trailing newline plus a few
+	// bytes of the final record.
+	cut := writeTemp(t, "cut.jsonl", string(full[:len(full)-5]))
+	out.Reset()
+	errb.Reset()
+	code := HomeTrace([]string{"replay", cut, src}, &out, &errb)
+	if code == 2 {
+		t.Fatalf("salvaged replay should run, stderr = %s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "salvaged prefix") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+}

@@ -48,6 +48,15 @@ type ChaosOutcome struct {
 	// Partial/DeadRanks mirror the report fields on crash plans.
 	Partial   bool  `json:"partial"`
 	DeadRanks []int `json:"deadRanks,omitempty"`
+	// RankCoverage carries the report's per-rank coverage on partial
+	// reports: how many events the analyses observed per rank and
+	// which ranks failed. EventsAnalyzed is the run's total, so the
+	// coverage entries sum to it.
+	RankCoverage   []home.RankCoverage `json:"rankCoverage,omitempty"`
+	EventsAnalyzed int                 `json:"eventsAnalyzed,omitempty"`
+	// SchedulePath is the dumped realized-schedule artifact of a
+	// diverged legal plan (replayable; "" when the verdict was stable).
+	SchedulePath string `json:"schedulePath,omitempty"`
 	// Err is the run's error string, if any ("" on success).
 	Err string `json:"err,omitempty"`
 }
@@ -140,6 +149,11 @@ func ChaosSoak(cfg Config, seeds []int64) (*ChaosReport, error) {
 					report.Failures = append(report.Failures,
 						fmt.Sprintf("%v seed=%d: verdict drift: baseline %v, perturbed %v",
 							kind, seed, baseline, out.Signature))
+					// Dump the realized schedule so the divergence ships
+					// as a replayable artifact, not just a message.
+					if path, derr := dumpSchedule(cfg.ScheduleDir, kind, prog, opts); derr == nil {
+						out.SchedulePath = path
+					}
 				}
 			}
 			report.Plans++
@@ -168,6 +182,8 @@ func ChaosSoak(cfg Config, seeds []int64) (*ChaosReport, error) {
 				out.Signature = violationSignature(rep)
 				out.Partial = rep.Partial
 				out.DeadRanks = rep.DeadRanks
+				out.RankCoverage = rep.RankCoverage
+				out.EventsAnalyzed = rep.EventsAnalyzed
 				if !rep.Partial {
 					report.Failures = append(report.Failures,
 						fmt.Sprintf("%v crash plan %s: report not marked partial", kind, plan))

@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
+
+	"home"
 )
 
 // TestChaosSoak runs the full seed × fault-plan sweep over the
@@ -62,6 +65,69 @@ func TestChaosSoakDeterministic(t *testing.T) {
 		}
 		if oa.LegalOnly && strings.Join(oa.Signature, ";") != strings.Join(ob.Signature, ";") {
 			t.Fatalf("legal outcome %d signatures differ: %v vs %v", i, oa.Signature, ob.Signature)
+		}
+	}
+}
+
+// TestChaosOutcomeRankCoverageJSON pins the homebench -json surface:
+// crash-plan soak outcomes carry the report's per-rank coverage, the
+// rankCoverage field survives JSON marshalling (homebench serializes
+// ChaosReport verbatim), and the per-rank event counts sum to the
+// run's EventsAnalyzed.
+func TestChaosOutcomeRankCoverageJSON(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	rep, err := ChaosSoak(Config{}, []int64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashOutcomes := 0
+	for _, out := range rep.Outcomes {
+		if out.LegalOnly {
+			if out.RankCoverage != nil {
+				t.Errorf("legal plan %s carries coverage", out.Plan)
+			}
+			continue
+		}
+		crashOutcomes++
+		if len(out.RankCoverage) != cfg.TableProcs {
+			t.Errorf("crash plan %s (kind %v): coverage has %d entries, want %d",
+				out.Plan, out.Kind, len(out.RankCoverage), cfg.TableProcs)
+			continue
+		}
+		sum := 0
+		for _, c := range out.RankCoverage {
+			sum += c.Events
+		}
+		if sum != out.EventsAnalyzed {
+			t.Errorf("crash plan %s (kind %v): coverage sums to %d, EventsAnalyzed = %d",
+				out.Plan, out.Kind, sum, out.EventsAnalyzed)
+		}
+	}
+	if crashOutcomes == 0 {
+		t.Fatal("sweep produced no crash outcomes")
+	}
+
+	// The JSON document homebench writes must expose the field.
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"rankCoverage"`) || !strings.Contains(string(blob), `"eventsAnalyzed"`) {
+		t.Error("rankCoverage/eventsAnalyzed missing from the JSON document")
+	}
+	// The document is write-only (spec.Kind has no unmarshaler), so
+	// round-trip just the outcomes to check the coverage payload.
+	var back struct {
+		Outcomes []struct {
+			RankCoverage []home.RankCoverage `json:"rankCoverage"`
+		} `json:"outcomes"`
+	}
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range back.Outcomes {
+		if len(out.RankCoverage) != len(rep.Outcomes[i].RankCoverage) {
+			t.Fatalf("outcome %d coverage did not round-trip JSON", i)
 		}
 	}
 }

@@ -47,6 +47,10 @@ type Config struct {
 	// records its snapshot on the result (TimingPoint.Stats,
 	// ToolOutcome.Stats, ScalePoint.Stats) for machine-readable output.
 	CollectStats bool
+	// ScheduleDir is where the chaos soak dumps the realized schedule
+	// of any plan whose verdict diverges from its baseline, as a
+	// replayable artifact ("" = the OS temp directory).
+	ScheduleDir string
 }
 
 // homeOptions builds the options for one HOME run, attaching a stats

@@ -1,0 +1,89 @@
+package harness
+
+// Budgeted NPB chaos soak: the full-scale soak sweeps the tiny
+// injected-violation corpus, while this test points a small seeded
+// plan set at the real evaluation workloads (LU/BT/SP at mini class
+// 'S') and adds a virtual-makespan budget — chaos must perturb the
+// schedule, not blow up the simulated runtime. Skipped under -short:
+// the NPB programs are two orders of magnitude bigger than the
+// corpus programs.
+
+import (
+	"testing"
+
+	"home"
+	"home/internal/chaos"
+	"home/internal/minic"
+	"home/internal/npb"
+)
+
+// npbMakespanCapNs bounds the virtual makespan of any class-S chaos
+// run. Unperturbed runs finish near 1ms virtual and the legal plans
+// roughly double that; a run past 5ms means injected faults are
+// compounding instead of perturbing.
+const npbMakespanCapNs = 5_000_000
+
+func TestNPBChaosSoakBudgeted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NPB chaos soak skipped in -short runs")
+	}
+	t.Parallel()
+	seeds := []int64{3, 8}
+	const procs = 4
+	for _, bench := range npb.All() {
+		bench := bench
+		t.Run(bench.String(), func(t *testing.T) {
+			t.Parallel()
+			o := npb.PaperInjections(bench)
+			o.Class = 'S'
+			src := npb.Generate(bench, o)
+			prog, err := minic.Parse(src.Text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := func(plan *chaos.Plan) home.Options {
+				return home.Options{Procs: procs, Threads: 2, Seed: 3, Chaos: plan}
+			}
+
+			base, err := home.CheckProgram(prog, opts(nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseline := violationSignature(base)
+			if len(baseline) == 0 {
+				t.Fatal("injected benchmark produced no baseline violations")
+			}
+
+			// Legal perturbations: verdicts stable, makespan budgeted.
+			for _, seed := range seeds {
+				plan := chaos.Perturb(seed)
+				rep, err := home.CheckProgram(prog, opts(plan))
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !sameSignature(violationSignature(rep), baseline) {
+					t.Errorf("seed %d: verdict drift on %v: baseline %d violations, perturbed %d",
+						seed, bench, len(baseline), len(rep.Violations))
+				}
+				if rep.Makespan > npbMakespanCapNs {
+					t.Errorf("seed %d: makespan %d exceeds the %d ns budget", seed, rep.Makespan, int64(npbMakespanCapNs))
+				}
+			}
+
+			// One crash-stop plan: graceful partial report, still budgeted.
+			rep, err := home.CheckProgram(prog, opts(chaos.Crash(seeds[1], 1, 2)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Partial || len(rep.DeadRanks) != 1 || rep.DeadRanks[0] != 1 {
+				t.Errorf("crash plan: partial=%v deadRanks=%v, want partial with rank 1 dead", rep.Partial, rep.DeadRanks)
+			}
+			if len(rep.RankCoverage) != procs {
+				t.Errorf("crash plan: coverage has %d entries, want %d", len(rep.RankCoverage), procs)
+			}
+			if rep.Makespan > npbMakespanCapNs {
+				t.Errorf("crash plan: makespan %d exceeds the %d ns budget", rep.Makespan, int64(npbMakespanCapNs))
+			}
+		})
+	}
+}

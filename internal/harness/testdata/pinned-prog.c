@@ -1,0 +1,21 @@
+int main() {
+  int provided;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &provided);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  int size = MPI_Comm_size(MPI_COMM_WORLD);
+
+  /* injected: concurrent receive violation */
+  double injcr[1];
+  int injcrPeer;
+  if (rank % 2 == 0) { injcrPeer = rank + 1; } else { injcrPeer = rank - 1; }
+  if (injcrPeer < size) {
+    #pragma omp parallel num_threads(2)
+    {
+      MPI_Send(injcr, 1, injcrPeer, 9901, MPI_COMM_WORLD);
+      MPI_Recv(injcr, 1, injcrPeer, 9901, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+  }
+
+  MPI_Finalize();
+  return 0;
+}

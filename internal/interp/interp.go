@@ -77,6 +77,14 @@ type Config struct {
 	// Chaos, when non-nil, enables deterministic fault injection in the
 	// substrates (see internal/chaos).
 	Chaos *chaos.Plan
+	// SchedRecorder, when non-nil, records the run's realized fault
+	// schedule for later replay (see internal/sched); passes through to
+	// the MPI runtime.
+	SchedRecorder chaos.Recorder
+	// SchedSource, when non-nil, replays a recorded fault schedule
+	// instead of deciding faults from the plan seed; passes through to
+	// the MPI runtime.
+	SchedSource chaos.Source
 	// WatchdogGraceNs passes through to the MPI runtime's deadlock
 	// watchdog (grace for injected transient stalls; 0 = default).
 	WatchdogGraceNs int64
@@ -201,6 +209,8 @@ func Run(prog *minic.Program, conf Config) *Result {
 		EnforceThreadLevel: conf.EnforceThreadLevel,
 		Stats:              conf.Stats,
 		Chaos:              conf.Chaos,
+		SchedRecorder:      conf.SchedRecorder,
+		SchedSource:        conf.SchedSource,
 		WatchdogGraceNs:    conf.WatchdogGraceNs,
 	})
 	out := &output{}
@@ -219,7 +229,7 @@ func Run(prog *minic.Program, conf Config) *Result {
 			out:     out,
 			steps:   &steps,
 			maxStep: conf.MaxSteps,
-			chaosOn: conf.Chaos != nil,
+			chaosOn: conf.Chaos != nil || conf.SchedRecorder != nil || conf.SchedSource != nil,
 		}
 		in.rt.SetNumThreads(conf.Threads)
 		in.rt.SetStats(conf.Stats)
@@ -287,8 +297,24 @@ func (tc *threadCtx) bumpStep() error {
 	if atomic.AddInt64(tc.in.steps, 1) > tc.in.maxStep {
 		return ErrStepBudget
 	}
-	if tc.in.chaosOn && tc.in.proc.Dead() {
-		return &mpi.RankFailureError{Rank: tc.ctx.Rank, Op: "statement"}
+	if tc.in.chaosOn {
+		if inj := tc.in.world.Chaos(); inj.SchedActive() {
+			// Which statement of a crash-stopped rank first observes
+			// the dead flag is host-racy (the flag flips while peers
+			// keep computing): record/replay forces the observation to
+			// the recorded statement index.
+			q := tc.ctx.NextSchedSeq()
+			if inj.Replaying() {
+				if dead, ok := inj.ReplayFail(tc.ctx.Rank, tc.ctx.TID, q); ok {
+					return &mpi.RankFailureError{Rank: dead, Op: "statement"}
+				}
+			} else if tc.in.proc.Dead() {
+				inj.ObserveFail(tc.ctx.Rank, tc.ctx.TID, q, tc.ctx.Rank)
+				return &mpi.RankFailureError{Rank: tc.ctx.Rank, Op: "statement"}
+			}
+		} else if tc.in.proc.Dead() {
+			return &mpi.RankFailureError{Rank: tc.ctx.Rank, Op: "statement"}
+		}
 	}
 	tc.ctx.Advance(tc.in.conf.StmtCostNs)
 	return nil

@@ -159,3 +159,56 @@ func TestChaosCrashWithWildcardWaiterTripsWatchdog(t *testing.T) {
 		t.Fatalf("wildcard wait on a crashed peer should deadlock; errs=%v", res.Errs)
 	}
 }
+
+// RMA chaos delays Put/Get within a fence epoch. Within an epoch the
+// operations are unordered, so the delays must preserve the data the
+// epoch produces, charge deterministic virtual latency (seeded
+// stream), and stretch the makespan relative to the undelayed run.
+func TestChaosRMADelayDeterministicWithinEpoch(t *testing.T) {
+	exchange := func(plan *chaos.Plan) *RunResult {
+		return runChaosWorld(t, 2, plan, func(p *Proc, ctx *sim.Ctx) error {
+			win, err := p.WinCreate(ctx, []float64{0, 0}, CommWorld)
+			if err != nil {
+				return err
+			}
+			if err := p.Fence(ctx, win); err != nil {
+				return err
+			}
+			// Each rank puts its rank id into the peer's window slot 0
+			// and reads the peer's slot 1 — both ops in one epoch.
+			if err := p.Put(ctx, win, 1-p.Rank(), 0, []float64{float64(p.Rank() + 1)}); err != nil {
+				return err
+			}
+			if _, err := p.Get(ctx, win, 1-p.Rank(), 1, 1); err != nil {
+				return err
+			}
+			if err := p.Fence(ctx, win); err != nil {
+				return err
+			}
+			got, err := p.Get(ctx, win, p.Rank(), 0, 1)
+			if err != nil {
+				return err
+			}
+			if want := float64(2 - p.Rank()); len(got) != 1 || got[0] != want {
+				t.Errorf("rank %d window = %v, want [%v]", p.Rank(), got, want)
+			}
+			return p.Fence(ctx, win)
+		})
+	}
+
+	base := exchange(nil)
+	if err := base.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	plan := &chaos.Plan{Seed: 9, RMAProb: 1, MaxRMADelayNs: 50_000}
+	a, b := exchange(plan), exchange(plan)
+	if err := a.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("RMA delay schedule not deterministic: %d vs %d", a.Makespan, b.Makespan)
+	}
+	if a.Makespan <= base.Makespan {
+		t.Fatalf("probability-1 RMA delays did not stretch the makespan: %d <= %d", a.Makespan, base.Makespan)
+	}
+}

@@ -93,7 +93,7 @@ func (p *Proc) arrive(ctx *sim.Ctx, comm CommID, kind collKind, root int, op Red
 	if err := p.checkState(); err != nil {
 		return collResult{}, err
 	}
-	if err := p.chaosEnter("MPI_" + kind.String()); err != nil {
+	if err := p.chaosEnter(ctx, "MPI_"+kind.String()); err != nil {
 		return collResult{}, err
 	}
 	if _, hang := p.threadGuard(ctx, false); hang {
@@ -107,6 +107,18 @@ func (p *Proc) arrive(ctx *sim.Ctx, comm CommID, kind collKind, root int, op Red
 	ctx.Advance(c.MPICallNs)
 	p.maybeStall(ctx)
 
+	// One schedule point covers every failure outcome of the
+	// collective: the fail-fast below, a failAll wake, and the
+	// own-abort withdrawal all race with crash propagation in a
+	// recorded run, so replay forces the recorded outcome here and
+	// never joins an instance the recorded run abandoned.
+	qf := p.schedPoint(ctx)
+	if p.world.chaos.Replaying() {
+		if dead, ok := p.replayFailAt(ctx, qf); ok {
+			return collResult{}, p.world.failure(dead, "MPI_"+kind.String())
+		}
+	}
+
 	payload := make([]float64, len(data))
 	copy(payload, data)
 
@@ -114,9 +126,11 @@ func (p *Proc) arrive(ctx *sim.Ctx, comm CommID, kind collKind, root int, op Red
 	// Checked under cs.mu so it serializes against failAll: either we
 	// see the dead rank here and fail fast, or our waiter registers
 	// before failAll drains the instance and wakes it with the error.
-	if p.world.AnyRankDead() {
+	if !p.world.chaos.Replaying() && p.world.AnyRankDead() {
 		cs.mu.Unlock()
-		return collResult{}, p.world.failure(p.world.firstDead(), "MPI_"+kind.String())
+		ferr := p.world.failure(p.world.firstDead(), "MPI_"+kind.String())
+		p.observeFailAt(ctx, qf, ferr)
+		return collResult{}, ferr
 	}
 	var inst *collInstance
 	for _, in := range cs.pending {
@@ -174,6 +188,7 @@ func (p *Proc) arrive(ctx *sim.Ctx, comm CommID, kind collKind, root int, op Red
 	case res := <-w.wake:
 		release()
 		if res.err != nil {
+			p.observeFailAt(ctx, qf, res.err)
 			return collResult{}, res.err
 		}
 		ctx.SyncTo(res.release)
@@ -203,7 +218,9 @@ func (p *Proc) arrive(ctx *sim.Ctx, comm CommID, kind collKind, root int, op Red
 			p.world.activity.Unblock()
 		}
 		release()
-		return collResult{}, p.world.failure(p.rank, "MPI_"+kind.String())
+		ferr := p.world.failure(p.rank, "MPI_"+kind.String())
+		p.observeFailAt(ctx, qf, ferr)
+		return collResult{}, ferr
 	}
 }
 

@@ -154,6 +154,19 @@ type Config struct {
 	// (message perturbation, crash-stop, stalls; see internal/chaos).
 	Chaos *chaos.Plan
 
+	// SchedRecorder, when non-nil, records every realized fault
+	// decision and nondeterministic resolution of the run as a replay
+	// schedule (see internal/sched). Usable with or without Chaos.
+	SchedRecorder chaos.Recorder
+
+	// SchedSource, when non-nil, switches the run to replay mode: the
+	// injector reads realized decisions from the recorded schedule
+	// instead of hashing the plan seed, and the runtime forces the
+	// recorded failure observations and message-match resolutions.
+	// Crash-stop propagation is suppressed — failures surface exactly
+	// where the recorded run observed them.
+	SchedSource chaos.Source
+
 	// WatchdogGraceNs is the deadlock watchdog's wall-clock grace for
 	// all-blocked states that contain injected transient stalls
 	// (0 = sim.DefaultGraceNs). Without chaos stalls it never applies:
@@ -192,6 +205,12 @@ func NewWorld(cfg Config) *World {
 	if costs == (sim.CostModel{}) {
 		costs = sim.DefaultCostModel()
 	}
+	// Recording or replaying needs a live injector even without a
+	// fault plan: schedule points (matches, polls) exist in chaos-free
+	// runs too.
+	if cfg.Chaos == nil && (cfg.SchedRecorder != nil || cfg.SchedSource != nil) {
+		cfg.Chaos = &chaos.Plan{}
+	}
 	w := &World{
 		cfg:       cfg,
 		costs:     costs,
@@ -204,10 +223,19 @@ func NewWorld(cfg Config) *World {
 		nextComm:  CommWorld + 1,
 	}
 	w.activity.SetGrace(cfg.WatchdogGraceNs)
+	w.chaos.SetRecorder(cfg.SchedRecorder)
+	w.chaos.SetSource(cfg.SchedSource)
 	w.comms[CommWorld] = newCommState(CommWorld, cfg.Procs)
 	w.procs = make([]*Proc, cfg.Procs)
 	for r := 0; r < cfg.Procs; r++ {
 		w.procs[r] = newProc(w, r)
+	}
+	// Replay reproduces DeadRanks from the schedule header, not from
+	// re-deciding crash points: pre-mark the recorded crashes quietly
+	// (no failure propagation — the recorded fail/abort records say
+	// exactly which operations observed each failure, and where).
+	for _, r := range w.chaos.ReplayCrashes() {
+		w.markRankDeadQuiet(r)
 	}
 	return w
 }
@@ -282,6 +310,7 @@ func (w *World) MarkRankDead(rank int) {
 	}
 	w.anyDead.Store(true)
 	w.chaos.CountCrash()
+	w.chaos.ObserveCrash(rank)
 
 	// Fail the survivors' dependent point-to-point operations.
 	for _, p := range w.procs {
@@ -304,6 +333,21 @@ func (w *World) MarkRankDead(rank int) {
 
 	// Wake the dead rank's own blocked threads so they unwind.
 	w.activity.AbortRank(rank)
+}
+
+// markRankDeadQuiet flags a rank dead without any failure
+// propagation. Replay-only: survivors must observe the failure exactly
+// at their recorded fail/abort points, not when a propagation sweep
+// happens to reach them.
+func (w *World) markRankDeadQuiet(rank int) {
+	if rank < 0 || rank >= len(w.deadRanks) {
+		return
+	}
+	if w.deadRanks[rank].Swap(true) {
+		return
+	}
+	w.anyDead.Store(true)
+	w.chaos.CountCrash()
 }
 
 // comm looks up a communicator's shared state.

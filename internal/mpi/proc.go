@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,26 @@ type Message struct {
 	Comm    CommID
 	Data    []float64
 	Arrival int64 // virtual time the message reaches the receiver
+
+	// SrcTID and SrcStamp identify the sending thread and its
+	// schedule stamp when schedule record/replay is active (zero
+	// otherwise). Together with Source they form the
+	// host-schedule-independent message identity record/replay uses
+	// to force match resolutions.
+	SrcTID   int
+	SrcStamp uint64
+}
+
+// msgID returns the record/replay identity of a message.
+func msgID(m *Message) chaos.MsgID {
+	return chaos.MsgID{Rank: m.Source, TID: m.SrcTID, Seq: m.SrcStamp}
+}
+
+// forcedMatch reports whether m is exactly the message a replayed
+// selector was recorded to match. A zero id matches nothing: the
+// recorded run never satisfied that selector.
+func forcedMatch(m *Message, id chaos.MsgID) bool {
+	return !id.Zero() && m.Source == id.Rank && m.SrcTID == id.TID && m.SrcStamp == id.Seq
 }
 
 // pendingRecv is a posted receive awaiting a matching message.
@@ -26,6 +47,14 @@ type pendingRecv struct {
 	tag  int
 	comm CommID
 	req  *Request
+
+	// tid and mseq key the match resolution for schedule recording;
+	// forced carries the recorded message identity during replay (the
+	// original selector is kept: failure propagation semantics depend
+	// on the posted source, not the realized one).
+	tid    int
+	mseq   uint64
+	forced chaos.MsgID
 }
 
 // pendingProbe is a blocked Probe awaiting a matching message (the
@@ -35,6 +64,10 @@ type pendingProbe struct {
 	tag  int
 	comm CommID
 	wake chan *Message
+
+	tid    int
+	mseq   uint64
+	forced chaos.MsgID
 }
 
 // Request is a nonblocking-operation handle (MPI_Request). Completion
@@ -130,7 +163,7 @@ func (p *Proc) IsThreadMain(ctx *sim.Ctx) bool {
 
 // Finalize shuts down MPI for this rank. Further calls error.
 func (p *Proc) Finalize(ctx *sim.Ctx) error {
-	if err := p.chaosEnter("MPI_Finalize"); err != nil {
+	if err := p.chaosEnter(ctx, "MPI_Finalize"); err != nil {
 		return err
 	}
 	p.mu.Lock()
@@ -171,20 +204,74 @@ func (p *Proc) Dead() bool { return p.world.RankDead(p.rank) }
 
 // chaosEnter is the crash-stop hook at the top of every communication
 // call: it charges the call against the rank's crash budget and fails
-// the call outright once the rank is dead.
-func (p *Proc) chaosEnter(op string) error {
+// the call outright once the rank is dead. With schedule record/replay
+// active it is also a failure-observation point: which thread of a
+// rank observes the (host-racy) shared call counter trip is recorded,
+// and replay returns the recorded outcome instead of consulting the
+// live state.
+func (p *Proc) chaosEnter(ctx *sim.Ctx, op string) error {
 	w := p.world
 	if w.chaos == nil {
 		return nil
 	}
+	if !w.chaos.SchedActive() {
+		if w.RankDead(p.rank) {
+			return w.failure(p.rank, op)
+		}
+		if cp := w.chaos.CrashPoint(p.rank); cp >= 0 && p.calls.Add(1) >= cp {
+			w.MarkRankDead(p.rank)
+			return w.failure(p.rank, op)
+		}
+		return nil
+	}
+	q := ctx.NextSchedSeq()
+	if w.chaos.Replaying() {
+		if dead, ok := w.chaos.ReplayFail(p.rank, ctx.TID, q); ok {
+			return w.failure(dead, op)
+		}
+		return nil
+	}
 	if w.RankDead(p.rank) {
+		w.chaos.ObserveFail(p.rank, ctx.TID, q, p.rank)
 		return w.failure(p.rank, op)
 	}
 	if cp := w.chaos.CrashPoint(p.rank); cp >= 0 && p.calls.Add(1) >= cp {
 		w.MarkRankDead(p.rank)
+		w.chaos.ObserveFail(p.rank, ctx.TID, q, p.rank)
 		return w.failure(p.rank, op)
 	}
 	return nil
+}
+
+// schedPoint allocates the thread's next schedule point when
+// record/replay is active (0 otherwise). Points must be allocated
+// unconditionally at fixed code sites — never inside a racy branch —
+// so record and replay runs walk identical per-thread sequences.
+func (p *Proc) schedPoint(ctx *sim.Ctx) uint64 {
+	if !p.world.chaos.SchedActive() {
+		return 0
+	}
+	return ctx.NextSchedSeq()
+}
+
+// replayFailAt returns the recorded failure outcome at a schedule
+// point during replay.
+func (p *Proc) replayFailAt(ctx *sim.Ctx, q uint64) (int, bool) {
+	if !p.world.chaos.Replaying() {
+		return 0, false
+	}
+	return p.world.chaos.ReplayFail(p.rank, ctx.TID, q)
+}
+
+// observeFailAt records a failure observation when recording; err is
+// inspected for the blamed rank.
+func (p *Proc) observeFailAt(ctx *sim.Ctx, q uint64, err error) {
+	if err != nil && p.world.chaos.Recording() {
+		var rfe *RankFailureError
+		if errors.As(err, &rfe) {
+			p.world.chaos.ObserveFail(p.rank, ctx.TID, q, rfe.Rank)
+		}
+	}
 }
 
 // maybeStall applies an injected thread stall at a blocking call site:
@@ -270,6 +357,10 @@ func (p *Proc) threadGuard(ctx *sim.Ctx, isSend bool) (drop, hang bool) {
 // trips (or the rank itself crash-stops), modelling undefined behaviour
 // that manifests as a hang.
 func (p *Proc) hangForever(ctx *sim.Ctx) error {
+	qh := p.schedPoint(ctx)
+	if dead, ok := p.replayFailAt(ctx, qh); ok {
+		return p.world.failure(dead, "MPI call")
+	}
 	dead, release := p.world.activity.BlockDesc(p.rank, ctx.TID,
 		"an MPI call issued from a non-main thread under "+ThreadLevelName(p.ThreadLevel())+" (undefined behaviour)")
 	<-dead
@@ -280,7 +371,9 @@ func (p *Proc) hangForever(ctx *sim.Ctx) error {
 	// itself (the watchdog protocol's self-Unblock for abandoned waits).
 	p.world.activity.Unblock()
 	release()
-	return p.world.failure(p.rank, "MPI call")
+	err := p.world.failure(p.rank, "MPI call")
+	p.observeFailAt(ctx, qh, err)
+	return err
 }
 
 // matches reports whether message m satisfies a (src, tag, comm)
@@ -306,10 +399,25 @@ func matches(m *Message, src, tag int, comm CommID) bool {
 // non-overtaking rule intact. Called with p.mu held by the sender's
 // goroutine.
 func (p *Proc) deliverLocked(m *Message, reorder bool) {
+	// Under replay, every pending selector matches only the exact
+	// message it was recorded to match (selectors the recorded run
+	// never satisfied match nothing); under recording, realized
+	// matches are logged here, on the sender's goroutine, before the
+	// waiter wakes.
+	replaying := p.world.chaos.Replaying()
+	recording := p.world.chaos.Recording()
+
 	// Satisfy probes (they inspect, not consume).
 	kept := p.probes[:0]
 	for _, pr := range p.probes {
-		if matches(m, pr.src, pr.tag, pr.comm) {
+		hit := matches(m, pr.src, pr.tag, pr.comm)
+		if replaying {
+			hit = forcedMatch(m, pr.forced)
+		}
+		if hit {
+			if recording {
+				p.world.chaos.ObserveMatch(p.rank, pr.tid, pr.mseq, msgID(m))
+			}
 			p.world.st.probesMatched.Inc()
 			p.world.activity.Unblock()
 			pr.wake <- m
@@ -321,7 +429,14 @@ func (p *Proc) deliverLocked(m *Message, reorder bool) {
 
 	// Satisfy the earliest matching posted receive.
 	for i, r := range p.recvs {
-		if matches(m, r.src, r.tag, r.comm) {
+		hit := matches(m, r.src, r.tag, r.comm)
+		if replaying {
+			hit = forcedMatch(m, r.forced)
+		}
+		if hit {
+			if recording {
+				p.world.chaos.ObserveMatch(p.rank, r.tid, r.mseq, msgID(m))
+			}
 			p.recvs = append(p.recvs[:i], p.recvs[i+1:]...)
 			p.world.st.msgsMatched.Inc()
 			r.req.done = true
@@ -358,7 +473,7 @@ func (p *Proc) Send(ctx *sim.Ctx, data []float64, dest, tag int, comm CommID) er
 	if err := p.checkState(); err != nil {
 		return err
 	}
-	if err := p.chaosEnter("MPI_Send"); err != nil {
+	if err := p.chaosEnter(ctx, "MPI_Send"); err != nil {
 		return err
 	}
 	if dest < 0 || dest >= p.world.Size() {
@@ -367,8 +482,14 @@ func (p *Proc) Send(ctx *sim.Ctx, data []float64, dest, tag int, comm CommID) er
 	if _, err := p.world.comm(comm); err != nil {
 		return err
 	}
-	if p.world.RankDead(dest) {
-		return p.world.failure(dest, "MPI_Send")
+	qf := p.schedPoint(ctx)
+	if dead, ok := p.replayFailAt(ctx, qf); ok {
+		return p.world.failure(dead, "MPI_Send")
+	}
+	if !p.world.chaos.Replaying() && p.world.RankDead(dest) {
+		err := p.world.failure(dest, "MPI_Send")
+		p.observeFailAt(ctx, qf, err)
+		return err
 	}
 	if drop, hang := p.threadGuard(ctx, true); drop {
 		ctx.Advance(p.world.costs.MPICallNs)
@@ -403,7 +524,11 @@ func (p *Proc) Send(ctx *sim.Ctx, data []float64, dest, tag int, comm CommID) er
 		Comm:    comm,
 		Data:    payload,
 		Arrival: ctx.Now + c.MsgLatencyNs + int64(len(data)*8)*c.MsgNsPerByte + fault.DelayNs,
+		SrcTID:  ctx.TID,
 	}
+	// The stamp gives the message its record/replay identity; the
+	// sending thread allocates it, so it is host-schedule-independent.
+	m.SrcStamp = p.schedPoint(ctx)
 	dst := p.world.procs[dest]
 	dst.mu.Lock()
 	dst.deliverLocked(m, fault.Reorder)
@@ -430,7 +555,7 @@ func (p *Proc) Irecv(ctx *sim.Ctx, source, tag int, comm CommID) (*Request, erro
 	if err := p.checkState(); err != nil {
 		return nil, err
 	}
-	if err := p.chaosEnter("MPI_Irecv"); err != nil {
+	if err := p.chaosEnter(ctx, "MPI_Irecv"); err != nil {
 		return nil, err
 	}
 	if source != AnySource && (source < 0 || source >= p.world.Size()) {
@@ -443,13 +568,30 @@ func (p *Proc) Irecv(ctx *sim.Ctx, source, tag int, comm CommID) (*Request, erro
 	if source == AnySource || tag == AnyTag {
 		p.world.st.wildcardRecvs.Inc()
 	}
+	// Schedule points: qm keys the match resolution of this receive,
+	// qf the dead-source failure check. Both are allocated on every
+	// call so record and replay walk identical point sequences.
+	qm := p.schedPoint(ctx)
+	qf := p.schedPoint(ctx)
+	replaying := p.world.chaos.Replaying()
+	var forced chaos.MsgID
+	if replaying {
+		forced, _ = p.world.chaos.ReplayMatch(p.rank, ctx.TID, qm)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.nextReq++
 	req := &Request{ID: p.nextReq, owner: p, wake: make(chan struct{}, 1)}
 	// Check the unexpected-message queue first.
 	for i, m := range p.queue {
-		if matches(m, source, tag, comm) {
+		hit := matches(m, source, tag, comm)
+		if replaying {
+			hit = forcedMatch(m, forced)
+		}
+		if hit {
+			if p.world.chaos.Recording() {
+				p.world.chaos.ObserveMatch(p.rank, ctx.TID, qm, msgID(m))
+			}
 			p.queue = append(p.queue[:i], p.queue[i+1:]...)
 			p.world.st.msgsMatched.Inc()
 			req.done = true
@@ -460,10 +602,19 @@ func (p *Proc) Irecv(ctx *sim.Ctx, source, tag int, comm CommID) (*Request, erro
 	// The queue scan above runs first so messages sent before a crash
 	// are still received; only then does an explicit selection of a
 	// dead source fail.
-	if source != AnySource && p.world.RankDead(source) {
-		return nil, p.world.failure(source, "MPI_Irecv")
+	if replaying {
+		if dead, ok := p.world.chaos.ReplayFail(p.rank, ctx.TID, qf); ok {
+			return nil, p.world.failure(dead, "MPI_Irecv")
+		}
+	} else if source != AnySource && p.world.RankDead(source) {
+		err := p.world.failure(source, "MPI_Irecv")
+		p.observeFailAt(ctx, qf, err)
+		return nil, err
 	}
-	p.recvs = append(p.recvs, &pendingRecv{src: source, tag: tag, comm: comm, req: req})
+	p.recvs = append(p.recvs, &pendingRecv{
+		src: source, tag: tag, comm: comm, req: req,
+		tid: ctx.TID, mseq: qm, forced: forced,
+	})
 	return req, nil
 }
 
@@ -473,7 +624,7 @@ func (p *Proc) Wait(ctx *sim.Ctx, req *Request) (Status, error) {
 	if err := p.checkState(); err != nil {
 		return Status{}, err
 	}
-	if err := p.chaosEnter("MPI_Wait"); err != nil {
+	if err := p.chaosEnter(ctx, "MPI_Wait"); err != nil {
 		return Status{}, err
 	}
 	if _, hang := p.threadGuard(ctx, false); hang {
@@ -481,11 +632,21 @@ func (p *Proc) Wait(ctx *sim.Ctx, req *Request) (Status, error) {
 	}
 	ctx.Advance(p.world.costs.MPICallNs)
 	p.maybeStall(ctx)
+	qf := p.schedPoint(ctx)
+	if dead, ok := p.replayFailAt(ctx, qf); ok {
+		// The recorded wait observed a rank failure. Withdraw the
+		// pending receive (propagation is suppressed in replay, so no
+		// waker will) and reproduce the failure.
+		err := p.world.failure(dead, "MPI_Wait")
+		p.completeFailedLocked(req, err)
+		return Status{}, err
+	}
 	p.mu.Lock()
 	if req.done {
 		msg, rerr := req.msg, req.err
 		p.mu.Unlock()
 		if rerr != nil {
+			p.observeFailAt(ctx, qf, rerr)
 			return Status{}, rerr
 		}
 		return finishRecv(ctx, req, msg), nil
@@ -514,6 +675,7 @@ func (p *Proc) Wait(ctx *sim.Ctx, req *Request) (Status, error) {
 		msg, rerr := req.msg, req.err
 		p.mu.Unlock()
 		if rerr != nil {
+			p.observeFailAt(ctx, qf, rerr)
 			return Status{}, rerr
 		}
 		return finishRecv(ctx, req, msg), nil
@@ -537,19 +699,79 @@ func (p *Proc) Wait(ctx *sim.Ctx, req *Request) (Status, error) {
 		}
 		p.mu.Unlock()
 		release()
-		return Status{}, p.world.failure(p.rank, "MPI_Wait")
+		err := p.world.failure(p.rank, "MPI_Wait")
+		p.observeFailAt(ctx, qf, err)
+		return Status{}, err
 	}
 }
 
-// Test polls the request; ok reports completion.
+// completeFailedLocked marks a replayed request as failed, withdrawing
+// its pending receive (no waker will, with propagation suppressed).
+func (p *Proc) completeFailedLocked(req *Request, err error) {
+	p.mu.Lock()
+	for i, r := range p.recvs {
+		if r.req == req {
+			p.recvs = append(p.recvs[:i], p.recvs[i+1:]...)
+			break
+		}
+	}
+	req.done = true
+	req.err = err
+	p.mu.Unlock()
+}
+
+// Test polls the request; ok reports completion. Polling outcomes
+// depend on host-racy queue state, so under record/replay each poll is
+// a schedule point: a recorded completion forces the replayed poll to
+// wait for the (forced) match, and a recorded miss forces a miss.
 func (p *Proc) Test(ctx *sim.Ctx, req *Request) (ok bool, st Status, err error) {
 	if err := p.checkState(); err != nil {
 		return false, Status{}, err
 	}
-	if err := p.chaosEnter("MPI_Test"); err != nil {
+	if err := p.chaosEnter(ctx, "MPI_Test"); err != nil {
 		return false, Status{}, err
 	}
 	ctx.Advance(p.world.costs.MPICallNs)
+	qt := p.schedPoint(ctx)
+	if p.world.chaos.Replaying() {
+		if dead, ok := p.world.chaos.ReplayFail(p.rank, ctx.TID, qt); ok {
+			ferr := p.world.failure(dead, "MPI_Test")
+			p.completeFailedLocked(req, ferr)
+			return false, Status{}, ferr
+		}
+		if _, ok := p.world.chaos.ReplayPoll(p.rank, ctx.TID, qt); !ok {
+			return false, Status{}, nil
+		}
+		// The recorded test observed completion: wait (host time only,
+		// invisible to virtual clocks) for the forced match to deliver.
+		p.mu.Lock()
+		if req.done {
+			msg := req.msg
+			p.mu.Unlock()
+			return true, finishRecv(ctx, req, msg), nil
+		}
+		req.waiting = true
+		p.mu.Unlock()
+		dead, release := p.world.activity.BlockOp(sim.BlockedOp{
+			Rank: p.rank, TID: ctx.TID, Op: "MPI_Test",
+			Peer: sim.NoArg, Tag: sim.NoArg, Comm: sim.NoArg,
+			Detail: fmt.Sprintf("MPI_Test on request #%d (replay: forcing recorded completion)", req.ID),
+		})
+		select {
+		case <-req.wake:
+			release()
+			p.mu.Lock()
+			msg := req.msg
+			p.mu.Unlock()
+			return true, finishRecv(ctx, req, msg), nil
+		case <-dead:
+			// Only a genuine global deadlock can close the latch in
+			// replay (rank aborts are suppressed) — a schedule/program
+			// mismatch; degrade like any other hang.
+			release()
+			return false, Status{}, p.deadlockError()
+		}
+	}
 	p.mu.Lock()
 	done, msg, rerr := req.done, req.msg, req.err
 	p.mu.Unlock()
@@ -557,7 +779,11 @@ func (p *Proc) Test(ctx *sim.Ctx, req *Request) (ok bool, st Status, err error) 
 		return false, Status{}, nil
 	}
 	if rerr != nil {
+		p.observeFailAt(ctx, qt, rerr)
 		return false, Status{}, rerr
+	}
+	if p.world.chaos.Recording() {
+		p.world.chaos.ObservePoll(p.rank, ctx.TID, qt, chaos.MsgID{})
 	}
 	return true, finishRecv(ctx, req, msg), nil
 }
@@ -612,7 +838,7 @@ func (p *Proc) Probe(ctx *sim.Ctx, source, tag int, comm CommID) (Status, error)
 	if err := p.checkState(); err != nil {
 		return Status{}, err
 	}
-	if err := p.chaosEnter("MPI_Probe"); err != nil {
+	if err := p.chaosEnter(ctx, "MPI_Probe"); err != nil {
 		return Status{}, err
 	}
 	if _, hang := p.threadGuard(ctx, false); hang {
@@ -620,9 +846,26 @@ func (p *Proc) Probe(ctx *sim.Ctx, source, tag int, comm CommID) (Status, error)
 	}
 	ctx.Advance(p.world.costs.MPICallNs)
 	p.maybeStall(ctx)
+	qm := p.schedPoint(ctx)
+	qf := p.schedPoint(ctx)
+	replaying := p.world.chaos.Replaying()
+	var forced chaos.MsgID
+	if replaying {
+		if dead, ok := p.world.chaos.ReplayFail(p.rank, ctx.TID, qf); ok {
+			return Status{}, p.world.failure(dead, "MPI_Probe")
+		}
+		forced, _ = p.world.chaos.ReplayMatch(p.rank, ctx.TID, qm)
+	}
 	p.mu.Lock()
 	for _, m := range p.queue {
-		if matches(m, source, tag, comm) {
+		hit := matches(m, source, tag, comm)
+		if replaying {
+			hit = forcedMatch(m, forced)
+		}
+		if hit {
+			if p.world.chaos.Recording() {
+				p.world.chaos.ObserveMatch(p.rank, ctx.TID, qm, msgID(m))
+			}
 			p.mu.Unlock()
 			ctx.SyncTo(m.Arrival)
 			return Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
@@ -630,11 +873,16 @@ func (p *Proc) Probe(ctx *sim.Ctx, source, tag int, comm CommID) (Status, error)
 	}
 	// Queued pre-crash messages (above) still probe successfully; an
 	// explicit selection of a dead source with nothing queued fails.
-	if source != AnySource && p.world.RankDead(source) {
+	if !replaying && source != AnySource && p.world.RankDead(source) {
 		p.mu.Unlock()
-		return Status{}, p.world.failure(source, "MPI_Probe")
+		err := p.world.failure(source, "MPI_Probe")
+		p.observeFailAt(ctx, qf, err)
+		return Status{}, err
 	}
-	pr := &pendingProbe{src: source, tag: tag, comm: comm, wake: make(chan *Message, 1)}
+	pr := &pendingProbe{
+		src: source, tag: tag, comm: comm, wake: make(chan *Message, 1),
+		tid: ctx.TID, mseq: qm, forced: forced,
+	}
 	p.probes = append(p.probes, pr)
 	p.mu.Unlock()
 
@@ -648,7 +896,9 @@ func (p *Proc) Probe(ctx *sim.Ctx, source, tag int, comm CommID) (Status, error)
 		release()
 		if m == nil {
 			// Woken by failWaitersFor: the probed source crash-stopped.
-			return Status{}, p.world.failure(source, "MPI_Probe")
+			err := p.world.failure(source, "MPI_Probe")
+			p.observeFailAt(ctx, qf, err)
+			return Status{}, err
 		}
 		ctx.SyncTo(m.Arrival)
 		return Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
@@ -672,7 +922,9 @@ func (p *Proc) Probe(ctx *sim.Ctx, source, tag int, comm CommID) (Status, error)
 			p.world.activity.Unblock()
 		}
 		release()
-		return Status{}, p.world.failure(p.rank, "MPI_Probe")
+		err := p.world.failure(p.rank, "MPI_Probe")
+		p.observeFailAt(ctx, qf, err)
+		return Status{}, err
 	}
 }
 
@@ -681,21 +933,69 @@ func (p *Proc) Iprobe(ctx *sim.Ctx, source, tag int, comm CommID) (bool, Status,
 	if err := p.checkState(); err != nil {
 		return false, Status{}, err
 	}
-	if err := p.chaosEnter("MPI_Iprobe"); err != nil {
+	if err := p.chaosEnter(ctx, "MPI_Iprobe"); err != nil {
 		return false, Status{}, err
 	}
 	ctx.Advance(p.world.costs.MPICallNs)
+	qp := p.schedPoint(ctx)
+	if p.world.chaos.Replaying() {
+		return p.replayIprobe(ctx, qp)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, m := range p.queue {
 		if matches(m, source, tag, comm) && m.Arrival <= ctx.Now {
+			if p.world.chaos.Recording() {
+				p.world.chaos.ObservePoll(p.rank, ctx.TID, qp, msgID(m))
+			}
 			return true, Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
 		}
 	}
 	if source != AnySource && p.world.RankDead(source) {
-		return false, Status{}, p.world.failure(source, "MPI_Iprobe")
+		err := p.world.failure(source, "MPI_Iprobe")
+		p.observeFailAt(ctx, qp, err)
+		return false, Status{}, err
 	}
 	return false, Status{}, nil
+}
+
+// replayIprobe forces the recorded outcome of a non-blocking probe:
+// a recorded miss stays a miss (even if a matching message happens to
+// be queued), and a recorded hit waits — in host time only — for the
+// recorded message if it has not been delivered yet. Queue state at a
+// poll is host-racy, so without forcing, replayed polls would diverge.
+func (p *Proc) replayIprobe(ctx *sim.Ctx, qp uint64) (bool, Status, error) {
+	if dead, ok := p.world.chaos.ReplayFail(p.rank, ctx.TID, qp); ok {
+		return false, Status{}, p.world.failure(dead, "MPI_Iprobe")
+	}
+	id, ok := p.world.chaos.ReplayPoll(p.rank, ctx.TID, qp)
+	if !ok {
+		return false, Status{}, nil
+	}
+	p.mu.Lock()
+	for _, m := range p.queue {
+		if forcedMatch(m, id) {
+			p.mu.Unlock()
+			return true, Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
+		}
+	}
+	pr := &pendingProbe{src: AnySource, tag: AnyTag, comm: CommWorld, wake: make(chan *Message, 1), forced: id}
+	p.probes = append(p.probes, pr)
+	p.mu.Unlock()
+
+	dead, release := p.world.activity.BlockOp(sim.BlockedOp{
+		Rank: p.rank, TID: ctx.TID, Op: "MPI_Iprobe",
+		Peer: sim.NoArg, Tag: sim.NoArg, Comm: sim.NoArg,
+		Detail: "MPI_Iprobe (replay: forcing recorded hit)",
+	})
+	select {
+	case m := <-pr.wake:
+		release()
+		return true, Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
+	case <-dead:
+		release()
+		return false, Status{}, p.deadlockError()
+	}
 }
 
 // QueuedMessages returns the number of unexpected messages currently

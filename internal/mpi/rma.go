@@ -86,9 +86,24 @@ func (p *Proc) rmaCost(ctx *sim.Ctx, elems int) {
 	ctx.Advance(c.MPICallNs + c.MsgLatencyNs + int64(elems*8)*c.MsgNsPerByte)
 }
 
+// rmaChaos applies an injected RMA delay: extra virtual latency
+// charged before the one-sided operation, which legally reorders it
+// against other threads' accesses within the same fence epoch.
+func (p *Proc) rmaChaos(ctx *sim.Ctx) {
+	if p.world.chaos == nil {
+		return
+	}
+	if d, ok := p.world.chaos.RMADelay(p.rank, ctx.TID, ctx.NextChaosSeq()); ok {
+		ctx.Advance(d)
+	}
+}
+
 // Put writes data into the target rank's region at offset.
 func (p *Proc) Put(ctx *sim.Ctx, win *Win, target, offset int, data []float64) error {
 	if err := p.checkState(); err != nil {
+		return err
+	}
+	if err := p.chaosEnter(ctx, "MPI_Put"); err != nil {
 		return err
 	}
 	if drop, hang := p.threadGuard(ctx, true); drop {
@@ -97,6 +112,7 @@ func (p *Proc) Put(ctx *sim.Ctx, win *Win, target, offset int, data []float64) e
 	} else if hang {
 		return p.hangForever(ctx)
 	}
+	p.rmaChaos(ctx)
 	win.mu.Lock()
 	defer win.mu.Unlock()
 	region, ok := win.regions[target]
@@ -113,9 +129,13 @@ func (p *Proc) Get(ctx *sim.Ctx, win *Win, target, offset, count int) ([]float64
 	if err := p.checkState(); err != nil {
 		return nil, err
 	}
+	if err := p.chaosEnter(ctx, "MPI_Get"); err != nil {
+		return nil, err
+	}
 	if _, hang := p.threadGuard(ctx, false); hang {
 		return nil, p.hangForever(ctx)
 	}
+	p.rmaChaos(ctx)
 	win.mu.Lock()
 	defer win.mu.Unlock()
 	region, ok := win.regions[target]
@@ -134,12 +154,16 @@ func (p *Proc) Accumulate(ctx *sim.Ctx, win *Win, target, offset int, data []flo
 	if err := p.checkState(); err != nil {
 		return err
 	}
+	if err := p.chaosEnter(ctx, "MPI_Accumulate"); err != nil {
+		return err
+	}
 	if drop, hang := p.threadGuard(ctx, true); drop {
 		ctx.Advance(p.world.costs.MPICallNs)
 		return nil
 	} else if hang {
 		return p.hangForever(ctx)
 	}
+	p.rmaChaos(ctx)
 	win.mu.Lock()
 	defer win.mu.Unlock()
 	region, ok := win.regions[target]

@@ -43,6 +43,13 @@ func (m *Member) Barrier() error {
 func (m *Member) barrierAt(ord uint64) error {
 	t := m.team
 	t.rt.maybeStall(m.Ctx)
+	// Whether a member completes the rendezvous or is torn out of it by
+	// a crash-stop abort is host-racy: record/replay forces the
+	// recorded outcome at this schedule point.
+	qa := t.rt.schedPoint(m.Ctx)
+	if t.rt.chaos.ReplayAbort(m.Ctx.Rank, m.TID, qa) {
+		return ErrRankAborted
+	}
 	if t.size == 1 {
 		m.Ctx.Advance(barrierCostNs)
 		return nil
@@ -99,6 +106,7 @@ func (m *Member) barrierAt(ord uint64) error {
 			t.rt.activity.Unblock()
 		}
 		done()
+		t.rt.chaos.ObserveAbort(m.Ctx.Rank, m.TID, qa)
 		return ErrRankAborted
 	}
 }
@@ -268,6 +276,12 @@ func (rt *Runtime) lock(name string) *lockState {
 // advances the member clock past the previous holder's release.
 func (m *Member) acquire(l *lockState, id trace.LockID) error {
 	m.team.rt.st.acquires.Inc()
+	// Schedule point: whether the acquire succeeded or was abandoned by
+	// a crash-stop abort while queued is host-racy under chaos.
+	qa := m.team.rt.schedPoint(m.Ctx)
+	if m.team.rt.chaos.ReplayAbort(m.Ctx.Rank, m.TID, qa) {
+		return ErrRankAborted
+	}
 	l.mu.Lock()
 	if !l.held {
 		l.held = true
@@ -320,6 +334,7 @@ func (m *Member) acquire(l *lockState, id trace.LockID) error {
 				m.team.rt.activity.Unblock()
 			}
 			done()
+			m.team.rt.chaos.ObserveAbort(m.Ctx.Rank, m.TID, qa)
 			return ErrRankAborted
 		}
 	}

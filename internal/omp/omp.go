@@ -101,6 +101,17 @@ func (rt *Runtime) maybeStall(ctx *sim.Ctx) {
 	}
 }
 
+// schedPoint allocates the thread's next schedule point when record/
+// replay is active (0 otherwise). As in the MPI substrate, points are
+// allocated unconditionally at fixed code sites so record and replay
+// runs walk identical per-thread sequences.
+func (rt *Runtime) schedPoint(ctx *sim.Ctx) uint64 {
+	if !rt.chaos.SchedActive() {
+		return 0
+	}
+	return ctx.NextSchedSeq()
+}
+
 // SetNumThreads sets the default team size (omp_set_num_threads).
 func (rt *Runtime) SetNumThreads(n int) {
 	if n < 1 {
@@ -245,7 +256,14 @@ func (rt *Runtime) Parallel(ctx *sim.Ctx, n int, body func(m *Member) error) err
 	master := &Member{Ctx: ctx, TID: ctx.TID, team: t}
 	err := body(master)
 
-	// Join: wait for the workers, merging clocks and errors.
+	// Join: wait for the workers, merging clocks and errors. The join
+	// is a schedule point: whether the master was torn out of it by a
+	// crash-stop abort (instead of completing it) is host-racy, so
+	// record/replay forces the recorded outcome.
+	qj := rt.schedPoint(ctx)
+	if rt.chaos.ReplayAbort(ctx.Rank, ctx.TID, qj) {
+		return ErrRankAborted
+	}
 	js.mu.Lock()
 	if js.remaining > 0 {
 		js.waiting = true
@@ -268,6 +286,7 @@ func (rt *Runtime) Parallel(ctx *sim.Ctx, n int, body func(m *Member) error) err
 			}
 			js.mu.Unlock()
 			joined()
+			rt.chaos.ObserveAbort(ctx.Rank, ctx.TID, qj)
 			return ErrRankAborted
 		}
 	} else {

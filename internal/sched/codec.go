@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"home/internal/chaos"
+)
+
+// Wire format constants. A schedule stream is one header line followed
+// by one JSON record per line, sorted by (rank, tid, seq, kind).
+const (
+	Format  = "home-sched"
+	Version = 1
+)
+
+// header is the first line of a schedule stream. It embeds the full
+// chaos plan (not its spec string: knob values that ParseSpec cannot
+// express, like a zero probability overriding a Perturb default, must
+// survive the round trip exactly).
+type header struct {
+	Format  string     `json:"format"`
+	Version int        `json:"version"`
+	Plan    chaos.Plan `json:"plan"`
+}
+
+// ErrTruncated reports a schedule stream cut mid-record. Mirrors
+// trace.ErrTruncated: the reader still returns the salvaged prefix.
+var ErrTruncated = errors.New("sched: schedule stream truncated")
+
+// TruncatedError carries the salvaged-record count of a truncated
+// stream; it unwraps to ErrTruncated.
+type TruncatedError struct {
+	// Records is the number of complete records salvaged.
+	Records int
+	// Err is the underlying decode error.
+	Err error
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("sched: schedule stream truncated after %d records: %v", e.Records, e.Err)
+}
+
+func (e *TruncatedError) Unwrap() error { return ErrTruncated }
+
+// Write serializes the recorded schedule: a versioned header line
+// carrying the chaos plan, then the records in canonical order.
+func (r *Recorder) Write(w io.Writer) error {
+	plan, recs := r.snapshot()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header{Format: Format, Version: Version, Plan: plan}); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Bytes serializes the recorded schedule to memory.
+func (r *Recorder) Bytes() []byte {
+	var buf bytes.Buffer
+	r.Write(&buf) // cannot fail on a bytes.Buffer
+	return buf.Bytes()
+}
+
+// Schedule converts the recorded schedule into a replay Source. The
+// conversion goes through the wire format, so every replay — even an
+// in-memory one — exercises the exact codec a file round trip would.
+func (r *Recorder) Schedule() (*Schedule, error) {
+	return Read(bytes.NewReader(r.Bytes()))
+}
+
+// WriteFile serializes the recorded schedule to a file.
+func (r *Recorder) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses a schedule stream. A stream cut mid-record returns the
+// salvaged prefix together with a *TruncatedError (unwrapping to
+// ErrTruncated), mirroring trace.ReadJSON — a replay of a salvaged
+// prefix forces the recorded interleaving as far as it goes.
+func Read(rd io.Reader) (*Schedule, error) {
+	dec := json.NewDecoder(bufio.NewReader(rd))
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, &TruncatedError{Records: 0, Err: err}
+		}
+		return nil, fmt.Errorf("sched: bad schedule header: %w", err)
+	}
+	if h.Format != Format {
+		return nil, fmt.Errorf("sched: not a schedule stream (format %q, want %q)", h.Format, Format)
+	}
+	if h.Version > Version {
+		return nil, fmt.Errorf("sched: schedule version %d is newer than supported %d", h.Version, Version)
+	}
+	var recs []Record
+	for {
+		var rec Record
+		err := dec.Decode(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				s, serr := newSchedule(h.Plan, recs)
+				if serr != nil {
+					return nil, serr
+				}
+				return s, &TruncatedError{Records: len(recs), Err: err}
+			}
+			return nil, fmt.Errorf("sched: bad schedule record %d: %w", len(recs)+1, err)
+		}
+		recs = append(recs, rec)
+	}
+	return newSchedule(h.Plan, recs)
+}
+
+// ReadFile parses a schedule file.
+func ReadFile(path string) (*Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

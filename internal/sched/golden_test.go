@@ -1,0 +1,33 @@
+package sched
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenScheduleBytes pins the wire format byte for byte: the
+// header layout, the per-kind payload keys, the 1-based rank
+// encodings and the canonical record order. Any format change must be
+// deliberate — regenerate with `go test ./internal/sched -update` and
+// bump Version if old readers can no longer parse the stream.
+func TestGoldenScheduleBytes(t *testing.T) {
+	got := fullRecorder().Bytes()
+	path := filepath.Join("testdata", "golden.jsonl")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("wire format drifted from golden file:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,320 @@
+// Package sched records and replays realized fault schedules. A chaos
+// plan (internal/chaos) makes fault *decisions* reproducible from a
+// seed, but crash-stop runs still contain genuine host-schedule races:
+// which thread of the crashed rank trips the shared call counter,
+// whether a survivor's receive matched before the failure propagated,
+// which message a wildcard receive claimed. sched captures every such
+// realized decision and nondeterministic resolution during a run — as
+// a compact, versioned JSONL stream keyed by (rank, tid, seq) — and
+// replays it so the identical interleaving, and therefore the
+// identical home.Report, is forced on re-execution (the seed-hash
+// fault path is disabled during replay).
+//
+// Record kinds:
+//
+//	send   realized send fault (delay/reorder/retries/jitter), keyed
+//	       by the sender thread's chaos decision index
+//	stall  realized thread stall, keyed by the chaos decision index
+//	rma    realized RMA delay, keyed by the chaos decision index
+//	fail   an MPI operation observed a rank failure at this schedule
+//	       point (sim.Ctx.NextSchedSeq)
+//	abort  an OpenMP construct was abandoned by a crash-stop
+//	match  the receive/probe posted at this point was satisfied by the
+//	       identified message
+//	poll   a non-blocking poll (MPI_Test, MPI_Iprobe) succeeded here
+//	crash  the given rank crash-stopped (no point key)
+//
+// Absence is meaningful: a point with no record realized no fault,
+// observed no failure, and matched no message. Wall-clock payloads
+// (jitter, stall pauses) are recorded but not re-applied on replay —
+// they exist only to provoke host races, which replay forces instead.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"home/internal/chaos"
+)
+
+// Record kinds (the "k" field of the wire format).
+const (
+	KindSend  = "send"
+	KindStall = "stall"
+	KindRMA   = "rma"
+	KindFail  = "fail"
+	KindAbort = "abort"
+	KindMatch = "match"
+	KindPoll  = "poll"
+	KindCrash = "crash"
+)
+
+// Record is one realized decision. Key fields are always present;
+// payload fields are per-kind. Rank-valued payload fields (Dead1,
+// Src1, STID1) are stored 1-based so the zero value can mean "absent"
+// under omitempty — use the accessor methods, not the raw fields.
+type Record struct {
+	Kind string `json:"k"`
+	Rank int    `json:"r"`
+	TID  int    `json:"t"`
+	Seq  uint64 `json:"q,omitempty"` // crash records carry no point
+
+	// send / rma payload (rma uses DelayNs only)
+	DelayNs   int64 `json:"delay,omitempty"`
+	Reorder   bool  `json:"reorder,omitempty"`
+	Retries   int   `json:"retries,omitempty"`
+	BackoffNs int64 `json:"backoff,omitempty"`
+	JitterNs  int64 `json:"jitter,omitempty"`
+
+	// stall payload
+	StallNs     int64 `json:"stall,omitempty"`
+	StallWallNs int64 `json:"stallw,omitempty"`
+
+	// fail payload: 1-based rank whose failure was observed
+	Dead1 int `json:"dead,omitempty"`
+
+	// match / poll payload: 1-based sender rank and tid plus the
+	// sender's schedule stamp (stamps are >= 1, so SrcSeq == 0 means
+	// "no message identity" — a bare completion poll)
+	Src1   int    `json:"src,omitempty"`
+	STID1  int    `json:"stid,omitempty"`
+	SrcSeq uint64 `json:"sseq,omitempty"`
+}
+
+// DeadRank returns the observed failed rank of a fail record.
+func (r Record) DeadRank() int { return r.Dead1 - 1 }
+
+// Msg returns the message identity of a match/poll record (zero MsgID
+// when the record carries none).
+func (r Record) Msg() chaos.MsgID {
+	if r.SrcSeq == 0 {
+		return chaos.MsgID{}
+	}
+	return chaos.MsgID{Rank: r.Src1 - 1, TID: r.STID1 - 1, Seq: r.SrcSeq}
+}
+
+type key struct {
+	kind string
+	rank int
+	tid  int
+	seq  uint64
+}
+
+// Recorder accumulates the realized schedule of one run. It
+// implements chaos.Recorder and is safe for concurrent use (match
+// resolutions arrive from sender goroutines).
+type Recorder struct {
+	mu   sync.Mutex
+	plan chaos.Plan
+	recs []Record
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// SetPlan stores the chaos plan embedded in the schedule header so a
+// replay run can reconstruct the exact same injector configuration.
+func (r *Recorder) SetPlan(p chaos.Plan) {
+	r.mu.Lock()
+	r.plan = p
+	r.mu.Unlock()
+}
+
+// Len returns the number of records accumulated so far.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recs)
+}
+
+func (r *Recorder) add(rec Record) {
+	r.mu.Lock()
+	r.recs = append(r.recs, rec)
+	r.mu.Unlock()
+}
+
+// RecordSend implements chaos.Recorder.
+func (r *Recorder) RecordSend(rank, tid int, seq uint64, f chaos.SendFault) {
+	r.add(Record{
+		Kind: KindSend, Rank: rank, TID: tid, Seq: seq,
+		DelayNs: f.DelayNs, Reorder: f.Reorder,
+		Retries: f.Retries, BackoffNs: f.BackoffNs,
+		JitterNs: int64(f.JitterWall),
+	})
+}
+
+// RecordStall implements chaos.Recorder.
+func (r *Recorder) RecordStall(rank, tid int, seq uint64, s chaos.Stall) {
+	r.add(Record{
+		Kind: KindStall, Rank: rank, TID: tid, Seq: seq,
+		StallNs: s.VirtualNs, StallWallNs: int64(s.Wall),
+	})
+}
+
+// RecordRMADelay implements chaos.Recorder.
+func (r *Recorder) RecordRMADelay(rank, tid int, seq uint64, delayNs int64) {
+	r.add(Record{Kind: KindRMA, Rank: rank, TID: tid, Seq: seq, DelayNs: delayNs})
+}
+
+// RecordFail implements chaos.Recorder.
+func (r *Recorder) RecordFail(rank, tid int, seq uint64, dead int) {
+	r.add(Record{Kind: KindFail, Rank: rank, TID: tid, Seq: seq, Dead1: dead + 1})
+}
+
+// RecordAbort implements chaos.Recorder.
+func (r *Recorder) RecordAbort(rank, tid int, seq uint64) {
+	r.add(Record{Kind: KindAbort, Rank: rank, TID: tid, Seq: seq})
+}
+
+// RecordMatch implements chaos.Recorder.
+func (r *Recorder) RecordMatch(rank, tid int, seq uint64, m chaos.MsgID) {
+	r.add(Record{
+		Kind: KindMatch, Rank: rank, TID: tid, Seq: seq,
+		Src1: m.Rank + 1, STID1: m.TID + 1, SrcSeq: m.Seq,
+	})
+}
+
+// RecordPoll implements chaos.Recorder.
+func (r *Recorder) RecordPoll(rank, tid int, seq uint64, m chaos.MsgID) {
+	rec := Record{Kind: KindPoll, Rank: rank, TID: tid, Seq: seq}
+	if !m.Zero() {
+		rec.Src1, rec.STID1, rec.SrcSeq = m.Rank+1, m.TID+1, m.Seq
+	}
+	r.add(rec)
+}
+
+// RecordCrash implements chaos.Recorder.
+func (r *Recorder) RecordCrash(rank int) {
+	r.add(Record{Kind: KindCrash, Rank: rank})
+}
+
+// snapshot returns the plan and a sorted copy of the records. Sorting
+// by (rank, tid, seq, kind) makes the serialized schedule a canonical,
+// byte-stable artifact regardless of host interleaving during the
+// recorded run.
+func (r *Recorder) snapshot() (chaos.Plan, []Record) {
+	r.mu.Lock()
+	recs := make([]Record, len(r.recs))
+	copy(recs, r.recs)
+	plan := r.plan
+	r.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return a.Kind < b.Kind
+	})
+	return plan, recs
+}
+
+// Schedule is a recorded schedule loaded for replay. It implements
+// chaos.Source; lookups are read-only after construction and safe for
+// concurrent use.
+type Schedule struct {
+	plan    chaos.Plan
+	byKey   map[key]Record
+	crashes []int
+	n       int
+}
+
+func newSchedule(plan chaos.Plan, recs []Record) (*Schedule, error) {
+	s := &Schedule{plan: plan, byKey: make(map[key]Record, len(recs)), n: len(recs)}
+	for _, rec := range recs {
+		if rec.Kind == KindCrash {
+			s.crashes = append(s.crashes, rec.Rank)
+			continue
+		}
+		k := key{rec.Kind, rec.Rank, rec.TID, rec.Seq}
+		if _, dup := s.byKey[k]; dup {
+			return nil, fmt.Errorf("sched: duplicate record for %s@(%d,%d,%d)", rec.Kind, rec.Rank, rec.TID, rec.Seq)
+		}
+		s.byKey[k] = rec
+	}
+	return s, nil
+}
+
+// Plan returns a copy of the chaos plan the schedule was recorded
+// under; attach it (by pointer) to the replay run's configuration.
+func (s *Schedule) Plan() chaos.Plan { return s.plan }
+
+// Len returns the number of records in the schedule.
+func (s *Schedule) Len() int { return s.n }
+
+// Crashes returns the ranks that crash-stopped in the recorded run.
+func (s *Schedule) Crashes() []int { return append([]int(nil), s.crashes...) }
+
+func (s *Schedule) lookup(kind string, rank, tid int, seq uint64) (Record, bool) {
+	rec, ok := s.byKey[key{kind, rank, tid, seq}]
+	return rec, ok
+}
+
+// SendFault implements chaos.Source.
+func (s *Schedule) SendFault(rank, tid int, seq uint64) (chaos.SendFault, bool) {
+	rec, ok := s.lookup(KindSend, rank, tid, seq)
+	if !ok {
+		return chaos.SendFault{}, false
+	}
+	return chaos.SendFault{
+		DelayNs: rec.DelayNs, Reorder: rec.Reorder,
+		Retries: rec.Retries, BackoffNs: rec.BackoffNs,
+	}, true
+}
+
+// Stall implements chaos.Source.
+func (s *Schedule) Stall(rank, tid int, seq uint64) (chaos.Stall, bool) {
+	rec, ok := s.lookup(KindStall, rank, tid, seq)
+	if !ok {
+		return chaos.Stall{}, false
+	}
+	return chaos.Stall{VirtualNs: rec.StallNs}, true
+}
+
+// RMADelay implements chaos.Source.
+func (s *Schedule) RMADelay(rank, tid int, seq uint64) (int64, bool) {
+	rec, ok := s.lookup(KindRMA, rank, tid, seq)
+	if !ok {
+		return 0, false
+	}
+	return rec.DelayNs, true
+}
+
+// Fail implements chaos.Source.
+func (s *Schedule) Fail(rank, tid int, seq uint64) (int, bool) {
+	rec, ok := s.lookup(KindFail, rank, tid, seq)
+	if !ok {
+		return 0, false
+	}
+	return rec.DeadRank(), true
+}
+
+// Abort implements chaos.Source.
+func (s *Schedule) Abort(rank, tid int, seq uint64) bool {
+	_, ok := s.lookup(KindAbort, rank, tid, seq)
+	return ok
+}
+
+// Match implements chaos.Source.
+func (s *Schedule) Match(rank, tid int, seq uint64) (chaos.MsgID, bool) {
+	rec, ok := s.lookup(KindMatch, rank, tid, seq)
+	if !ok {
+		return chaos.MsgID{}, false
+	}
+	return rec.Msg(), true
+}
+
+// Poll implements chaos.Source.
+func (s *Schedule) Poll(rank, tid int, seq uint64) (chaos.MsgID, bool) {
+	rec, ok := s.lookup(KindPoll, rank, tid, seq)
+	if !ok {
+		return chaos.MsgID{}, false
+	}
+	return rec.Msg(), true
+}

@@ -1,0 +1,205 @@
+package sched
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"home/internal/chaos"
+)
+
+// fullRecorder builds a recorder exercising every record kind, with
+// payload values chosen to stress the 1-based encodings (rank 0, tid 0
+// must survive omitempty).
+func fullRecorder() *Recorder {
+	r := NewRecorder()
+	r.SetPlan(chaos.Plan{Seed: 7, DelayProb: 0.5, MaxDelayNs: 1000, CrashRank: 1, CrashAfterCalls: 3})
+	r.RecordSend(1, 0, 2, chaos.SendFault{DelayNs: 40, Reorder: true, Retries: 2, BackoffNs: 10, JitterWall: 3 * time.Millisecond})
+	r.RecordStall(0, 1, 1, chaos.Stall{VirtualNs: 500, Wall: time.Millisecond})
+	r.RecordRMADelay(2, 1, 4, 77)
+	r.RecordFail(0, 0, 3, 0) // observes rank 0's failure: Dead1 encoding
+	r.RecordAbort(1, 1, 5)
+	r.RecordMatch(0, 1, 2, chaos.MsgID{Rank: 0, TID: 0, Seq: 1}) // rank 0, tid 0 sender
+	r.RecordPoll(1, 0, 6, chaos.MsgID{})                         // bare completion poll
+	r.RecordPoll(1, 0, 7, chaos.MsgID{Rank: 2, TID: 1, Seq: 9})
+	r.RecordCrash(0)
+	return r
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	rec := fullRecorder()
+	s, err := Read(bytes.NewReader(rec.Bytes()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got := s.Plan(); got.Seed != 7 || got.DelayProb != 0.5 || got.CrashRank != 1 || got.CrashAfterCalls != 3 {
+		t.Errorf("plan did not round-trip: %+v", got)
+	}
+	if s.Len() != rec.Len() {
+		t.Errorf("len = %d, recorded %d", s.Len(), rec.Len())
+	}
+
+	if f, ok := s.SendFault(1, 0, 2); !ok || f.DelayNs != 40 || !f.Reorder || f.Retries != 2 || f.BackoffNs != 10 {
+		t.Errorf("send fault = %+v, %v", f, ok)
+	} else if f.JitterWall != 0 {
+		// Wall-clock payloads are recorded for diagnosis but never
+		// re-applied: replay forces the race the jitter provoked.
+		t.Errorf("replayed send re-applies wall jitter: %v", f.JitterWall)
+	}
+	if st, ok := s.Stall(0, 1, 1); !ok || st.VirtualNs != 500 || st.Wall != 0 {
+		t.Errorf("stall = %+v, %v", st, ok)
+	}
+	if d, ok := s.RMADelay(2, 1, 4); !ok || d != 77 {
+		t.Errorf("rma delay = %d, %v", d, ok)
+	}
+	if dead, ok := s.Fail(0, 0, 3); !ok || dead != 0 {
+		t.Errorf("fail = %d, %v (rank 0 must survive the 1-based encoding)", dead, ok)
+	}
+	if !s.Abort(1, 1, 5) {
+		t.Error("abort record missing")
+	}
+	if m, ok := s.Match(0, 1, 2); !ok || (m != chaos.MsgID{Rank: 0, TID: 0, Seq: 1}) {
+		t.Errorf("match = %+v, %v (rank 0/tid 0 sender must survive)", m, ok)
+	}
+	if m, ok := s.Poll(1, 0, 6); !ok || !m.Zero() {
+		t.Errorf("bare poll = %+v, %v", m, ok)
+	}
+	if m, ok := s.Poll(1, 0, 7); !ok || (m != chaos.MsgID{Rank: 2, TID: 1, Seq: 9}) {
+		t.Errorf("identified poll = %+v, %v", m, ok)
+	}
+	if got := s.Crashes(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("crashes = %v", got)
+	}
+
+	// Absent points: no fault, no failure, no match.
+	if _, ok := s.SendFault(1, 0, 99); ok {
+		t.Error("phantom send fault")
+	}
+	if _, ok := s.Fail(3, 3, 3); ok {
+		t.Error("phantom failure")
+	}
+	if s.Abort(0, 0, 1) {
+		t.Error("phantom abort")
+	}
+}
+
+// TestScheduleBytesCanonical pins that serialization is independent of
+// the host interleaving the records arrived in: the same decisions
+// added in a different order serialize byte-identically.
+func TestScheduleBytesCanonical(t *testing.T) {
+	a := fullRecorder()
+
+	b := NewRecorder()
+	b.SetPlan(chaos.Plan{Seed: 7, DelayProb: 0.5, MaxDelayNs: 1000, CrashRank: 1, CrashAfterCalls: 3})
+	b.RecordCrash(0)
+	b.RecordPoll(1, 0, 7, chaos.MsgID{Rank: 2, TID: 1, Seq: 9})
+	b.RecordMatch(0, 1, 2, chaos.MsgID{Rank: 0, TID: 0, Seq: 1})
+	b.RecordAbort(1, 1, 5)
+	b.RecordPoll(1, 0, 6, chaos.MsgID{})
+	b.RecordFail(0, 0, 3, 0)
+	b.RecordRMADelay(2, 1, 4, 77)
+	b.RecordStall(0, 1, 1, chaos.Stall{VirtualNs: 500, Wall: time.Millisecond})
+	b.RecordSend(1, 0, 2, chaos.SendFault{DelayNs: 40, Reorder: true, Retries: 2, BackoffNs: 10, JitterWall: 3 * time.Millisecond})
+
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("serialization is order-dependent:\n%s\nvs\n%s", a.Bytes(), b.Bytes())
+	}
+}
+
+func TestReadTruncatedSalvagesPrefix(t *testing.T) {
+	full := fullRecorder().Bytes()
+	// Cut mid-way through the final record.
+	cut := full[:len(full)-5]
+	s, err := Read(bytes.NewReader(cut))
+	if err == nil {
+		t.Fatal("truncated stream read without error")
+	}
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	var te *TruncatedError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T, want *TruncatedError", err)
+	}
+	if s == nil {
+		t.Fatal("no salvaged schedule returned")
+	}
+	if te.Records != s.Len() {
+		t.Errorf("TruncatedError.Records = %d, schedule has %d", te.Records, s.Len())
+	}
+	if s.Len() != 8 { // 9 records, last one cut
+		t.Errorf("salvaged %d records, want 8", s.Len())
+	}
+	// The salvaged prefix still replays: canonical order puts
+	// (rank 0, tid 1, seq 1) first.
+	if st, ok := s.Stall(0, 1, 1); !ok || st.VirtualNs != 500 {
+		t.Errorf("salvaged stall = %+v, %v", st, ok)
+	}
+}
+
+func TestReadHeaderErrors(t *testing.T) {
+	// Empty stream: truncated before the header.
+	if _, err := Read(bytes.NewReader(nil)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty stream err = %v, want ErrTruncated", err)
+	}
+	// Wrong format string.
+	if _, err := Read(strings.NewReader(`{"format":"home-trace","version":1}` + "\n")); err == nil || errors.Is(err, ErrTruncated) {
+		t.Errorf("foreign format err = %v", err)
+	}
+	// Newer version than this reader supports.
+	if _, err := Read(strings.NewReader(`{"format":"home-sched","version":99}` + "\n")); err == nil || !strings.Contains(err.Error(), "newer") {
+		t.Errorf("newer version err = %v", err)
+	}
+	// Garbage header.
+	if _, err := Read(strings.NewReader("not json\n")); err == nil || errors.Is(err, ErrTruncated) {
+		t.Errorf("garbage header err = %v", err)
+	}
+}
+
+func TestReadRejectsDuplicateKeys(t *testing.T) {
+	r := NewRecorder()
+	r.RecordAbort(0, 0, 1)
+	r.RecordAbort(0, 0, 1)
+	if _, err := Read(bytes.NewReader(r.Bytes())); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("err = %v, want duplicate-record rejection", err)
+	}
+}
+
+// TestRecorderScheduleUsesCodec pins that the in-memory conversion
+// goes through the wire format (so every replay exercises the codec).
+func TestRecorderScheduleUsesCodec(t *testing.T) {
+	rec := fullRecorder()
+	s, err := rec.Schedule()
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	viaWire, err := Read(bytes.NewReader(rec.Bytes()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if s.Len() != viaWire.Len() || len(s.Crashes()) != len(viaWire.Crashes()) {
+		t.Errorf("in-memory schedule differs from wire round trip")
+	}
+}
+
+func TestWriteStreams(t *testing.T) {
+	rec := fullRecorder()
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), rec.Bytes()) {
+		t.Error("Write and Bytes disagree")
+	}
+	// First line is the versioned header.
+	line, err := bytes.NewBuffer(buf.Bytes()).ReadString('\n')
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, `"format":"home-sched"`) || !strings.Contains(line, `"version":1`) {
+		t.Errorf("header line = %s", line)
+	}
+}

@@ -109,12 +109,27 @@ type Ctx struct {
 	// so verdicts depend on the thread's own progress, never on the
 	// host schedule.
 	ChaosSeq uint64
+
+	// SchedSeq counts the schedule points this thread has passed:
+	// every site where a nondeterministic resolution can be observed
+	// (failure observations, message-match resolutions, polls).
+	// Record/replay (internal/sched) keys its records on it. It is a
+	// separate counter from ChaosSeq so that attaching a recorder
+	// never shifts the fault decisions of the underlying chaos run.
+	SchedSeq uint64
 }
 
 // NextChaosSeq advances and returns the thread's fault-decision index.
 func (c *Ctx) NextChaosSeq() uint64 {
 	c.ChaosSeq++
 	return c.ChaosSeq
+}
+
+// NextSchedSeq advances and returns the thread's schedule-point index
+// (first value 1, so 0 can mean "no point" in schedule records).
+func (c *Ctx) NextSchedSeq() uint64 {
+	c.SchedSeq++
+	return c.SchedSeq
 }
 
 // NewCtx builds a context for (rank, tid) with a seed-derived random

@@ -1,0 +1,116 @@
+package home
+
+// RMA chaos: legal perturbation plans now delay MPI_Put/MPI_Get within
+// fence epochs (where the MPI standard leaves completion order
+// unspecified), so WindowViolation verdicts must be stable under them
+// — and RMA runs must record/replay like every other chaos run.
+
+import (
+	"testing"
+)
+
+const racyRMASrc = `
+int main() {
+  int p;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &p);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  double region[4];
+  int win;
+  MPI_Win_create(region, 4, MPI_COMM_WORLD, &win);
+  double val[1];
+  val[0] = rank;
+  #pragma omp parallel num_threads(2)
+  {
+    MPI_Put(win, 1 - rank, omp_get_thread_num(), val, 1);
+  }
+  MPI_Win_fence(win);
+  MPI_Finalize();
+  return 0;
+}`
+
+const guardedRMASrc = `
+int main() {
+  int p;
+  MPI_Init_thread(MPI_THREAD_MULTIPLE, &p);
+  int rank = MPI_Comm_rank(MPI_COMM_WORLD);
+  double region[4];
+  int win;
+  MPI_Win_create(region, 4, MPI_COMM_WORLD, &win);
+  double val[1];
+  val[0] = rank;
+  #pragma omp parallel num_threads(2)
+  {
+    #pragma omp critical(rma)
+    {
+      MPI_Put(win, 1 - rank, omp_get_thread_num(), val, 1);
+    }
+  }
+  MPI_Win_fence(win);
+  MPI_Finalize();
+  return 0;
+}`
+
+// TestWindowViolationStableUnderRMAChaos asserts the metamorphic
+// contract for the RMA fault family: legal perturbation plans (which
+// include per-operation RMA delays) never flip a WindowViolation
+// verdict in either direction.
+func TestWindowViolationStableUnderRMAChaos(t *testing.T) {
+	sawDelay := false
+	for _, seed := range []int64{1, 2, 3, 5, 8} {
+		opts := Options{Procs: 2, Seed: 1, Chaos: ChaosPerturb(seed), Stats: NewStatsRegistry()}
+		rep, err := Check(racyRMASrc, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.HasViolation(WindowViolation) {
+			t.Errorf("seed %d: perturbation suppressed the window violation:\n%s", seed, rep.Summary())
+		}
+		if rep.Stats.Get("chaos.rma_delays") > 0 {
+			sawDelay = true
+		}
+
+		clean, err := Check(guardedRMASrc, Options{Procs: 2, Seed: 1, Chaos: ChaosPerturb(seed)})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if clean.HasViolation(WindowViolation) {
+			t.Errorf("seed %d: perturbation flagged the critical-guarded RMA:\n%s", seed, clean.Summary())
+		}
+	}
+	if !sawDelay {
+		t.Error("no seed realized an RMA delay — the perturbation plan is not exercising the RMA family")
+	}
+}
+
+// TestRMAChaosRecordReplay pins that RMA-perturbed runs round-trip
+// through the schedule recorder like every other chaos run: the
+// replayed report reproduces the recorded verdicts.
+func TestRMAChaosRecordReplay(t *testing.T) {
+	rec := NewScheduleRecorder()
+	opts := Options{Procs: 2, Seed: 1, Chaos: ChaosPerturb(13), RecordSchedule: rec}
+	recorded, err := Check(racyRMASrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recorded.HasViolation(WindowViolation) {
+		t.Fatalf("recorded run missed the violation:\n%s", recorded.Summary())
+	}
+	schedule, err := rec.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := Check(racyRMASrc, Options{Procs: 2, Seed: 1, ReplaySchedule: schedule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed.Violations) != len(recorded.Violations) {
+		t.Fatalf("replay diverged: %d violations recorded, %d replayed\nrecorded:\n%s\nreplayed:\n%s",
+			len(recorded.Violations), len(replayed.Violations), recorded.Summary(), replayed.Summary())
+	}
+	for i := range recorded.Violations {
+		if recorded.Violations[i].String() != replayed.Violations[i].String() {
+			t.Errorf("violation %d diverged:\n  recorded: %s\n  replayed: %s",
+				i, recorded.Violations[i], replayed.Violations[i])
+		}
+	}
+}
