@@ -20,10 +20,12 @@
 //	homecheck -chaos seed=3,crash=1@5 app.c   # crash-stop rank 1 at its 5th call
 //	homecheck -chaos seed=3 -record-sched s.jsonl app.c  # record the realized schedule
 //	homecheck -replay-sched s.jsonl app.c     # force the recorded interleaving
+//	homecheck -explain app.c           # causal witness for every verdict
+//	homecheck -explain-json app.c      # the same witnesses as JSON
 //
-// See docs/OBSERVABILITY.md for the -stats and -spans output and
-// docs/ROBUSTNESS.md for the -chaos plan syntax and the schedule
-// record/replay format.
+// See docs/OBSERVABILITY.md for the -stats, -spans and -explain
+// output and docs/ROBUSTNESS.md for the -chaos plan syntax and the
+// schedule record/replay format.
 package main
 
 import (

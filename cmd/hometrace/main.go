@@ -8,6 +8,8 @@
 //	hometrace record [-procs N] [-all] [-spans out.json] program.c > trace.jsonl
 //	hometrace analyze [-mode combined|lockset|hb] [-ignore-locks] trace.jsonl
 //	hometrace replay [-procs N] [-threads N] [-seed S] sched.jsonl program.c
+//	hometrace timeline [-o out.json] trace.jsonl
+//	hometrace timeline [-procs N] [-threads N] [-seed S] [-o out.json] sched.jsonl program.c
 //
 // record executes the program with HOME's instrumentation and writes
 // the event stream as newline-delimited JSON; -spans additionally
@@ -18,6 +20,11 @@
 // without re-running the program. replay re-checks a program while
 // forcing a fault schedule recorded by homecheck -record-sched,
 // reproducing the recorded report exactly (see docs/ROBUSTNESS.md).
+// timeline renders a run as one Chrome trace_event lane per (rank,
+// thread) in virtual time — from a recorded event trace or by
+// replaying a recorded fault schedule — with causal-witness markers
+// overlaid on every verdict site; open the output in chrome://tracing
+// or ui.perfetto.dev (see docs/OBSERVABILITY.md).
 package main
 
 import (

@@ -42,6 +42,7 @@ import (
 
 	"home/internal/chaos"
 	"home/internal/detect"
+	"home/internal/explain"
 	"home/internal/interp"
 	"home/internal/minic"
 	"home/internal/msgrace"
@@ -91,7 +92,26 @@ type (
 	ScheduleRecorder = sched.Recorder
 	// Schedule is a recorded fault schedule loaded for replay.
 	Schedule = sched.Schedule
+	// Witness is the causal explanation of one verdict: the access or
+	// call pair by schedule-stable coordinates, locksets with
+	// acquisition sites, vector clocks, and the missing happens-before
+	// edge (see internal/explain and docs/OBSERVABILITY.md).
+	Witness = explain.Witness
+	// TraceEvent is one instrumentation event of the run's log.
+	TraceEvent = trace.Event
+	// Timeline is an assembled per-(rank, thread) timeline of a run,
+	// exportable as Chrome trace_event JSON (chrome://tracing,
+	// Perfetto).
+	Timeline = trace.Timeline
 )
+
+// BuildTimeline assembles the timeline for a run's event log
+// (Report.Trace); overlay witnesses with OverlayWitnesses.
+func BuildTimeline(events []TraceEvent) *Timeline { return trace.BuildTimeline(events) }
+
+// OverlayWitnesses marks every witness site on the timeline with an
+// instant event.
+func OverlayWitnesses(t *Timeline, ws []Witness) { explain.Overlay(t, ws) }
 
 // NewScheduleRecorder returns an empty schedule recorder to pass in
 // Options.RecordSchedule.
@@ -201,6 +221,14 @@ type Options struct {
 	// recorded interleaving, reproducing the recorded Report verdicts.
 	ReplaySchedule *Schedule
 
+	// Explain extracts a causal witness for every race and violation
+	// (Report.Witnesses) and retains the run's event log
+	// (Report.Trace) for timeline export. The detector captures full
+	// vector clocks per monitored access under this option and orders
+	// race pairs canonically, so explained output is byte-stable
+	// across host schedules for schedule-invariant programs.
+	Explain bool
+
 	// Stats, when non-nil, collects runtime counters from every layer
 	// of the run; Report.Stats carries the final snapshot. Use one
 	// registry per run.
@@ -248,6 +276,13 @@ type Report struct {
 	// Violations are the matched thread-safety violations, sorted by
 	// (kind, rank).
 	Violations []Violation
+	// Witnesses are the causal explanations — one per violation, in
+	// the violations' order, then one per race no violation claimed.
+	// Populated only under Options.Explain.
+	Witnesses []Witness
+	// Trace is the run's instrumentation event log, retained for
+	// timeline export. Populated only under Options.Explain.
+	Trace []TraceEvent
 
 	// Makespan is the instrumented run's virtual execution time (ns).
 	Makespan int64
@@ -391,8 +426,9 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 	// execution); the log keeps the raw records the specification
 	// matcher needs afterwards.
 	log := trace.NewLog()
-	online := detect.NewOnline(detect.Options{Mode: opts.Mode, Stats: opts.Stats})
+	online := detect.NewOnline(detect.Options{Mode: opts.Mode, Stats: opts.Stats, Explain: opts.Explain})
 	chaosPlan, schedRec, schedSrc := resolveSched(&opts)
+	forced0 := replayForced(&opts)
 	sp = opts.Profile.Start("execute")
 	run := interp.Run(prog, interp.Config{
 		Procs:              opts.Procs,
@@ -420,9 +456,12 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 	sp.SetVirtual(int64(rep.EventsAnalyzed) * costs.AnalysisNsPerEvent)
 	sp.End()
 
+	recordSchedStats(&opts, forced0)
+
 	// Phase 4: specification matching.
+	events := log.Events()
 	sp = opts.Profile.Start("match")
-	violations := spec.Match(log.Events(), rep)
+	violations := spec.Match(events, rep)
 	sp.End()
 
 	report := &Report{
@@ -438,13 +477,17 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 		EventsAnalyzed: rep.EventsAnalyzed,
 		Spans:          opts.Profile.Spans(),
 	}
+	if opts.Explain {
+		report.Witnesses = explain.Extract(events, rep, violations)
+		report.Trace = events
+	}
 	if len(run.DeadRanks) > 0 {
 		// Graceful degradation: a crash-stopped rank truncates its own
 		// event stream, but the analyses are prefix-closed, so the
 		// report stands — flagged partial, with per-rank coverage.
 		report.Partial = true
 		report.DeadRanks = run.DeadRanks
-		report.RankCoverage = rankCoverage(opts.Procs, log.Events(), run.DeadRanks)
+		report.RankCoverage = rankCoverage(opts.Procs, events, run.DeadRanks)
 		opts.Stats.Counter("home.partial_reports").Inc()
 	}
 	if opts.Stats != nil {
@@ -471,6 +514,31 @@ func resolveSched(opts *Options) (*chaos.Plan, chaos.Recorder, chaos.Source) {
 		return opts.Chaos, opts.RecordSchedule, nil
 	}
 	return opts.Chaos, nil, nil
+}
+
+// replayForced samples the replay schedule's forced-decision counter
+// before a run, so per-run accounting tolerates schedule reuse.
+func replayForced(opts *Options) int64 {
+	if opts.ReplaySchedule == nil {
+		return 0
+	}
+	return opts.ReplaySchedule.Forced()
+}
+
+// recordSchedStats publishes the record/replay substrate's counters
+// after a run (nil-safe registry).
+//
+// Stat names:
+//
+//	sched.records        realized-decision records captured this run
+//	sched.replay_forced  recorded decisions replay forced onto this run
+func recordSchedStats(opts *Options, forced0 int64) {
+	switch {
+	case opts.ReplaySchedule != nil:
+		opts.Stats.Counter("sched.replay_forced").Add(opts.ReplaySchedule.Forced() - forced0)
+	case opts.RecordSchedule != nil:
+		opts.Stats.Counter("sched.records").Add(int64(opts.RecordSchedule.Len()))
+	}
 }
 
 // rankCoverage tallies the observed instrumentation events per rank.
@@ -502,6 +570,7 @@ func RunBase(prog *Program, opts Options) (*interp.Result, error) {
 		opts.Threads = 2
 	}
 	chaosPlan, schedRec, schedSrc := resolveSched(&opts)
+	forced0 := replayForced(&opts)
 	res := interp.Run(prog, interp.Config{
 		Procs:              opts.Procs,
 		Threads:            opts.Threads,
@@ -516,6 +585,7 @@ func RunBase(prog *Program, opts Options) (*interp.Result, error) {
 		SchedSource:        schedSrc,
 		WatchdogGraceNs:    opts.WatchdogGraceNs,
 	})
+	recordSchedStats(&opts, forced0)
 	return res, nil
 }
 

@@ -5,6 +5,7 @@
 package cli
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"home"
 	"home/internal/cfg"
 	"home/internal/detect"
+	"home/internal/explain"
 	"home/internal/interp"
 	"home/internal/minic"
 	"home/internal/obs"
@@ -65,6 +67,8 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 	staticOnly := fs.Bool("static", false, "run only the static phase")
 	dumpCFG := fs.Bool("cfg", false, "print the control-flow graphs in dot syntax and exit")
 	races := fs.Bool("races", false, "also print the raw concurrency reports")
+	explainFlag := fs.Bool("explain", false, "print a causal witness for every verdict (see docs/OBSERVABILITY.md)")
+	explainJSON := fs.Bool("explain-json", false, "print the causal witnesses as a JSON array")
 	msgRaces := fs.Bool("msgrace", false, "also run the cross-rank message-race extension analysis")
 	stats := fs.Bool("stats", false, "print the run's observability counters (see docs/OBSERVABILITY.md)")
 	spansOut := fs.String("spans", "", "write pipeline phase spans as Chrome trace_event JSON to this file")
@@ -101,6 +105,7 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	opts.Mode = m
+	opts.Explain = *explainFlag || *explainJSON
 	if *stats {
 		opts.Stats = home.NewStatsRegistry()
 	}
@@ -196,6 +201,22 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 	if *races {
 		for _, r := range rep.Races {
 			fmt.Fprintln(stdout, "race:", r)
+		}
+	}
+	switch {
+	case *explainJSON:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep.Witnesses); err != nil {
+			fmt.Fprintln(stderr, "homecheck:", err)
+			return 2
+		}
+	case *explainFlag:
+		for i, w := range rep.Witnesses {
+			if i > 0 {
+				fmt.Fprintln(stdout)
+			}
+			fmt.Fprint(stdout, w.String())
 		}
 	}
 	if rep.Stats != nil {
@@ -353,6 +374,8 @@ func HomeTrace(args []string, stdout, stderr io.Writer) int {
 		return traceAnalyze(args[1:], stdout, stderr)
 	case "replay":
 		return traceReplay(args[1:], stdout, stderr)
+	case "timeline":
+		return traceTimeline(args[1:], stdout, stderr)
 	}
 	traceUsage(stderr)
 	return 2
@@ -363,10 +386,107 @@ func traceUsage(stderr io.Writer) {
   hometrace record [-procs N] [-threads N] [-seed S] [-all] [-spans out.json] program.c > trace.jsonl
   hometrace analyze [-mode combined|lockset|hb] [-ignore-locks] trace.jsonl
   hometrace replay [-procs N] [-threads N] [-seed S] [-mode M] sched.jsonl program.c
+  hometrace timeline [-procs N] [-threads N] [-seed S] [-o out.json] trace.jsonl
+  hometrace timeline [-procs N] [-threads N] [-seed S] [-o out.json] sched.jsonl program.c
 
 replay re-checks the program while forcing the fault schedule recorded
 by homecheck -record-sched; pass the same -procs/-threads/-seed as the
-recording run to reproduce its report exactly.`)
+recording run to reproduce its report exactly.
+
+timeline renders a per-(rank,thread) virtual-time timeline as Chrome
+trace_event JSON (open in chrome://tracing or ui.perfetto.dev), with
+causal-witness markers overlaid on every verdict site. The one-argument
+form analyzes a recorded event trace; the two-argument form replays a
+recorded fault schedule through the full checker first.`)
+}
+
+// traceTimeline renders a run as per-lane Chrome trace_event JSON with
+// witness markers. Exit codes: 0 written, 2 errors (verdicts do not
+// affect the exit code — the artifact is the point).
+func traceTimeline(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("timeline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	procs := fs.Int("procs", 2, "MPI ranks (schedule form; must match the recording run)")
+	threads := fs.Int("threads", 2, "OpenMP threads per rank (schedule form)")
+	seed := fs.Int64("seed", 1, "simulation seed (schedule form)")
+	out := fs.String("o", "", "write the timeline JSON to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var (
+		tl *trace.Timeline
+		ws []explain.Witness
+	)
+	switch fs.NArg() {
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "hometrace:", err)
+			return 2
+		}
+		events, err := trace.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			var te *trace.TruncatedError
+			if !errors.As(err, &te) {
+				fmt.Fprintln(stderr, "hometrace:", err)
+				return 2
+			}
+			fmt.Fprintf(stderr, "hometrace: warning: %v; rendering the salvaged prefix\n", te)
+		}
+		rep := detect.Analyze(events, detect.Options{Explain: true})
+		violations := spec.Match(events, rep)
+		ws = explain.Extract(events, rep, violations)
+		tl = trace.BuildTimeline(events)
+		explain.Overlay(tl, ws)
+	case 2:
+		schedule, err := home.ReadScheduleFile(fs.Arg(0))
+		if err != nil {
+			var te *sched.TruncatedError
+			if !errors.As(err, &te) {
+				fmt.Fprintln(stderr, "hometrace:", err)
+				return 2
+			}
+			fmt.Fprintf(stderr, "hometrace: warning: %v; replaying the salvaged prefix\n", te)
+		}
+		srcBytes, err := os.ReadFile(fs.Arg(1))
+		if err != nil {
+			fmt.Fprintln(stderr, "hometrace:", err)
+			return 2
+		}
+		rep, err := home.Check(string(srcBytes), home.Options{
+			Procs: *procs, Threads: *threads, Seed: *seed,
+			ReplaySchedule: schedule, Explain: true,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "hometrace:", err)
+			return 2
+		}
+		ws = rep.Witnesses
+		tl = home.BuildTimeline(rep.Trace)
+		home.OverlayWitnesses(tl, ws)
+	default:
+		traceUsage(stderr)
+		return 2
+	}
+
+	dst := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "hometrace:", err)
+			return 2
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := tl.WriteJSON(dst); err != nil {
+		fmt.Fprintln(stderr, "hometrace:", err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "timeline: %d lanes rendered, %d witness markers\n", tl.Lanes(), len(ws))
+	return 0
 }
 
 // traceReplay re-runs the full checker forcing a recorded schedule.

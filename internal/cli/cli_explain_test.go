@@ -1,0 +1,121 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"home/internal/explain"
+)
+
+// TestHomeCheckExplain covers the -explain flag: witness text must
+// name the access pair and the missing ordering for each verdict.
+func TestHomeCheckExplain(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := HomeCheck([]string{"-explain", writeTemp(t, "buggy.c", buggySrc)}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb.String())
+	}
+	for _, want := range []string{"first:", "second:", "locks held:", "missing:", "ConcurrentRecvViolation"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("explain output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestHomeCheckExplainJSON covers -explain-json: the output block
+// after the summary must decode as a witness array.
+func TestHomeCheckExplainJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := HomeCheck([]string{"-explain-json", writeTemp(t, "buggy.c", buggySrc)}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb.String())
+	}
+	i := strings.Index(out.String(), "[")
+	if i < 0 {
+		t.Fatalf("no JSON array in output:\n%s", out.String())
+	}
+	var ws []explain.Witness
+	if err := json.Unmarshal([]byte(out.String()[i:]), &ws); err != nil {
+		t.Fatalf("decode: %v\n%s", err, out.String())
+	}
+	if len(ws) == 0 {
+		t.Fatal("no witnesses decoded")
+	}
+	found := false
+	for _, w := range ws {
+		if w.Kind == "ConcurrentRecvViolation" && len(w.Sites) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no two-site ConcurrentRecvViolation witness in %+v", ws)
+	}
+}
+
+// TestHomeTraceTimelineFromTrace covers the one-argument form: record
+// an event trace, render it, and check for lanes, flows and witness
+// markers.
+func TestHomeTraceTimelineFromTrace(t *testing.T) {
+	src := writeTemp(t, "buggy.c", buggySrc)
+	var traceOut, errb bytes.Buffer
+	if code := HomeTrace([]string{"record", src}, &traceOut, &errb); code != 0 {
+		t.Fatalf("record exit = %d, stderr = %s", code, errb.String())
+	}
+	tracePath := writeTemp(t, "trace.jsonl", traceOut.String())
+
+	var out bytes.Buffer
+	errb.Reset()
+	if code := HomeTrace([]string{"timeline", tracePath}, &out, &errb); code != 0 {
+		t.Fatalf("timeline exit = %d, stderr = %s", code, errb.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("timeline output is not valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ph, ok := ev["ph"].(string); ok {
+			phases[ph]++
+		}
+	}
+	if phases["X"] == 0 || phases["M"] == 0 {
+		t.Errorf("timeline lacks duration or metadata events: %v", phases)
+	}
+	if phases["i"] == 0 {
+		t.Errorf("timeline lacks witness markers: %v", phases)
+	}
+	if !strings.Contains(errb.String(), "witness markers") {
+		t.Errorf("stderr summary missing: %s", errb.String())
+	}
+}
+
+// TestHomeTraceTimelineFromSchedule covers the two-argument form:
+// record a fault schedule with homecheck, then render its replay.
+func TestHomeTraceTimelineFromSchedule(t *testing.T) {
+	src := writeTemp(t, "buggy.c", buggySrc)
+	schedPath := writeTemp(t, "sched.jsonl", "")
+	var out, errb bytes.Buffer
+	code := HomeCheck([]string{"-chaos", "seed=3", "-record-sched", schedPath, src}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("record exit = %d, stderr = %s", code, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := HomeTrace([]string{"timeline", schedPath, src}, &out, &errb); code != 0 {
+		t.Fatalf("timeline exit = %d, stderr = %s", code, errb.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("timeline output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty timeline")
+	}
+}

@@ -86,6 +86,15 @@ type Options struct {
 	// consumed, vector-clock comparisons, lockset sizes, candidate vs
 	// confirmed races).
 	Stats *obs.Registry
+
+	// Explain captures witness material on every reported race: the
+	// full vector clock observed at each access (not just the epoch)
+	// and the access's schedule-stable per-thread event index. It also
+	// canonicalizes each pair's First/Second order and the report's
+	// race order by (rank, tid, index) rather than analysis arrival
+	// order, so explained reports are byte-stable across host
+	// schedules. Costs one clock copy per monitored access.
+	Explain bool
 }
 
 // Default history/report bounds.
@@ -103,6 +112,15 @@ type Access struct {
 	Op      trace.Op
 	Lockset []string       // lock names held, sorted
 	Call    *trace.MPICall // the MPI call that performed the access, if any
+
+	// Ix is the 0-based index of this event within its (rank, tid)
+	// lane — a schedule-stable coordinate, unlike Seq (global arrival
+	// order) and Time. Populated only under Options.Explain.
+	Ix uint64
+	// Clock is the thread's full vector clock at the access (before
+	// the access's own tick). Populated only under Options.Explain;
+	// explain uses it to extract the concurrency certificate.
+	Clock vclock.VC
 }
 
 func (a Access) String() string {
@@ -176,6 +194,8 @@ type accessRec struct {
 	epoch vclock.Epoch
 	locks map[string]struct{}
 	call  *trace.MPICall
+	ix    uint64    // per-lane event index (Explain only)
+	clock vclock.VC // full clock snapshot (Explain only)
 }
 
 // analyzer carries the replay state.
@@ -195,6 +215,9 @@ type analyzer struct {
 	// per-location access history
 	history map[trace.Loc][]accessRec
 	races   map[trace.Loc][]Race
+	// per-lane event counters (Explain only): the next index each
+	// (rank, tid) lane will stamp on an access
+	laneIx map[vclock.TID]uint64
 
 	st analyzerStats
 }
@@ -244,6 +267,7 @@ func newAnalyzer(opts Options) *analyzer {
 		lockClocks:     make(map[string]vclock.VC),
 		history:        make(map[trace.Loc][]accessRec),
 		races:          make(map[trace.Loc][]Race),
+		laneIx:         make(map[vclock.TID]uint64),
 	}
 }
 
@@ -261,9 +285,27 @@ func (a *analyzer) report() *Report {
 		return locs[i].Name < locs[j].Name
 	})
 	for _, l := range locs {
-		rep.Races = append(rep.Races, a.races[l]...)
+		races := a.races[l]
+		if a.opts.Explain {
+			// Arrival order within a location is host-schedule
+			// dependent online; re-sort by the canonical pair
+			// coordinates so explained reports are stable.
+			races = append([]Race(nil), races...)
+			sort.Slice(races, func(i, j int) bool {
+				if !accessEq(races[i].First, races[j].First) {
+					return laneAfter(races[j].First, races[i].First)
+				}
+				return laneAfter(races[j].Second, races[i].Second)
+			})
+		}
+		rep.Races = append(rep.Races, races...)
 	}
 	return rep
+}
+
+// accessEq compares the schedule-stable coordinates of two accesses.
+func accessEq(a, b Access) bool {
+	return a.Rank == b.Rank && a.TID == b.TID && a.Ix == b.Ix
 }
 
 // Analyze replays the event log and returns the race report.
@@ -311,6 +353,11 @@ func (a *analyzer) thread(rank, tid int) (*threadState, vclock.TID) {
 func (a *analyzer) step(e trace.Event) {
 	a.st.events.Inc()
 	st, gid := a.thread(e.Rank, e.TID)
+	var ix uint64
+	if a.opts.Explain {
+		ix = a.laneIx[gid]
+		a.laneIx[gid] = ix + 1
+	}
 	switch e.Op {
 	case trace.OpFork:
 		a.forkClocks[e.Sync] = st.clock.Copy()
@@ -344,7 +391,7 @@ func (a *analyzer) step(e trace.Event) {
 			delete(st.locks, e.Lock.Name)
 		}
 	case trace.OpRead, trace.OpWrite:
-		a.access(e, st, gid)
+		a.access(e, st, gid, ix)
 	case trace.OpMPICall:
 		// Call records are consumed by the spec matcher, not the race
 		// analyses.
@@ -374,7 +421,7 @@ func (a *analyzer) barrier(s trace.SyncID, gid vclock.TID, st *threadState) {
 
 // access checks the new access against the location history and
 // records it.
-func (a *analyzer) access(e trace.Event, st *threadState, gid vclock.TID) {
+func (a *analyzer) access(e trace.Event, st *threadState, gid vclock.TID, ix uint64) {
 	rec := accessRec{
 		seq:   e.Seq,
 		gid:   gid,
@@ -385,6 +432,10 @@ func (a *analyzer) access(e trace.Event, st *threadState, gid vclock.TID) {
 		epoch: vclock.EpochOf(st.clock, gid),
 		locks: copyLocks(st.locks),
 		call:  e.Call,
+	}
+	if a.opts.Explain {
+		rec.ix = ix
+		rec.clock = st.clock.Copy()
 	}
 	a.st.locksetSize.Observe(int64(len(rec.locks)))
 	hist := a.history[e.Loc]
@@ -422,10 +473,18 @@ func (a *analyzer) access(e trace.Event, st *threadState, gid vclock.TID) {
 			a.st.confirmed.Inc()
 		}
 		if reported && len(a.races[e.Loc]) < a.opts.MaxRacesPerLoc {
+			first, second := prev.toAccess(), rec.toAccess()
+			// Under Explain the pair order is canonical — by
+			// schedule-stable lane coordinate rather than analysis
+			// arrival order — so witness output does not depend on the
+			// host schedule.
+			if a.opts.Explain && laneAfter(first, second) {
+				first, second = second, first
+			}
 			a.races[e.Loc] = append(a.races[e.Loc], Race{
 				Loc:         e.Loc,
-				First:       prev.toAccess(),
-				Second:      rec.toAccess(),
+				First:       first,
+				Second:      second,
 				LocksetRace: lsRace,
 				HBRace:      hbRace,
 			})
@@ -445,7 +504,20 @@ func (r accessRec) toAccess() Access {
 	return Access{
 		Seq: r.seq, Rank: r.rank, TID: r.tid, Time: r.time,
 		Op: r.op, Lockset: names, Call: r.call,
+		Ix: r.ix, Clock: r.clock,
 	}
+}
+
+// laneAfter orders accesses by their schedule-stable coordinate
+// (rank, tid, lane index).
+func laneAfter(a, b Access) bool {
+	if a.Rank != b.Rank {
+		return a.Rank > b.Rank
+	}
+	if a.TID != b.TID {
+		return a.TID > b.TID
+	}
+	return a.Ix > b.Ix
 }
 
 func copyLocks(m map[string]struct{}) map[string]struct{} {

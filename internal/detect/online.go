@@ -68,6 +68,11 @@ func (o *Online) Emit(e trace.Event) {
 	switch e.Op {
 	case trace.OpBarrier:
 		o.a.st.events.Inc()
+		if o.a.opts.Explain {
+			// Keep the lane index in lockstep with step()'s counting:
+			// barrier arrivals occupy a lane slot too.
+			o.a.laneIx[gid]++
+		}
 		merge, ok := o.a.barrierMerge[e.Sync]
 		if !ok {
 			merge = vclock.New()

@@ -245,6 +245,41 @@ func (tc *threadCtx) wrapRecord(c *minic.Call, rec *trace.MPICall) *trace.MPICal
 	return rec
 }
 
+// The tag* helpers stamp message-match and collective-instance
+// identities onto an already-emitted call record after the real MPI
+// call returns. The record is shared by pointer with the trace log;
+// nothing reads these fields until the run has joined, so the late
+// mutation is race-free (see trace.MPICall).
+
+// tagSend records the 1-based send index the runtime assigned to the
+// message this call produced (Send advances the thread's counter
+// exactly once per message).
+func (tc *threadCtx) tagSend(rec *trace.MPICall) {
+	if rec != nil {
+		rec.SendIx = tc.ctx.MsgSeq
+	}
+}
+
+// tagMatch records the matched message's origin on a receive-side
+// record. A zero st.SendIx means no message matched (probe miss,
+// send-request completion) and leaves the record untagged.
+func (tc *threadCtx) tagMatch(rec *trace.MPICall, st mpi.Status) {
+	if rec == nil || st.SendIx == 0 {
+		return
+	}
+	rec.MatchRank = st.Source
+	rec.MatchTID = st.SrcTID
+	rec.MatchIx = st.SendIx
+}
+
+// tagColl records the per-communicator collective instance this call
+// joined (published by the runtime via the thread's Ctx).
+func (tc *threadCtx) tagColl(rec *trace.MPICall) {
+	if rec != nil {
+		rec.CollSeq = tc.ctx.LastCollSeq
+	}
+}
+
 // ---- builtin dispatch ----
 
 // callBuiltin executes builtin functions; handled reports whether the
@@ -520,14 +555,19 @@ func (tc *threadCtx) callMPI(c *minic.Call) (Value, error) {
 		}
 		data := buf.read(count)
 		if c.Name == "MPI_Send" {
-			tc.wrapMPI(c, trace.CallSend, dest, tag, comm, -1, -1)
-			return intVal(0), p.Send(ctx, data, dest, tag, mpi.CommID(comm))
+			rec := tc.wrapMPI(c, trace.CallSend, dest, tag, comm, -1, -1)
+			if err := p.Send(ctx, data, dest, tag, mpi.CommID(comm)); err != nil {
+				return Value{}, err
+			}
+			tc.tagSend(rec)
+			return intVal(0), nil
 		}
-		tc.wrapMPI(c, trace.CallIsend, dest, tag, comm, -1, -1)
+		rec := tc.wrapMPI(c, trace.CallIsend, dest, tag, comm, -1, -1)
 		req, err := p.Isend(ctx, data, dest, tag, mpi.CommID(comm))
 		if err != nil {
 			return Value{}, err
 		}
+		tc.tagSend(rec)
 		if len(c.Args) >= 6 {
 			if err := tc.assignArg(c, 5, Value{Req: req}); err != nil {
 				return Value{}, err
@@ -556,11 +596,12 @@ func (tc *threadCtx) callMPI(c *minic.Call) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		tc.wrapMPI(c, trace.CallRecv, source, tag, comm, -1, -1)
+		rec := tc.wrapMPI(c, trace.CallRecv, source, tag, comm, -1, -1)
 		data, st, err := p.Recv(ctx, source, tag, mpi.CommID(comm))
 		if err != nil {
 			return Value{}, err
 		}
+		tc.tagMatch(rec, st)
 		if count < len(data) {
 			data = data[:count]
 		}
@@ -607,11 +648,12 @@ func (tc *threadCtx) callMPI(c *minic.Call) (Value, error) {
 		if req == nil {
 			return Value{}, runtimeError(c.Line, "MPI_Wait on a null request")
 		}
-		tc.wrapMPI(c, trace.CallWait, -1, -1, -1, req.ID, -1)
+		rec := tc.wrapMPI(c, trace.CallWait, -1, -1, -1, req.ID, -1)
 		st, err := p.Wait(ctx, req)
 		if err != nil {
 			return Value{}, err
 		}
+		tc.tagMatch(rec, st)
 		tc.status = st
 		tc.in.completeIrecv(req)
 		return intVal(0), nil
@@ -624,12 +666,13 @@ func (tc *threadCtx) callMPI(c *minic.Call) (Value, error) {
 		if req == nil {
 			return Value{}, runtimeError(c.Line, "MPI_Test on a null request")
 		}
-		tc.wrapMPI(c, trace.CallTest, -1, -1, -1, req.ID, -1)
+		rec := tc.wrapMPI(c, trace.CallTest, -1, -1, -1, req.ID, -1)
 		ok, st, err := p.Test(ctx, req)
 		if err != nil {
 			return Value{}, err
 		}
 		if ok {
+			tc.tagMatch(rec, st)
 			tc.status = st
 			tc.in.completeIrecv(req)
 		}
@@ -649,20 +692,22 @@ func (tc *threadCtx) callMPI(c *minic.Call) (Value, error) {
 			return Value{}, err
 		}
 		if c.Name == "MPI_Probe" {
-			tc.wrapMPI(c, trace.CallProbe, source, tag, comm, -1, -1)
+			rec := tc.wrapMPI(c, trace.CallProbe, source, tag, comm, -1, -1)
 			st, err := p.Probe(ctx, source, tag, mpi.CommID(comm))
 			if err != nil {
 				return Value{}, err
 			}
+			tc.tagMatch(rec, st)
 			tc.status = st
 			return intVal(float64(st.Count)), nil
 		}
-		tc.wrapMPI(c, trace.CallIprobe, source, tag, comm, -1, -1)
+		rec := tc.wrapMPI(c, trace.CallIprobe, source, tag, comm, -1, -1)
 		ok, st, err := p.Iprobe(ctx, source, tag, mpi.CommID(comm))
 		if err != nil {
 			return Value{}, err
 		}
 		if ok {
+			tc.tagMatch(rec, st)
 			tc.status = st
 		}
 		return boolVal(ok), nil
@@ -672,8 +717,12 @@ func (tc *threadCtx) callMPI(c *minic.Call) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		tc.wrapMPI(c, trace.CallBarrier, -1, -1, comm, -1, -1)
-		return intVal(0), p.Barrier(ctx, mpi.CommID(comm))
+		rec := tc.wrapMPI(c, trace.CallBarrier, -1, -1, comm, -1, -1)
+		if err := p.Barrier(ctx, mpi.CommID(comm)); err != nil {
+			return Value{}, err
+		}
+		tc.tagColl(rec)
+		return intVal(0), nil
 
 	case "MPI_Bcast":
 		buf, err := tc.bufferArg(c, 0)
@@ -692,7 +741,7 @@ func (tc *threadCtx) callMPI(c *minic.Call) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		tc.wrapMPI(c, trace.CallBcast, root, -1, comm, -1, -1)
+		rec := tc.wrapMPI(c, trace.CallBcast, root, -1, comm, -1, -1)
 		var in []float64
 		if p.Rank() == root {
 			in = buf.read(count)
@@ -701,6 +750,7 @@ func (tc *threadCtx) callMPI(c *minic.Call) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
+		tc.tagColl(rec)
 		buf.write(out)
 		return intVal(0), nil
 
@@ -731,11 +781,12 @@ func (tc *threadCtx) callMPI(c *minic.Call) (Value, error) {
 			if err != nil {
 				return Value{}, err
 			}
-			tc.wrapMPI(c, trace.CallReduce, root, -1, comm, -1, -1)
+			rec := tc.wrapMPI(c, trace.CallReduce, root, -1, comm, -1, -1)
 			out, err := p.Reduce(ctx, send.read(count), op, root, mpi.CommID(comm))
 			if err != nil {
 				return Value{}, err
 			}
+			tc.tagColl(rec)
 			if out != nil {
 				recv.write(out)
 			}
@@ -745,11 +796,12 @@ func (tc *threadCtx) callMPI(c *minic.Call) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		tc.wrapMPI(c, trace.CallAllreduce, -1, -1, comm, -1, -1)
+		rec := tc.wrapMPI(c, trace.CallAllreduce, -1, -1, comm, -1, -1)
 		out, err := p.Allreduce(ctx, send.read(count), op, mpi.CommID(comm))
 		if err != nil {
 			return Value{}, err
 		}
+		tc.tagColl(rec)
 		recv.write(out)
 		return intVal(0), nil
 
@@ -774,11 +826,12 @@ func (tc *threadCtx) callMPI(c *minic.Call) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		tc.wrapMPI(c, trace.CallGather, root, -1, comm, -1, -1)
+		rec := tc.wrapMPI(c, trace.CallGather, root, -1, comm, -1, -1)
 		out, err := p.Gather(ctx, send.read(count), root, mpi.CommID(comm))
 		if err != nil {
 			return Value{}, err
 		}
+		tc.tagColl(rec)
 		if out != nil {
 			recv.write(out)
 		}
@@ -805,7 +858,7 @@ func (tc *threadCtx) callMPI(c *minic.Call) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		tc.wrapMPI(c, trace.CallScatter, root, -1, comm, -1, -1)
+		rec := tc.wrapMPI(c, trace.CallScatter, root, -1, comm, -1, -1)
 		var in []float64
 		if p.Rank() == root {
 			in = send.read(count * p.Size())
@@ -814,6 +867,7 @@ func (tc *threadCtx) callMPI(c *minic.Call) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
+		tc.tagColl(rec)
 		recv.write(out)
 		return intVal(0), nil
 
@@ -944,11 +998,13 @@ func (tc *threadCtx) callMPI(c *minic.Call) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		tc.wrapMPI(c, trace.CallSendrecv, source, rtag, comm, -1, -1)
+		rec := tc.wrapMPI(c, trace.CallSendrecv, source, rtag, comm, -1, -1)
 		data, st, err := p.Sendrecv(ctx, sendBuf.read(scount), dest, stag, source, rtag, mpi.CommID(comm))
 		if err != nil {
 			return Value{}, err
 		}
+		tc.tagSend(rec)
+		tc.tagMatch(rec, st)
 		if rcount < len(data) {
 			data = data[:rcount]
 		}
@@ -973,11 +1029,12 @@ func (tc *threadCtx) callMPI(c *minic.Call) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		tc.wrapMPI(c, trace.CallAllgather, -1, -1, comm, -1, -1)
+		rec := tc.wrapMPI(c, trace.CallAllgather, -1, -1, comm, -1, -1)
 		out, err := p.Allgather(ctx, send.read(count), mpi.CommID(comm))
 		if err != nil {
 			return Value{}, err
 		}
+		tc.tagColl(rec)
 		recv.write(out)
 		return intVal(0), nil
 
@@ -998,11 +1055,12 @@ func (tc *threadCtx) callMPI(c *minic.Call) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		tc.wrapMPI(c, trace.CallAlltoall, -1, -1, comm, -1, -1)
+		rec := tc.wrapMPI(c, trace.CallAlltoall, -1, -1, comm, -1, -1)
 		out, err := p.Alltoall(ctx, send.read(count*p.Size()), mpi.CommID(comm))
 		if err != nil {
 			return Value{}, err
 		}
+		tc.tagColl(rec)
 		recv.write(out)
 		return intVal(0), nil
 	}

@@ -73,6 +73,12 @@ type collInstance struct {
 	arrived map[int][]float64
 	maxT    int64
 	waiters []collWaiter
+
+	// seq is the instance's 1-based number within its communicator,
+	// assigned at creation. All participants observe it (via
+	// sim.Ctx.LastCollSeq), giving the timeline export a stable
+	// identity to group an instance's call records under.
+	seq int64
 }
 
 // commState is the shared state of one communicator.
@@ -81,6 +87,10 @@ type commState struct {
 	size    int
 	mu      sync.Mutex
 	pending []*collInstance
+
+	// instSeq counts collective instances created on this
+	// communicator (guarded by mu).
+	instSeq int64
 }
 
 func newCommState(id CommID, size int) *commState {
@@ -142,9 +152,14 @@ func (p *Proc) arrive(ctx *sim.Ctx, comm CommID, kind collKind, root int, op Red
 		}
 	}
 	if inst == nil {
-		inst = &collInstance{kind: kind, root: root, op: op, arrived: make(map[int][]float64)}
+		cs.instSeq++
+		inst = &collInstance{kind: kind, root: root, op: op, arrived: make(map[int][]float64), seq: cs.instSeq}
 		cs.pending = append(cs.pending, inst)
 	}
+	// Publish the instance identity to the calling thread; the
+	// interpreter reads it after the call to tag the instrumentation
+	// record (the Ctx is thread-owned, so this is race-free).
+	ctx.LastCollSeq = inst.seq
 	inst.arrived[p.rank] = payload
 	if ctx.Now > inst.maxT {
 		inst.maxT = ctx.Now

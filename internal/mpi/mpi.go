@@ -444,10 +444,21 @@ func (w *World) Run(body func(p *Proc, ctx *sim.Ctx) error) *RunResult {
 }
 
 // Status describes a received or probed message, mirroring MPI_Status.
+// Beyond the MPI fields it carries the message's stable send identity
+// (sending thread and its always-on per-thread send index), which the
+// instrumentation layer uses to tag match edges on call records — the
+// timeline export's flow arrows.
 type Status struct {
 	Source int
 	Tag    int
 	Count  int // number of float64 elements
+
+	// SrcTID and SendIx identify the matched message's sending thread
+	// and its 1-based send index (0 = no message matched). Unlike
+	// Message.SrcStamp they are populated on every run, not only under
+	// schedule record/replay.
+	SrcTID int
+	SendIx uint64
 }
 
 // ReduceOp enumerates reduction operators.

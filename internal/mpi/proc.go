@@ -27,6 +27,12 @@ type Message struct {
 	// to force match resolutions.
 	SrcTID   int
 	SrcStamp uint64
+
+	// SendIx is the sending thread's always-on 1-based send index:
+	// (Source, SrcTID, SendIx) identifies the message stably across
+	// host schedules even when record/replay is off. Receive-side
+	// statuses surface it so instrumentation can tag match edges.
+	SendIx uint64
 }
 
 // msgID returns the record/replay identity of a message.
@@ -525,6 +531,7 @@ func (p *Proc) Send(ctx *sim.Ctx, data []float64, dest, tag int, comm CommID) er
 		Data:    payload,
 		Arrival: ctx.Now + c.MsgLatencyNs + int64(len(data)*8)*c.MsgNsPerByte + fault.DelayNs,
 		SrcTID:  ctx.TID,
+		SendIx:  ctx.NextMsgSeq(),
 	}
 	// The stamp gives the message its record/replay identity; the
 	// sending thread allocates it, so it is host-schedule-independent.
@@ -788,6 +795,15 @@ func (p *Proc) Test(ctx *sim.Ctx, req *Request) (ok bool, st Status, err error) 
 	return true, finishRecv(ctx, req, msg), nil
 }
 
+// statusOf builds a message's status, carrying its stable send
+// identity for match-edge tagging.
+func statusOf(msg *Message) Status {
+	return Status{
+		Source: msg.Source, Tag: msg.Tag, Count: len(msg.Data),
+		SrcTID: msg.SrcTID, SendIx: msg.SendIx,
+	}
+}
+
 // finishRecv advances the receiver clock to the message arrival and
 // builds the status.
 func finishRecv(ctx *sim.Ctx, req *Request, msg *Message) Status {
@@ -795,7 +811,7 @@ func finishRecv(ctx *sim.Ctx, req *Request, msg *Message) Status {
 		return Status{Source: -1, Tag: -1}
 	}
 	ctx.SyncTo(msg.Arrival)
-	return Status{Source: msg.Source, Tag: msg.Tag, Count: len(msg.Data)}
+	return statusOf(msg)
 }
 
 // Data returns the payload of a completed receive request (nil for
@@ -868,7 +884,7 @@ func (p *Proc) Probe(ctx *sim.Ctx, source, tag int, comm CommID) (Status, error)
 			}
 			p.mu.Unlock()
 			ctx.SyncTo(m.Arrival)
-			return Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
+			return statusOf(m), nil
 		}
 	}
 	// Queued pre-crash messages (above) still probe successfully; an
@@ -901,7 +917,7 @@ func (p *Proc) Probe(ctx *sim.Ctx, source, tag int, comm CommID) (Status, error)
 			return Status{}, err
 		}
 		ctx.SyncTo(m.Arrival)
-		return Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
+		return statusOf(m), nil
 	case <-dead:
 		if p.world.activity.Deadlocked() {
 			return Status{}, p.deadlockError()
@@ -948,7 +964,7 @@ func (p *Proc) Iprobe(ctx *sim.Ctx, source, tag int, comm CommID) (bool, Status,
 			if p.world.chaos.Recording() {
 				p.world.chaos.ObservePoll(p.rank, ctx.TID, qp, msgID(m))
 			}
-			return true, Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
+			return true, statusOf(m), nil
 		}
 	}
 	if source != AnySource && p.world.RankDead(source) {
@@ -976,7 +992,7 @@ func (p *Proc) replayIprobe(ctx *sim.Ctx, qp uint64) (bool, Status, error) {
 	for _, m := range p.queue {
 		if forcedMatch(m, id) {
 			p.mu.Unlock()
-			return true, Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
+			return true, statusOf(m), nil
 		}
 	}
 	pr := &pendingProbe{src: AnySource, tag: AnyTag, comm: CommWorld, wake: make(chan *Message, 1), forced: id}
@@ -991,7 +1007,7 @@ func (p *Proc) replayIprobe(ctx *sim.Ctx, qp uint64) (bool, Status, error) {
 	select {
 	case m := <-pr.wake:
 		release()
-		return true, Status{Source: m.Source, Tag: m.Tag, Count: len(m.Data)}, nil
+		return true, statusOf(m), nil
 	case <-dead:
 		release()
 		return false, Status{}, p.deadlockError()

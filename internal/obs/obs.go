@@ -122,15 +122,53 @@ func (h *Histogram) Stat() HistogramStat {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return HistogramStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	return HistogramStat{
+		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		P50: h.quantileLocked(50), P95: h.quantileLocked(95),
+	}
 }
 
-// HistogramStat is the exported aggregate of a Histogram.
+// quantileLocked estimates the q-th percentile (q in [0,100]) from the
+// power-of-two buckets: it finds the bucket holding the ceil(q%·count)
+// ranked sample and reports that bucket's upper bound, clamped to the
+// exact [min, max] envelope. The estimate therefore never exceeds the
+// true quantile's bucket and is exact whenever the bucket holds a
+// single distinct value (counts of 0 and 1, in particular).
+func (h *Histogram) quantileLocked(q int64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	need := (h.count*q + 99) / 100
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= need {
+			hi := int64(uint64(1)<<uint(i) - 1)
+			if hi < h.min {
+				hi = h.min
+			}
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// HistogramStat is the exported aggregate of a Histogram. P50 and P95
+// are bucket-resolution estimates (see quantileLocked); the struct
+// stays comparable with == so Snapshot.Equal keeps working.
 type HistogramStat struct {
 	Count int64 `json:"count"`
 	Sum   int64 `json:"sum"`
 	Min   int64 `json:"min"`
 	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
 }
 
 // Mean returns Sum/Count (0 when empty).
@@ -288,8 +326,8 @@ func (s Snapshot) String() string {
 	sort.Strings(hnames)
 	for _, name := range hnames {
 		h := s.Histograms[name]
-		fmt.Fprintf(&b, "%-36s count=%d sum=%d min=%d max=%d mean=%.1f\n",
-			name, h.Count, h.Sum, h.Min, h.Max, h.Mean())
+		fmt.Fprintf(&b, "%-36s count=%d sum=%d min=%d max=%d mean=%.1f p50=%d p95=%d\n",
+			name, h.Count, h.Sum, h.Min, h.Max, h.Mean(), h.P50, h.P95)
 	}
 	return b.String()
 }

@@ -1,0 +1,62 @@
+package obs
+
+import "testing"
+
+// TestSnapshotStringGolden pins the exact rendering of Snapshot.String,
+// including the histogram quantile fields: the -stats block is parsed
+// by people and scripts, so a formatting drift should be a deliberate
+// change here, not an accident.
+func TestSnapshotStringGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mpi.sends").Add(12)
+	r.Counter("detect.events").Add(340)
+	r.Gauge("mpi.inflight").Observe(3)
+	r.Gauge("mpi.inflight").Observe(7)
+	h := r.Histogram("mpi.msg_bytes")
+	for _, v := range []int64{0, 1, 2, 3, 8, 8, 8, 100, 1000, 4096} {
+		h.Observe(v)
+	}
+	one := r.Histogram("chaos.msg_delay_vns")
+	one.Observe(250)
+
+	const want = "detect.events                        340\n" +
+		"mpi.sends                            12\n" +
+		"mpi.inflight                         7 (max)\n" +
+		"chaos.msg_delay_vns                  count=1 sum=250 min=250 max=250 mean=250.0 p50=250 p95=250\n" +
+		"mpi.msg_bytes                        count=10 sum=5226 min=0 max=4096 mean=522.6 p50=15 p95=4096\n"
+
+	if got := r.Snapshot().String(); got != want {
+		t.Errorf("Snapshot.String drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHistogramQuantiles exercises the bucket-resolution quantile
+// estimator directly.
+func TestHistogramQuantiles(t *testing.T) {
+	cases := []struct {
+		name     string
+		values   []int64
+		p50, p95 int64
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []int64{42}, 42, 42},
+		{"zeros", []int64{0, 0, 0}, 0, 0},
+		{"uniform-bucket", []int64{5, 5, 5, 5}, 5, 5},
+		// ten values: p50 rank 5 lands in the 8-15 bucket (upper bound
+		// 15), p95 rank 10 in the 4096 bucket, clamped to max.
+		{"spread", []int64{0, 1, 2, 3, 8, 9, 10, 100, 1000, 4096}, 15, 4096},
+		// outlier: p95 of twenty ones plus one huge value stays in the
+		// ones bucket.
+		{"outlier", append(make([]int64, 0, 21), 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1<<40), 1, 1},
+	}
+	for _, tc := range cases {
+		h := &Histogram{}
+		for _, v := range tc.values {
+			h.Observe(v)
+		}
+		st := h.Stat()
+		if st.P50 != tc.p50 || st.P95 != tc.p95 {
+			t.Errorf("%s: got p50=%d p95=%d, want p50=%d p95=%d", tc.name, st.P50, st.P95, tc.p50, tc.p95)
+		}
+	}
+}

@@ -256,12 +256,26 @@ func (rt *Runtime) Parallel(ctx *sim.Ctx, n int, body func(m *Member) error) err
 	master := &Member{Ctx: ctx, TID: ctx.TID, team: t}
 	err := body(master)
 
+	// drainWorkers waits for every worker to finish before an abort
+	// return. Workers of a crash-stopped rank always unwind (every
+	// blocking construct and MPI call observes the rank's death), so
+	// the wait is bounded — and it is required for determinism:
+	// returning while workers still run races their event emission
+	// against run teardown, making the crashed rank's trace lane
+	// host-schedule-dependent even under schedule replay.
+	drainWorkers := func() {
+		for i := 0; i < n-1; i++ {
+			<-done
+		}
+	}
+
 	// Join: wait for the workers, merging clocks and errors. The join
 	// is a schedule point: whether the master was torn out of it by a
 	// crash-stop abort (instead of completing it) is host-racy, so
 	// record/replay forces the recorded outcome.
 	qj := rt.schedPoint(ctx)
 	if rt.chaos.ReplayAbort(ctx.Rank, ctx.TID, qj) {
+		drainWorkers()
 		return ErrRankAborted
 	}
 	js.mu.Lock()
@@ -287,6 +301,7 @@ func (rt *Runtime) Parallel(ctx *sim.Ctx, n int, body func(m *Member) error) err
 			js.mu.Unlock()
 			joined()
 			rt.chaos.ObserveAbort(ctx.Rank, ctx.TID, qj)
+			drainWorkers()
 			return ErrRankAborted
 		}
 	} else {

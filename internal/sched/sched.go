@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"home/internal/chaos"
 )
@@ -217,12 +218,13 @@ func (r *Recorder) snapshot() (chaos.Plan, []Record) {
 
 // Schedule is a recorded schedule loaded for replay. It implements
 // chaos.Source; lookups are read-only after construction and safe for
-// concurrent use.
+// concurrent use (the forced-hit counter is atomic).
 type Schedule struct {
 	plan    chaos.Plan
 	byKey   map[key]Record
 	crashes []int
 	n       int
+	forced  atomic.Int64
 }
 
 func newSchedule(plan chaos.Plan, recs []Record) (*Schedule, error) {
@@ -251,8 +253,17 @@ func (s *Schedule) Len() int { return s.n }
 // Crashes returns the ranks that crash-stopped in the recorded run.
 func (s *Schedule) Crashes() []int { return append([]int(nil), s.crashes...) }
 
+// Forced returns how many lookups have hit a record so far — the
+// number of recorded decisions replay has forced onto the run.
+// Schedules are reusable across runs, so per-run accounting should
+// difference Forced() around the run.
+func (s *Schedule) Forced() int64 { return s.forced.Load() }
+
 func (s *Schedule) lookup(kind string, rank, tid int, seq uint64) (Record, bool) {
 	rec, ok := s.byKey[key{kind, rank, tid, seq}]
+	if ok {
+		s.forced.Add(1)
+	}
 	return rec, ok
 }
 

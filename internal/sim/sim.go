@@ -117,6 +117,19 @@ type Ctx struct {
 	// separate counter from ChaosSeq so that attaching a recorder
 	// never shifts the fault decisions of the underlying chaos run.
 	SchedSeq uint64
+
+	// MsgSeq counts the point-to-point messages this thread has sent.
+	// Unlike SchedSeq it is always on, so (rank, tid, MsgSeq) is a
+	// schedule-stable message identity usable for match-edge tagging
+	// on instrumentation events (the timeline export's flow arrows).
+	MsgSeq uint64
+
+	// LastCollSeq is the per-communicator instance number of the most
+	// recent collective this thread completed. The collective runtime
+	// stores it here (the Ctx is thread-owned) so the interpreter can
+	// tag the call's instrumentation record without widening every
+	// collective's signature.
+	LastCollSeq int64
 }
 
 // NextChaosSeq advances and returns the thread's fault-decision index.
@@ -130,6 +143,13 @@ func (c *Ctx) NextChaosSeq() uint64 {
 func (c *Ctx) NextSchedSeq() uint64 {
 	c.SchedSeq++
 	return c.SchedSeq
+}
+
+// NextMsgSeq advances and returns the thread's send index (first value
+// 1, so 0 can mean "untagged" in event records).
+func (c *Ctx) NextMsgSeq() uint64 {
+	c.MsgSeq++
+	return c.MsgSeq
 }
 
 // NewCtx builds a context for (rank, tid) with a seed-derived random

@@ -90,6 +90,27 @@ type Violation struct {
 	Lines   []int // source lines of the involved call sites (sorted)
 	Threads []int // thread ids involved (sorted)
 	Message string
+
+	// Evidence carries the match's witness material for the explain
+	// layer. It is excluded from JSON output (the rendered witness has
+	// its own schema) and nil when a duplicate match was deduplicated
+	// away before this one.
+	Evidence *Evidence `json:"-"`
+}
+
+// Evidence is the raw material behind one matched violation: either
+// the concurrency report that triggered a race-backed predicate, or
+// the call events whose ordering a call-ordering predicate rejected.
+type Evidence struct {
+	// Race is set for race-backed matches (ConcurrentRecv,
+	// ConcurrentRequest, Probe, Collective, Window, SERIALIZED
+	// initialization, finalize-races-with-activity).
+	Race *detect.Race
+	// Sites is set for call-ordering matches (SINGLE/FUNNELED
+	// initialization, off-main or post-finalize finalization): the
+	// establishing call first (init or finalize, when recorded), then
+	// the offending call.
+	Sites []trace.Event
 }
 
 func (v Violation) String() string {
@@ -110,8 +131,10 @@ func (v Violation) key() string {
 type rankInfo struct {
 	level       int // provided thread level (-1 unknown)
 	initTID     int
+	hasInit     bool
+	initEvent   trace.Event // the recorded init call, when hasInit
 	hasParallel bool
-	calls       []trace.Event // OpMPICall records in sequence order
+	calls       []trace.Event // OpMPICall records, sorted by (tid, seq)
 }
 
 // Match evaluates the specification against the event log and the
@@ -136,9 +159,24 @@ func Match(events []trace.Event, rep *detect.Report) []Violation {
 			case trace.CallInit, trace.CallInitThread:
 				ri.level = e.Call.Level
 				ri.initTID = e.TID
+				ri.hasInit = true
+				ri.initEvent = e
 			}
 			ri.calls = append(ri.calls, e)
 		}
+	}
+	// Per-thread subsequences of the log follow program order, but the
+	// interleaving across threads is host-schedule dependent; sorting
+	// by (tid, seq) makes matchRank's iteration — and therefore which
+	// evidence a deduplicated violation keeps — deterministic.
+	for _, ri := range ranks {
+		calls := ri.calls
+		sort.Slice(calls, func(i, j int) bool {
+			if calls[i].TID != calls[j].TID {
+				return calls[i].TID < calls[j].TID
+			}
+			return calls[i].Seq < calls[j].Seq
+		})
 	}
 
 	seen := map[string]bool{}
@@ -202,13 +240,14 @@ func matchRace(r detect.Race, add func(Violation)) {
 	ak, bk := a.Call.Kind, b.Call.Kind
 	lines := []int{a.Call.Line, b.Call.Line}
 	threads := []int{a.TID, b.TID}
+	ev := &Evidence{Race: &r}
 
 	switch {
 	case isRecv(ak) && isRecv(bk):
 		if a.Call.Peer == b.Call.Peer && a.Call.Tag == b.Call.Tag && a.Call.Comm == b.Call.Comm {
 			add(Violation{
 				Kind: ConcurrentRecvViolation, Rank: r.Loc.Rank,
-				Lines: lines, Threads: threads,
+				Lines: lines, Threads: threads, Evidence: ev,
 				Message: fmt.Sprintf("threads %d and %d concurrently receive with identical (source=%d, tag=%d, comm=%d); message delivery order is undefined",
 					a.TID, b.TID, a.Call.Peer, a.Call.Tag, a.Call.Comm),
 			})
@@ -217,7 +256,7 @@ func matchRace(r detect.Race, add func(Violation)) {
 		if a.Call.Request == b.Call.Request && a.Call.Request >= 0 {
 			add(Violation{
 				Kind: ConcurrentRequestViolation, Rank: r.Loc.Rank,
-				Lines: lines, Threads: threads,
+				Lines: lines, Threads: threads, Evidence: ev,
 				Message: fmt.Sprintf("threads %d and %d concurrently wait/test the same request #%d",
 					a.TID, b.TID, a.Call.Request),
 			})
@@ -226,7 +265,7 @@ func matchRace(r detect.Race, add func(Violation)) {
 		if a.Call.Peer == b.Call.Peer && a.Call.Tag == b.Call.Tag && a.Call.Comm == b.Call.Comm {
 			add(Violation{
 				Kind: ProbeViolation, Rank: r.Loc.Rank,
-				Lines: lines, Threads: threads,
+				Lines: lines, Threads: threads, Evidence: ev,
 				Message: fmt.Sprintf("threads %d and %d concurrently probe/receive with identical (source=%d, tag=%d, comm=%d); the probed message may be stolen",
 					a.TID, b.TID, a.Call.Peer, a.Call.Tag, a.Call.Comm),
 			})
@@ -235,7 +274,7 @@ func matchRace(r detect.Race, add func(Violation)) {
 		if a.Call.Win == b.Call.Win {
 			add(Violation{
 				Kind: WindowViolation, Rank: r.Loc.Rank,
-				Lines: lines, Threads: threads,
+				Lines: lines, Threads: threads, Evidence: ev,
 				Message: fmt.Sprintf("threads %d and %d concurrently access RMA window %d (%s, %s) within one epoch",
 					a.TID, b.TID, a.Call.Win, ak, bk),
 			})
@@ -244,7 +283,7 @@ func matchRace(r detect.Race, add func(Violation)) {
 		if a.Call.Comm == b.Call.Comm {
 			add(Violation{
 				Kind: CollectiveCallViolation, Rank: r.Loc.Rank,
-				Lines: lines, Threads: threads,
+				Lines: lines, Threads: threads, Evidence: ev,
 				Message: fmt.Sprintf("threads %d and %d concurrently issue collectives (%s, %s) on communicator %d",
 					a.TID, b.TID, ak, bk, a.Call.Comm),
 			})
@@ -255,6 +294,17 @@ func matchRace(r detect.Race, add func(Violation)) {
 // matchRank evaluates the rank-level predicates (Initialization,
 // Finalization).
 func matchRank(rank int, ri *rankInfo, rep *detect.Report, add func(Violation)) {
+	// sites builds call-ordering evidence: the establishing call (when
+	// recorded) followed by the offending one.
+	sites := func(establish trace.Event, has bool, offend trace.Event) *Evidence {
+		ev := &Evidence{}
+		if has {
+			ev.Sites = append(ev.Sites, establish)
+		}
+		ev.Sites = append(ev.Sites, offend)
+		return ev
+	}
+
 	// Initialization violations.
 	switch ri.level {
 	case mpi.ThreadSingle:
@@ -269,7 +319,8 @@ func matchRank(rank int, ri *rankInfo, rep *detect.Report, add func(Violation)) 
 				add(Violation{
 					Kind: InitializationViolation, Rank: rank,
 					Lines: []int{e.Call.Line}, Threads: []int{e.TID},
-					Message: fmt.Sprintf("MPI initialized with MPI_THREAD_SINGLE but %s is issued inside an omp parallel region", k),
+					Message:  fmt.Sprintf("MPI initialized with MPI_THREAD_SINGLE but %s is issued inside an omp parallel region", k),
+					Evidence: sites(ri.initEvent, ri.hasInit, e),
 				})
 			}
 		}
@@ -283,7 +334,8 @@ func matchRank(rank int, ri *rankInfo, rep *detect.Report, add func(Violation)) 
 				add(Violation{
 					Kind: InitializationViolation, Rank: rank,
 					Lines: []int{e.Call.Line}, Threads: []int{e.TID},
-					Message: fmt.Sprintf("MPI_THREAD_FUNNELED requires the main thread to make all MPI calls, but thread %d issued %s", e.TID, k),
+					Message:  fmt.Sprintf("MPI_THREAD_FUNNELED requires the main thread to make all MPI calls, but thread %d issued %s", e.TID, k),
+					Evidence: sites(ri.initEvent, ri.hasInit, e),
 				})
 			}
 		}
@@ -295,44 +347,52 @@ func matchRank(rank int, ri *rankInfo, rep *detect.Report, add func(Violation)) 
 				if race.First.Call == nil || race.Second.Call == nil || race.First.TID == race.Second.TID {
 					continue
 				}
+				rc := race
 				add(Violation{
 					Kind: InitializationViolation, Rank: rank,
 					Lines:   []int{race.First.Call.Line, race.Second.Call.Line},
 					Threads: []int{race.First.TID, race.Second.TID},
 					Message: fmt.Sprintf("MPI_THREAD_SERIALIZED allows one MPI call at a time, but threads %d and %d call %s and %s concurrently",
 						race.First.TID, race.Second.TID, race.First.Call.Kind, race.Second.Call.Kind),
+					Evidence: &Evidence{Race: &rc},
 				})
 				break // one representative per monitored variable
 			}
 		}
 	}
 
-	// Finalization violations.
-	var finalizeSeq uint64
+	// Finalization violations. finalizeEv tracks the latest (by log
+	// order) finalize call — iteration order over ri.calls no longer
+	// follows the log, so the latest is selected explicitly.
+	var finalizeEv trace.Event
 	var finalized bool
 	for _, e := range ri.calls {
 		if e.Call.Kind != trace.CallFinalize {
 			continue
 		}
+		if !finalized || e.Seq > finalizeEv.Seq {
+			finalizeEv = e
+		}
 		finalized = true
-		finalizeSeq = e.Seq
 		if e.TID != ri.initTID {
 			add(Violation{
 				Kind: FinalizationViolation, Rank: rank,
 				Lines: []int{e.Call.Line}, Threads: []int{e.TID},
-				Message: fmt.Sprintf("MPI_Finalize must be called by the main thread, but thread %d called it", e.TID),
+				Message:  fmt.Sprintf("MPI_Finalize must be called by the main thread, but thread %d called it", e.TID),
+				Evidence: sites(ri.initEvent, ri.hasInit, e),
 			})
 		}
 	}
 	if finalized {
 		for _, e := range ri.calls {
-			if e.Call.Kind == trace.CallFinalize || e.Seq <= finalizeSeq {
+			if e.Call.Kind == trace.CallFinalize || e.Seq <= finalizeEv.Seq {
 				continue
 			}
 			add(Violation{
 				Kind: FinalizationViolation, Rank: rank,
 				Lines: []int{e.Call.Line}, Threads: []int{e.TID},
-				Message: fmt.Sprintf("%s issued after MPI_Finalize (pending thread-level communication at finalize time)", e.Call.Kind),
+				Message:  fmt.Sprintf("%s issued after MPI_Finalize (pending thread-level communication at finalize time)", e.Call.Kind),
+				Evidence: sites(finalizeEv, true, e),
 			})
 		}
 	}
@@ -340,11 +400,13 @@ func matchRank(rank int, ri *rankInfo, rep *detect.Report, add func(Violation)) 
 		if race.First.Call == nil || race.Second.Call == nil {
 			continue
 		}
+		rc := race
 		add(Violation{
 			Kind: FinalizationViolation, Rank: rank,
-			Lines:   []int{race.First.Call.Line, race.Second.Call.Line},
-			Threads: []int{race.First.TID, race.Second.TID},
-			Message: "MPI_Finalize races with concurrent MPI activity in another thread",
+			Lines:    []int{race.First.Call.Line, race.Second.Call.Line},
+			Threads:  []int{race.First.TID, race.Second.TID},
+			Message:  "MPI_Finalize races with concurrent MPI activity in another thread",
+			Evidence: &Evidence{Race: &rc},
 		})
 	}
 }

@@ -65,6 +65,14 @@ type jsonCall struct {
 	Level   int    `json:"level"`
 	Win     int    `json:"win"`
 	Line    int    `json:"line"`
+
+	// Match-edge tags (zero = untagged); omitted on the wire when
+	// absent so pre-tagging recordings decode unchanged.
+	SendIx    uint64 `json:"sendIx,omitempty"`
+	MatchRank int    `json:"matchRank,omitempty"`
+	MatchTID  int    `json:"matchTid,omitempty"`
+	MatchIx   uint64 `json:"matchIx,omitempty"`
+	CollSeq   int64  `json:"collSeq,omitempty"`
 }
 
 // opByName and callByName invert the stringers for decoding.
@@ -101,6 +109,9 @@ func WriteJSON(w io.Writer, events []Event) error {
 				Kind: e.Call.Kind.String(), Peer: e.Call.Peer, Tag: e.Call.Tag,
 				Comm: e.Call.Comm, Request: e.Call.Request,
 				Level: e.Call.Level, Win: e.Call.Win, Line: e.Call.Line,
+				SendIx: e.Call.SendIx, MatchRank: e.Call.MatchRank,
+				MatchTID: e.Call.MatchTID, MatchIx: e.Call.MatchIx,
+				CollSeq: e.Call.CollSeq,
 			}
 		}
 		if err := enc.Encode(je); err != nil {
@@ -148,6 +159,9 @@ func ReadJSON(r io.Reader) ([]Event, error) {
 				Kind: kind, Peer: je.Call.Peer, Tag: je.Call.Tag,
 				Comm: je.Call.Comm, Request: je.Call.Request,
 				Level: je.Call.Level, Win: je.Call.Win, Line: je.Call.Line,
+				SendIx: je.Call.SendIx, MatchRank: je.Call.MatchRank,
+				MatchTID: je.Call.MatchTID, MatchIx: je.Call.MatchIx,
+				CollSeq: je.Call.CollSeq,
 			}
 		}
 		out = append(out, e)

@@ -210,6 +210,26 @@ type MPICall struct {
 	Level   int // requested thread level for Init_thread; -1 otherwise
 	Win     int // window id for RMA calls; -1 if n/a
 	Line    int // source line of the call site (0 if unknown)
+
+	// Match-edge tags, filled in by the wrapper after the underlying
+	// call completes (the record is shared between the monitored-var
+	// writes and the OpMPICall event, so late tagging is visible to
+	// every post-run consumer). All zero values mean "untagged": send
+	// indices and collective instances start at 1.
+	//
+	// For sends, SendIx is the sender thread's 1-based message index —
+	// (Rank, TID, SendIx) identifies the message stably across host
+	// schedules. For operations that complete a receive or observe a
+	// message (Recv, Wait, Test, Probe, Iprobe), MatchRank/MatchTID/
+	// MatchIx name the matched message's send: the timeline export
+	// draws its flow arrows from these tags. For collectives, CollSeq
+	// is the per-communicator instance number the call participated
+	// in, shared by all participants of that instance.
+	SendIx    uint64
+	MatchRank int
+	MatchTID  int
+	MatchIx   uint64
+	CollSeq   int64
 }
 
 func (c MPICall) String() string {

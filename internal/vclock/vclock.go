@@ -95,6 +95,42 @@ func (c VC) Equal(other VC) bool {
 	return c.Leq(other) && other.Leq(c)
 }
 
+// ExceedsAt returns the smallest thread identity whose component in c
+// strictly exceeds the one in other — the witness component proving
+// !c.Leq(other). ok is false when c.Leq(other) holds (no witness).
+func (c VC) ExceedsAt(other VC) (t TID, ok bool) {
+	found := false
+	for ct, v := range c {
+		if v > other[ct] && (!found || ct < t) {
+			t, found = ct, true
+		}
+	}
+	return t, found
+}
+
+// Certificate is a concurrency certificate for a clock pair (a, b):
+// component AT proves !a.Leq(b) (a saw AT-events b had not) and BT
+// proves !b.Leq(a). Together they demonstrate that no happens-before
+// edge orders the two stamped events in either direction.
+type Certificate struct {
+	AT TID
+	AV uint64 // a[AT], with b[AT] < AV
+	BT TID
+	BV uint64 // b[BT], with a[BT] < BV
+}
+
+// WhyConcurrent extracts the concurrency certificate of two clocks,
+// choosing the smallest witness components for deterministic output.
+// ok is false when the clocks are ordered (no certificate exists).
+func WhyConcurrent(a, b VC) (cert Certificate, ok bool) {
+	at, aok := a.ExceedsAt(b)
+	bt, bok := b.ExceedsAt(a)
+	if !aok || !bok {
+		return Certificate{}, false
+	}
+	return Certificate{AT: at, AV: a[at], BT: bt, BV: b[bt]}, true
+}
+
 // String renders the clock as {t1:v1, t2:v2, ...} with threads sorted,
 // for stable test output and diagnostics.
 func (c VC) String() string {

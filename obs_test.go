@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"os"
 	"strings"
 	"testing"
 
@@ -180,4 +181,173 @@ int main() {
 	if !found {
 		t.Fatalf("no DeadlockError among run errors: %v", res.Errs)
 	}
+}
+
+// docStatNames parses the stat-name inventory tables of
+// docs/OBSERVABILITY.md: the first backticked token of every table
+// row. `interp.call.<Name>` is returned as the prefix pattern
+// "interp.call.".
+func docStatNames(t *testing.T) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	inventory := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "## ") {
+			inventory = strings.HasPrefix(line, "## Stat-name inventory")
+			continue
+		}
+		if !inventory || !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		rest := line[len("| `"):]
+		end := strings.IndexByte(rest, '`')
+		if end < 0 {
+			continue
+		}
+		name := rest[:end]
+		if name == "interp.call.<Name>" {
+			name = "interp.call."
+		}
+		names[name] = true
+	}
+	if len(names) == 0 {
+		t.Fatal("no stat names parsed from docs/OBSERVABILITY.md")
+	}
+	return names
+}
+
+// runtimeStatNames collects the union of stat names registered by a
+// set of runs chosen to touch every instrumented subsystem: a plain
+// hybrid run, a perturbed run that records its schedule, the replay of
+// that schedule, a crash-stop run (partial report), and an RMA run
+// under perturbation.
+func runtimeStatNames(t *testing.T) map[string]bool {
+	t.Helper()
+	names := map[string]bool{}
+	collect := func(reg *StatsRegistry) {
+		snap := reg.Snapshot()
+		for n := range snap.Counters {
+			names[n] = true
+		}
+		for n := range snap.Gauges {
+			names[n] = true
+		}
+		for n := range snap.Histograms {
+			names[n] = true
+		}
+	}
+
+	rec := NewScheduleRecorder()
+	runs := []struct {
+		src  string
+		opts Options
+	}{
+		{statsInvariantSrc, Options{Procs: 1, Threads: 2, Seed: 1}},
+		{statsInvariantSrc, Options{Procs: 1, Threads: 2, Seed: 1, Chaos: ChaosPerturb(3), RecordSchedule: rec}},
+		{statsInvariantSrc, Options{Procs: 2, Threads: 2, Seed: 1, Chaos: ChaosCrash(3, 1, 1)}},
+		{racyRMASrc, Options{Procs: 2, Seed: 1, Chaos: ChaosPerturb(13)}},
+	}
+	for i, r := range runs {
+		r.opts.Stats = NewStatsRegistry()
+		if _, err := Check(r.src, r.opts); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		collect(r.opts.Stats)
+	}
+	schedule, err := rec.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewStatsRegistry()
+	if _, err := Check(statsInvariantSrc, Options{Procs: 1, Threads: 2, Seed: 1, ReplaySchedule: schedule, Stats: reg}); err != nil {
+		t.Fatal(err)
+	}
+	collect(reg)
+	return names
+}
+
+// TestStatsDocInventory is the doc-drift gate: every stat name
+// registered at runtime must have a row in docs/OBSERVABILITY.md's
+// inventory tables, and every documented name must be registered by
+// the scenario runs — so the doc and the code cannot diverge silently.
+func TestStatsDocInventory(t *testing.T) {
+	doc := docStatNames(t)
+	got := runtimeStatNames(t)
+
+	inDoc := func(name string) bool {
+		if doc[name] {
+			return true
+		}
+		for pat := range doc {
+			if strings.HasSuffix(pat, ".") && strings.HasPrefix(name, pat) {
+				return true
+			}
+		}
+		return false
+	}
+	for name := range got {
+		if !inDoc(name) {
+			t.Errorf("stat %q is registered at runtime but undocumented in docs/OBSERVABILITY.md", name)
+		}
+	}
+	for name := range doc {
+		if strings.HasSuffix(name, ".") {
+			found := false
+			for g := range got {
+				if strings.HasPrefix(g, name) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("documented pattern %q matched no runtime stat", name)
+			}
+			continue
+		}
+		if !got[name] {
+			t.Errorf("stat %q is documented in docs/OBSERVABILITY.md but never registered by the scenario runs", name)
+		}
+	}
+}
+
+// TestStatsNilRegistrySafe is the nil-is-off regression gate for every
+// hook added by the chaos, RMA and record/replay layers: the same
+// scenario matrix as the doc-drift test, each run with Stats == nil,
+// must complete without panicking.
+func TestStatsNilRegistrySafe(t *testing.T) {
+	rec := NewScheduleRecorder()
+	runs := []struct {
+		name string
+		src  string
+		opts Options
+	}{
+		{"plain", statsInvariantSrc, Options{Procs: 1, Threads: 2, Seed: 1}},
+		{"perturb-record", statsInvariantSrc, Options{Procs: 1, Threads: 2, Seed: 1, Chaos: ChaosPerturb(3), RecordSchedule: rec}},
+		{"crash", statsInvariantSrc, Options{Procs: 2, Threads: 2, Seed: 1, Chaos: ChaosCrash(3, 1, 1)}},
+		{"rma-perturb", racyRMASrc, Options{Procs: 2, Seed: 1, Chaos: ChaosPerturb(13)}},
+		{"explain", statsInvariantSrc, Options{Procs: 1, Threads: 2, Seed: 1, Explain: true}},
+	}
+	for _, r := range runs {
+		t.Run(r.name, func(t *testing.T) {
+			if r.opts.Stats != nil {
+				t.Fatal("scenario must run with a nil registry")
+			}
+			if _, err := Check(r.src, r.opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	schedule, err := rec.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("replay", func(t *testing.T) {
+		if _, err := Check(statsInvariantSrc, Options{Procs: 1, Threads: 2, Seed: 1, ReplaySchedule: schedule}); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
