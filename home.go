@@ -428,7 +428,7 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 	log := trace.NewLog()
 	online := detect.NewOnline(detect.Options{Mode: opts.Mode, Stats: opts.Stats, Explain: opts.Explain})
 	chaosPlan, schedRec, schedSrc := resolveSched(&opts)
-	forced0 := replayForced(&opts)
+	forced0, orderForced0 := replayForced(&opts)
 	sp = opts.Profile.Start("execute")
 	run := interp.Run(prog, interp.Config{
 		Procs:              opts.Procs,
@@ -456,7 +456,7 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 	sp.SetVirtual(int64(rep.EventsAnalyzed) * costs.AnalysisNsPerEvent)
 	sp.End()
 
-	recordSchedStats(&opts, forced0)
+	recordSchedStats(&opts, forced0, orderForced0)
 
 	// Phase 4: specification matching.
 	events := log.Events()
@@ -516,13 +516,14 @@ func resolveSched(opts *Options) (*chaos.Plan, chaos.Recorder, chaos.Source) {
 	return opts.Chaos, nil, nil
 }
 
-// replayForced samples the replay schedule's forced-decision counter
-// before a run, so per-run accounting tolerates schedule reuse.
-func replayForced(opts *Options) int64 {
+// replayForced samples the replay schedule's forced-decision counters
+// (total and order-family subset) before a run, so per-run accounting
+// tolerates schedule reuse.
+func replayForced(opts *Options) (forced0, orderForced0 int64) {
 	if opts.ReplaySchedule == nil {
-		return 0
+		return 0, 0
 	}
-	return opts.ReplaySchedule.Forced()
+	return opts.ReplaySchedule.Forced(), opts.ReplaySchedule.OrderForced()
 }
 
 // recordSchedStats publishes the record/replay substrate's counters
@@ -531,13 +532,20 @@ func replayForced(opts *Options) int64 {
 // Stat names:
 //
 //	sched.records        realized-decision records captured this run
+//	sched.order_records  subset of sched.records in the v2 order
+//	                     families (collective membership, lock grants,
+//	                     single elections, loop chunks)
 //	sched.replay_forced  recorded decisions replay forced onto this run
-func recordSchedStats(opts *Options, forced0 int64) {
+//	sched.order_forced   subset of sched.replay_forced from the order
+//	                     families (always 0 when replaying a v1 stream)
+func recordSchedStats(opts *Options, forced0, orderForced0 int64) {
 	switch {
 	case opts.ReplaySchedule != nil:
 		opts.Stats.Counter("sched.replay_forced").Add(opts.ReplaySchedule.Forced() - forced0)
+		opts.Stats.Counter("sched.order_forced").Add(opts.ReplaySchedule.OrderForced() - orderForced0)
 	case opts.RecordSchedule != nil:
 		opts.Stats.Counter("sched.records").Add(int64(opts.RecordSchedule.Len()))
+		opts.Stats.Counter("sched.order_records").Add(int64(opts.RecordSchedule.OrderLen()))
 	}
 }
 
@@ -570,7 +578,7 @@ func RunBase(prog *Program, opts Options) (*interp.Result, error) {
 		opts.Threads = 2
 	}
 	chaosPlan, schedRec, schedSrc := resolveSched(&opts)
-	forced0 := replayForced(&opts)
+	forced0, orderForced0 := replayForced(&opts)
 	res := interp.Run(prog, interp.Config{
 		Procs:              opts.Procs,
 		Threads:            opts.Threads,
@@ -585,7 +593,7 @@ func RunBase(prog *Program, opts Options) (*interp.Result, error) {
 		SchedSource:        schedSrc,
 		WatchdogGraceNs:    opts.WatchdogGraceNs,
 	})
-	recordSchedStats(&opts, forced0)
+	recordSchedStats(&opts, forced0, orderForced0)
 	return res, nil
 }
 

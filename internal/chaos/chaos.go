@@ -330,6 +330,25 @@ type MsgID struct {
 // Zero reports whether the MsgID carries no message identity.
 func (m MsgID) Zero() bool { return m.Seq == 0 }
 
+// CollOrder pins one participant's collective-instance assignment: the
+// communicator-local instance the arrival joined, its arrival index
+// within that instance, and — for MPI_Comm_dup — the communicator id
+// the completed instance allocated. Recording these for every
+// *completed* instance (abandoned instances record nothing) makes the
+// release time of every collective, and hence virtual time, a
+// deterministic function of the schedule.
+type CollOrder struct {
+	// Comm is the communicator the instance ran on.
+	Comm int
+	// Seq is the instance's 1-based number within the communicator.
+	Seq int64
+	// Ord is the participant's 1-based arrival index in the instance.
+	Ord int
+	// NewComm is the duplicated communicator id allocated by a
+	// completed Comm_dup instance; -1 for every other collective.
+	NewComm int
+}
+
 // Recorder receives every realized fault decision and nondeterministic
 // resolution during a recorded chaos run (implemented by
 // internal/sched). Implementations must be safe for concurrent use:
@@ -357,6 +376,26 @@ type Recorder interface {
 	RecordPoll(rank, tid int, seq uint64, m MsgID)
 	// RecordCrash logs that the given rank crash-stopped.
 	RecordCrash(rank int)
+	// RecordCollJoin logs the collective-instance assignment of the
+	// arrival at schedule point (rank, tid, seq). Called once per
+	// participant when an instance *completes* (from the completing
+	// participant's goroutine); abandoned instances are never logged.
+	RecordCollJoin(rank, tid int, seq uint64, o CollOrder)
+	// RecordLockGrant logs that the OpenMP lock acquire at the schedule
+	// point was granted as the lock's ticket-th acquisition (tickets
+	// are 1-based and count grants per lock object).
+	RecordLockGrant(rank, tid int, seq uint64, ticket uint64)
+	// RecordSingleWin logs that the thread won the first-arriver
+	// election of the `single` construct at its ord-th construct
+	// encounter (the key is the member-local construct ordinal, not a
+	// schedule point — elections allocate no new points, keeping v1
+	// per-thread point sequences valid).
+	RecordSingleWin(rank, tid int, ord uint64)
+	// RecordChunk logs the iteration range [base, end) the thread
+	// claimed from a dynamic/guided worksharing loop; seq composes the
+	// construct ordinal with the thread's claim index (see
+	// internal/omp).
+	RecordChunk(rank, tid int, seq uint64, base, end int64)
 }
 
 // Source answers the same decision points from a recorded schedule
@@ -375,6 +414,24 @@ type Source interface {
 	// the world pre-marks them (without failure propagation) so replay
 	// reproduces DeadRanks exactly from the recorded fail/abort records.
 	Crashes() []int
+	// CollJoin returns the recorded collective-instance assignment at
+	// the schedule point, if any.
+	CollJoin(rank, tid int, seq uint64) (CollOrder, bool)
+	// LockGrant returns the recorded lock-acquisition ticket at the
+	// schedule point, if any.
+	LockGrant(rank, tid int, seq uint64) (uint64, bool)
+	// SingleWin reports whether the thread won the recorded `single`
+	// election at its ord-th construct encounter.
+	SingleWin(rank, tid int, ord uint64) bool
+	// Chunk returns the recorded dynamic/guided loop claim at the key,
+	// if any.
+	Chunk(rank, tid int, seq uint64) (base, end int64, ok bool)
+	// PinsOrders reports whether the schedule pins membership and
+	// acquisition orders (format v2+). Streams recorded before the
+	// order families existed replay with the older report-identity
+	// guarantee: the substrates fall back to live resolution instead of
+	// expecting a record at every order decision.
+	PinsOrders() bool
 }
 
 // Injector evaluates a Plan. All methods are safe on a nil receiver
@@ -697,6 +754,77 @@ func (in *Injector) ReplayPoll(rank, tid int, seq uint64) (MsgID, bool) {
 		return MsgID{}, false
 	}
 	return in.src.Poll(rank, tid, seq)
+}
+
+// ReplayPinsOrders reports whether the attached schedule pins
+// collective-membership and lock/election orders (a v2+ stream). The
+// substrates force those orders only when this is true; a v1 stream
+// replays with the original report-identity guarantee.
+func (in *Injector) ReplayPinsOrders() bool {
+	return in != nil && in.src != nil && in.src.PinsOrders()
+}
+
+// ObserveCollJoin records a participant's collective-instance
+// assignment (called at instance completion, possibly from another
+// participant's goroutine — the Recorder contract requires
+// concurrency safety).
+func (in *Injector) ObserveCollJoin(rank, tid int, seq uint64, o CollOrder) {
+	if in != nil && in.rec != nil {
+		in.rec.RecordCollJoin(rank, tid, seq, o)
+	}
+}
+
+// ReplayCollJoin returns the recorded collective-instance assignment
+// at the schedule point, if any.
+func (in *Injector) ReplayCollJoin(rank, tid int, seq uint64) (CollOrder, bool) {
+	if in == nil || in.src == nil {
+		return CollOrder{}, false
+	}
+	return in.src.CollJoin(rank, tid, seq)
+}
+
+// ObserveLockGrant records a granted lock acquisition's ticket.
+func (in *Injector) ObserveLockGrant(rank, tid int, seq uint64, ticket uint64) {
+	if in != nil && in.rec != nil {
+		in.rec.RecordLockGrant(rank, tid, seq, ticket)
+	}
+}
+
+// ReplayLockGrant returns the recorded acquisition ticket at the
+// schedule point, if any.
+func (in *Injector) ReplayLockGrant(rank, tid int, seq uint64) (uint64, bool) {
+	if in == nil || in.src == nil {
+		return 0, false
+	}
+	return in.src.LockGrant(rank, tid, seq)
+}
+
+// ObserveSingleWin records a won `single` first-arriver election.
+func (in *Injector) ObserveSingleWin(rank, tid int, ord uint64) {
+	if in != nil && in.rec != nil {
+		in.rec.RecordSingleWin(rank, tid, ord)
+	}
+}
+
+// ReplaySingleWin reports whether the thread won the recorded
+// election at its ord-th construct encounter.
+func (in *Injector) ReplaySingleWin(rank, tid int, ord uint64) bool {
+	return in != nil && in.src != nil && in.src.SingleWin(rank, tid, ord)
+}
+
+// ObserveChunk records a dynamic/guided loop claim.
+func (in *Injector) ObserveChunk(rank, tid int, seq uint64, base, end int64) {
+	if in != nil && in.rec != nil {
+		in.rec.RecordChunk(rank, tid, seq, base, end)
+	}
+}
+
+// ReplayChunk returns the recorded loop claim at the key, if any.
+func (in *Injector) ReplayChunk(rank, tid int, seq uint64) (base, end int64, ok bool) {
+	if in == nil || in.src == nil {
+		return 0, 0, false
+	}
+	return in.src.Chunk(rank, tid, seq)
 }
 
 // ObserveCrash records that a rank crash-stopped.

@@ -151,8 +151,16 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 		}
 		opts.ReplaySchedule = schedule
 		plan := schedule.Plan()
-		fmt.Fprintf(stderr, "replay: forcing recorded schedule from %s (plan %s)\n",
-			*replaySched, &plan)
+		// State the guarantee level: a v2+ stream pins collective
+		// membership and lock/election orders, so virtual time (Makespan,
+		// timestamps, timelines) replays exactly; a v1 stream reproduces
+		// the report identity only.
+		guarantee := "report identity (v1 schedule: virtual time not pinned)"
+		if schedule.PinsOrders() {
+			guarantee = "virtual-time exact (v2 schedule)"
+		}
+		fmt.Fprintf(stderr, "replay: forcing recorded schedule from %s (plan %s, %s)\n",
+			*replaySched, &plan, guarantee)
 	}
 
 	if *dumpCFG {
@@ -391,7 +399,10 @@ func traceUsage(stderr io.Writer) {
 
 replay re-checks the program while forcing the fault schedule recorded
 by homecheck -record-sched; pass the same -procs/-threads/-seed as the
-recording run to reproduce its report exactly.
+recording run. A v2 schedule additionally pins collective membership
+and lock/election orders, so the replay reproduces virtual time —
+Makespan, every event timestamp and the rendered timeline — exactly;
+a v1 schedule reproduces the report identity only.
 
 timeline renders a per-(rank,thread) virtual-time timeline as Chrome
 trace_event JSON (open in chrome://tracing or ui.perfetto.dev), with

@@ -4,8 +4,14 @@ package harness
 // a crash-stop run of a corpus program) replayed against a checked-in
 // verdict. This is the long-term compatibility contract of the
 // schedule format — a format or replay-semantics change that breaks
-// old recordings fails here, not in a user's bug report. Regenerate
-// deliberately with `go test ./internal/harness -run Pinned -update`.
+// old recordings fails here, not in a user's bug report.
+//
+// testdata/pinned-sched.jsonl is a frozen VERSION 1 stream: it proves
+// a v2 reader still replays v1 recordings with the report-identity
+// guarantee. Running `-run Pinned -update` rewrites it with the
+// current (v2) recorder and silently loses that proof — regenerate
+// only the v2 goldens (`-run 'PinnedV2|PinnedTimelineV2' -update`)
+// unless v1 replay semantics themselves changed deliberately.
 
 import (
 	"flag"

@@ -18,10 +18,11 @@ import (
 )
 
 // ReplayIdentity is the part of a Report that record/replay guarantees
-// to reproduce exactly: the verdicts and the partial-report contract
-// fields. Virtual-time fields (Makespan, event timestamps) and error
-// strings are outside the guarantee — replay forces the recorded
-// interleaving, not the recorded clock arithmetic of every thread.
+// to reproduce exactly for every schedule version: the verdicts and
+// the partial-report contract fields. Error strings are outside the
+// guarantee. Virtual-time fields (Makespan, event timestamps) are
+// guaranteed only by v2+ schedules, which additionally pin collective
+// membership and lock/election orders — see ExactIdentity.
 type ReplayIdentity struct {
 	Signature      []string            `json:"signature"`
 	Partial        bool                `json:"partial"`
@@ -46,6 +47,29 @@ func IdentityOf(rep *home.Report) ReplayIdentity {
 // String renders the identity canonically (JSON), so two identities
 // are equal iff their strings are byte-identical.
 func (id ReplayIdentity) String() string {
+	b, _ := json.Marshal(id)
+	return string(b)
+}
+
+// ExactIdentity is the part of a Report that a v2 schedule guarantees
+// to reproduce exactly: the replay-stable identity plus virtual time.
+// Pinning collective membership and lock-acquisition order makes every
+// thread's clock arithmetic deterministic, so Makespan (and with it
+// every event timestamp and the exported timeline) replays
+// byte-identically. A v1 schedule does not carry the order records and
+// makes no Makespan promise — compare ReplayIdentity for those.
+type ExactIdentity struct {
+	ReplayIdentity
+	Makespan int64 `json:"makespan"`
+}
+
+// ExactIdentityOf extracts the virtual-time-exact identity of a report.
+func ExactIdentityOf(rep *home.Report) ExactIdentity {
+	return ExactIdentity{ReplayIdentity: IdentityOf(rep), Makespan: rep.Makespan}
+}
+
+// String renders the exact identity canonically (JSON).
+func (id ExactIdentity) String() string {
 	b, _ := json.Marshal(id)
 	return string(b)
 }

@@ -3,11 +3,17 @@ package harness
 // Metamorphic record/replay property over the chaos soak corpus: for
 // every (program kind, fault plan) cell of the soak sweep, recording a
 // run's realized schedule and replaying it must reproduce the
-// byte-identical replay-stable report identity — verdict signature,
-// Partial, Deadlocked, DeadRanks, RankCoverage, EventsAnalyzed — with
-// the seed-hash fault path disabled during replay.
+// byte-identical exact identity — verdict signature, Partial,
+// Deadlocked, DeadRanks, RankCoverage, EventsAnalyzed AND Makespan —
+// plus a byte-identical exported timeline (every event timestamp),
+// with the seed-hash fault path disabled during replay. Schedules
+// recorded by this build are v2: they pin collective membership and
+// lock/election orders, which is what makes virtual time exact.
 
 import (
+	"bytes"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"home"
@@ -33,14 +39,36 @@ func soakPlans() []*chaos.Plan {
 	return plans
 }
 
-// recordReplay runs the program once with a recorder attached and once
-// replaying the recorded schedule, returning both identities.
-func recordReplay(t *testing.T, prog *minic.Program, opts home.Options) (rec, rep ReplayIdentity) {
+// runArtifacts is everything a run must reproduce under exact replay:
+// the exact identity (verdicts, partial contract, Makespan) and the
+// rendered timeline bytes (every event timestamp).
+type runArtifacts struct {
+	exact    ExactIdentity
+	timeline []byte
+}
+
+// artifactsOf renders a report's comparable artifacts. The report must
+// come from an Explain run (the timeline needs the trace).
+func artifactsOf(t *testing.T, rep *home.Report) runArtifacts {
+	t.Helper()
+	tl := home.BuildTimeline(rep.Trace)
+	home.OverlayWitnesses(tl, rep.Witnesses)
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return runArtifacts{exact: ExactIdentityOf(rep), timeline: buf.Bytes()}
+}
+
+// recordRun runs the program with a recorder attached and returns its
+// artifacts plus the recorded schedule (via the wire-format round
+// trip).
+func recordRun(t *testing.T, prog *minic.Program, opts home.Options) (runArtifacts, *home.Schedule) {
 	t.Helper()
 	recorder := home.NewScheduleRecorder()
-	recOpts := opts
-	recOpts.RecordSchedule = recorder
-	recorded, err := home.CheckProgram(prog, recOpts)
+	opts.RecordSchedule = recorder
+	opts.Explain = true
+	recorded, err := home.CheckProgram(prog, opts)
 	if err != nil {
 		t.Fatalf("record run: %v", err)
 	}
@@ -48,18 +76,51 @@ func recordReplay(t *testing.T, prog *minic.Program, opts home.Options) (rec, re
 	if err != nil {
 		t.Fatalf("schedule round trip: %v", err)
 	}
-	repOpts := opts
-	repOpts.Chaos = nil // replay takes its plan from the schedule header
-	repOpts.ReplaySchedule = schedule
-	replayed, err := home.CheckProgram(prog, repOpts)
+	return artifactsOf(t, recorded), schedule
+}
+
+// replayRun replays a schedule against the program and returns the
+// replayed run's artifacts.
+func replayRun(t *testing.T, prog *minic.Program, opts home.Options, schedule *home.Schedule) runArtifacts {
+	t.Helper()
+	opts.Chaos = nil // replay takes its plan from the schedule header
+	opts.ReplaySchedule = schedule
+	opts.Explain = true
+	replayed, err := home.CheckProgram(prog, opts)
 	if err != nil {
 		t.Fatalf("replay run: %v", err)
 	}
-	return IdentityOf(recorded), IdentityOf(replayed)
+	return artifactsOf(t, replayed)
+}
+
+// recordReplay runs the program once with a recorder attached and once
+// replaying the recorded schedule, returning both runs' artifacts.
+func recordReplay(t *testing.T, prog *minic.Program, opts home.Options) (rec, rep runArtifacts) {
+	t.Helper()
+	rec, schedule := recordRun(t, prog, opts)
+	if !schedule.PinsOrders() {
+		t.Fatal("freshly recorded schedule does not pin orders (not v2?)")
+	}
+	return rec, replayRun(t, prog, opts, schedule)
+}
+
+// checkExact asserts the replayed artifacts equal the recorded ones,
+// byte for byte: identity, Makespan and timeline.
+func checkExact(t *testing.T, label string, rec, rep runArtifacts) {
+	t.Helper()
+	if rec.exact.String() != rep.exact.String() {
+		t.Errorf("%s: replay diverged\n  recorded: %s\n  replayed: %s",
+			label, rec.exact, rep.exact)
+	}
+	if !bytes.Equal(rec.timeline, rep.timeline) {
+		t.Errorf("%s: replayed timeline differs from recorded (%d bytes vs %d)",
+			label, len(rep.timeline), len(rec.timeline))
+	}
 }
 
 // TestReplayDeterminism is the metamorphic property: record → replay
-// reproduces the identical report for every soak-corpus chaos cell.
+// reproduces the identical report — verdicts, Makespan and timeline
+// bytes — for every soak-corpus chaos cell.
 func TestReplayDeterminism(t *testing.T) {
 	t.Parallel()
 	cfg := Config{}.withDefaults()
@@ -76,10 +137,7 @@ func TestReplayDeterminism(t *testing.T) {
 				opts := cfg.homeOptions(cfg.TableProcs)
 				opts.Chaos = plan
 				rec, rep := recordReplay(t, prog, opts)
-				if rec.String() != rep.String() {
-					t.Errorf("plan %s: replay diverged\n  recorded: %s\n  replayed: %s",
-						plan, rec, rep)
-				}
+				checkExact(t, "plan "+plan.String(), rec, rep)
 			}
 		})
 	}
@@ -98,9 +156,7 @@ func TestReplayDeterminismChaosFree(t *testing.T) {
 		}
 		opts := cfg.homeOptions(cfg.TableProcs)
 		rec, rep := recordReplay(t, prog, opts)
-		if rec.String() != rep.String() {
-			t.Errorf("%v chaos-free: replay diverged\n  recorded: %s\n  replayed: %s", kind, rec, rep)
-		}
+		checkExact(t, kind.String()+" chaos-free", rec, rep)
 	}
 }
 
@@ -145,13 +201,46 @@ func TestReplayDeterminismWildcard(t *testing.T) {
 		opts := cfg.homeOptions(cfg.TableProcs)
 		opts.Chaos = plan
 		rec, rep := recordReplay(t, prog, opts)
-		if rec.String() != rep.String() {
-			t.Errorf("plan %s: wildcard replay diverged\n  recorded: %s\n  replayed: %s", plan, rec, rep)
-		}
+		checkExact(t, "wildcard plan "+plan.String(), rec, rep)
 	}
 	// And chaos-free: wildcard resolutions alone are worth forcing.
 	rec, rep := recordReplay(t, prog, cfg.homeOptions(cfg.TableProcs))
-	if rec.String() != rep.String() {
-		t.Errorf("chaos-free wildcard replay diverged\n  recorded: %s\n  replayed: %s", rec, rep)
+	checkExact(t, "wildcard chaos-free", rec, rep)
+}
+
+// TestReplayDeterminismGOMAXPROCS replays recorded schedules under
+// host parallelism levels 1, 2 and 4 and requires the exact identity
+// and timeline bytes to match the recording every time: virtual time
+// must not depend on how many OS threads the host grants the run.
+// Deliberately not parallel — it mutates the process-wide GOMAXPROCS.
+func TestReplayDeterminismGOMAXPROCS(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	wildcard, err := minic.Parse(wildcardSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := minic.Parse(faults.Program(spec.CollectiveCallViolation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []struct {
+		name string
+		prog *minic.Program
+		plan *chaos.Plan
+	}{
+		{"perturb", corpus, chaos.Perturb(2)},
+		{"crash", corpus, chaos.Crash(1, 1, 1)},
+		{"wildcard-crash", wildcard, chaos.Crash(5, 2, 1)},
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, cell := range cells {
+		opts := cfg.homeOptions(cfg.TableProcs)
+		opts.Chaos = cell.plan
+		rec, schedule := recordRun(t, cell.prog, opts)
+		for _, procs := range []int{1, 2, 4} {
+			runtime.GOMAXPROCS(procs)
+			rep := replayRun(t, cell.prog, opts, schedule)
+			checkExact(t, fmt.Sprintf("%s at GOMAXPROCS=%d", cell.name, procs), rec, rep)
+		}
 	}
 }

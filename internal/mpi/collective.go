@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"home/internal/chaos"
 	"home/internal/sim"
 )
 
@@ -61,6 +62,17 @@ type collWaiter struct {
 	wake chan collResult
 }
 
+// collJoin remembers one participant's arrival for the membership
+// record: its schedule point and arrival order. Joins are logged to
+// the schedule only when the instance *completes* — an instance
+// abandoned on a crash path leaves no membership records, so a
+// replayed crash can never re-join it.
+type collJoin struct {
+	rank int
+	tid  int
+	seq  uint64
+}
+
 // collInstance is one in-progress collective operation. Participants
 // join the first open instance of matching (kind, root, op) that has
 // not yet seen their rank; mismatched programs therefore strand
@@ -79,6 +91,20 @@ type collInstance struct {
 	// sim.Ctx.LastCollSeq), giving the timeline export a stable
 	// identity to group an instance's call records under.
 	seq int64
+
+	// joins tracks arrivals in order for the membership records
+	// (maintained only while recording a schedule).
+	joins []collJoin
+
+	// forced marks an instance reconstructed from recorded membership
+	// during replay; unforced arrivals (which the recorded run left
+	// stranded) never join it, so they cannot complete an instance
+	// early with the wrong membership.
+	forced bool
+
+	// forcedNewComm is the recorded duplicated-communicator id of a
+	// replayed Comm_dup instance (from the membership records).
+	forcedNewComm CommID
 }
 
 // commState is the shared state of one communicator.
@@ -91,6 +117,10 @@ type commState struct {
 	// instSeq counts collective instances created on this
 	// communicator (guarded by mu).
 	instSeq int64
+
+	// forcedInst indexes replay-forced instances by their recorded
+	// instance seq (guarded by mu; lazily allocated).
+	forcedInst map[int64]*collInstance
 }
 
 func newCommState(id CommID, size int) *commState {
@@ -117,20 +147,36 @@ func (p *Proc) arrive(ctx *sim.Ctx, comm CommID, kind collKind, root int, op Red
 	ctx.Advance(c.MPICallNs)
 	p.maybeStall(ctx)
 
-	// One schedule point covers every failure outcome of the
-	// collective: the fail-fast below, a failAll wake, and the
-	// own-abort withdrawal all race with crash propagation in a
-	// recorded run, so replay forces the recorded outcome here and
-	// never joins an instance the recorded run abandoned.
+	// One schedule point covers every outcome of the collective: the
+	// fail-fast below, a failAll wake and the own-abort withdrawal all
+	// race with crash propagation in a recorded run, and which open
+	// instance the arrival joins is host-racy when several threads of a
+	// rank hit collectives concurrently. A v2 schedule carries a coll
+	// (membership) record for every arrival that completed an instance
+	// and a fail record for every arrival that observed a failure;
+	// absence of both means the recorded run left the arrival stranded.
+	// Replay therefore forces the recorded outcome here and never joins
+	// an instance the recorded run abandoned — membership is recorded
+	// at instance *completion*, so an abandoned instance has no
+	// membership records for a replayed crash to re-join.
 	qf := p.schedPoint(ctx)
-	if p.world.chaos.Replaying() {
-		if dead, ok := p.replayFailAt(ctx, qf); ok {
-			return collResult{}, p.world.failure(dead, "MPI_"+kind.String())
-		}
-	}
 
 	payload := make([]float64, len(data))
 	copy(payload, data)
+
+	if p.world.chaos.Replaying() {
+		if jo, ok := p.world.chaos.ReplayCollJoin(p.rank, ctx.TID, qf); ok {
+			return p.arriveForced(ctx, cs, kind, root, op, payload, jo)
+		}
+		if dead, ok := p.replayFailAt(ctx, qf); ok {
+			return collResult{}, p.world.failure(dead, "MPI_"+kind.String())
+		}
+		// No record at this point: a v1 schedule (orders not pinned —
+		// resolve live below, the original guarantee), or an arrival
+		// the recorded run left stranded, which strands here too (an
+		// unforced instance can never complete in place of a forced
+		// one: forced instances live in their own index).
+	}
 
 	cs.mu.Lock()
 	// Checked under cs.mu so it serializes against failAll: either we
@@ -164,29 +210,15 @@ func (p *Proc) arrive(ctx *sim.Ctx, comm CommID, kind collKind, root int, op Red
 	if ctx.Now > inst.maxT {
 		inst.maxT = ctx.Now
 	}
+	if p.world.chaos.Recording() {
+		inst.joins = append(inst.joins, collJoin{rank: p.rank, tid: ctx.TID, seq: qf})
+	}
 
 	if len(inst.arrived) == cs.size {
 		// Last arriver completes the instance and releases everyone.
-		for i, in := range cs.pending {
-			if in == inst {
-				cs.pending = append(cs.pending[:i], cs.pending[i+1:]...)
-				break
-			}
-		}
-		p.world.st.collectiveRounds.Inc()
-		release := inst.maxT + c.CollectiveBaseNs + c.CollectiveNsPerRank*sim.Log2Ceil(cs.size)
-		var newComm CommID
-		if kind == collCommDup {
-			newComm = p.world.newCommID(cs.size)
-		}
-		results := computeCollective(inst, cs.size)
-		for _, w := range inst.waiters {
-			p.world.activity.Unblock()
-			w.wake <- collResult{data: results[w.rank], release: release, newComm: newComm}
-		}
-		mine := collResult{data: results[p.rank], release: release, newComm: newComm}
+		mine := p.completeLocked(cs, inst)
 		cs.mu.Unlock()
-		ctx.SyncTo(release)
+		ctx.SyncTo(mine.release)
 		return mine, nil
 	}
 
@@ -213,8 +245,10 @@ func (p *Proc) arrive(ctx *sim.Ctx, comm CommID, kind collKind, root int, op Red
 			return collResult{}, p.deadlockError()
 		}
 		// Rank abort (own crash-stop): withdraw from the instance. If
-		// the waiter is gone, failAll or the completing rank already
-		// unblocked us; otherwise the cleanup is ours.
+		// the waiter is still queued the cleanup is ours; the recorded
+		// run then abandoned the instance, whose members leave no
+		// membership records, so a replayed crash fails at qf before
+		// ever joining it.
 		cs.mu.Lock()
 		found := false
 	scan:
@@ -223,6 +257,14 @@ func (p *Proc) arrive(ctx *sim.Ctx, comm CommID, kind collKind, root int, op Red
 				if ww.wake == w.wake {
 					in.waiters = append(in.waiters[:i], in.waiters[i+1:]...)
 					delete(in.arrived, p.rank)
+					if p.world.chaos.Recording() {
+						for j, jn := range in.joins {
+							if jn.rank == p.rank && jn.tid == ctx.TID && jn.seq == qf {
+								in.joins = append(in.joins[:j], in.joins[j+1:]...)
+								break
+							}
+						}
+					}
 					found = true
 					break scan
 				}
@@ -231,12 +273,146 @@ func (p *Proc) arrive(ctx *sim.Ctx, comm CommID, kind collKind, root int, op Red
 		cs.mu.Unlock()
 		if found {
 			p.world.activity.Unblock()
+			release()
+			ferr := p.world.failure(p.rank, "MPI_"+kind.String())
+			p.observeFailAt(ctx, qf, ferr)
+			return collResult{}, ferr
 		}
+		// The waiter is gone: the crash decision raced a concurrent
+		// resolution. Either the completing rank released everyone (a
+		// result is already in the channel — completion happens under
+		// cs.mu) or failAll drained the instance (its error send may
+		// still be in flight). Take what actually happened so the
+		// recorded schedule reflects reality: a completed instance
+		// counted this rank's membership and clock, so the member must
+		// complete here too — in record and in replay.
 		release()
-		ferr := p.world.failure(p.rank, "MPI_"+kind.String())
-		p.observeFailAt(ctx, qf, ferr)
-		return collResult{}, ferr
+		res := <-w.wake
+		if res.err != nil {
+			p.observeFailAt(ctx, qf, res.err)
+			return collResult{}, res.err
+		}
+		ctx.SyncTo(res.release)
+		return res, nil
 	}
+}
+
+// arriveForced joins the collective instance the recorded run assigned
+// this arrival to (replay of a v2 schedule). Membership is fixed by
+// the schedule: the instance completes exactly when the last recorded
+// member arrives, so maxT and the release time — and with them virtual
+// time — reproduce the recorded run.
+func (p *Proc) arriveForced(ctx *sim.Ctx, cs *commState, kind collKind, root int, op ReduceOp, payload []float64, jo chaos.CollOrder) (collResult, error) {
+	cs.mu.Lock()
+	if cs.forcedInst == nil {
+		cs.forcedInst = make(map[int64]*collInstance)
+	}
+	inst := cs.forcedInst[jo.Seq]
+	if inst == nil {
+		inst = &collInstance{
+			kind: kind, root: root, op: op,
+			arrived: make(map[int][]float64),
+			seq:     jo.Seq, forced: true, forcedNewComm: CommID(jo.NewComm),
+		}
+		cs.forcedInst[jo.Seq] = inst
+		// Keep live numbering above every forced seq so an instance a
+		// stranded (unforced) arrival opens never collides with a
+		// recorded one.
+		if jo.Seq > cs.instSeq {
+			cs.instSeq = jo.Seq
+		}
+	}
+	ctx.LastCollSeq = inst.seq
+	inst.arrived[p.rank] = payload
+	if ctx.Now > inst.maxT {
+		inst.maxT = ctx.Now
+	}
+	if len(inst.arrived) == cs.size {
+		mine := p.completeLocked(cs, inst)
+		cs.mu.Unlock()
+		ctx.SyncTo(mine.release)
+		return mine, nil
+	}
+	w := collWaiter{rank: p.rank, wake: make(chan collResult, 1)}
+	inst.waiters = append(inst.waiters, w)
+	cs.mu.Unlock()
+
+	dead, release := p.world.activity.BlockOp(sim.BlockedOp{
+		Rank: p.rank, TID: ctx.TID, Op: "MPI_" + kind.String(),
+		Peer: sim.NoArg, Tag: sim.NoArg, Comm: int(cs.id),
+		Detail: fmt.Sprintf("MPI_%s on communicator %d (waiting for all ranks)", kind, int(cs.id)),
+	})
+	select {
+	case res := <-w.wake:
+		release()
+		ctx.SyncTo(res.release)
+		return res, nil
+	case <-dead:
+		if p.world.activity.Deadlocked() {
+			return collResult{}, p.deadlockError()
+		}
+		// Defensive only: replay pre-marks crashed ranks quietly and
+		// every recorded member of a completed instance arrives, so
+		// nothing but the watchdog should tear a forced member out.
+		cs.mu.Lock()
+		for i, ww := range inst.waiters {
+			if ww.wake == w.wake {
+				inst.waiters = append(inst.waiters[:i], inst.waiters[i+1:]...)
+				delete(inst.arrived, p.rank)
+				p.world.activity.Unblock()
+				break
+			}
+		}
+		cs.mu.Unlock()
+		release()
+		return collResult{}, p.world.failure(p.rank, "MPI_"+kind.String())
+	}
+}
+
+// completeLocked finishes a full instance (len(arrived) == cs.size):
+// removes it from the pending/forced indexes, computes the release
+// time and per-rank results, logs the membership order when a schedule
+// recorder is attached, and wakes the blocked participants. The caller
+// holds cs.mu and is the instance's last arriver; the returned result
+// is the caller's own (SyncTo is the caller's job, after unlocking).
+func (p *Proc) completeLocked(cs *commState, inst *collInstance) collResult {
+	for i, in := range cs.pending {
+		if in == inst {
+			cs.pending = append(cs.pending[:i], cs.pending[i+1:]...)
+			break
+		}
+	}
+	if inst.forced {
+		delete(cs.forcedInst, inst.seq)
+	}
+	p.world.st.collectiveRounds.Inc()
+	c := p.world.costs
+	release := inst.maxT + c.CollectiveBaseNs + c.CollectiveNsPerRank*sim.Log2Ceil(cs.size)
+	var newComm CommID
+	if inst.kind == collCommDup {
+		if inst.forced {
+			newComm = p.world.ensureComm(inst.forcedNewComm, cs.size)
+		} else {
+			newComm = p.world.newCommID(cs.size)
+		}
+	}
+	if p.world.chaos.Recording() {
+		nc := -1
+		if inst.kind == collCommDup {
+			nc = int(newComm)
+		}
+		for i, j := range inst.joins {
+			p.world.chaos.ObserveCollJoin(j.rank, j.tid, j.seq, chaos.CollOrder{
+				Comm: int(cs.id), Seq: inst.seq, Ord: i + 1, NewComm: nc,
+			})
+		}
+	}
+	results := computeCollective(inst, cs.size)
+	for _, w := range inst.waiters {
+		p.world.activity.Unblock()
+		w.wake <- collResult{data: results[w.rank], release: release, newComm: newComm}
+	}
+	return collResult{data: results[p.rank], release: release, newComm: newComm}
 }
 
 // failAll drains every pending collective instance of the

@@ -373,6 +373,23 @@ func (w *World) newCommID(size int) CommID {
 	return id
 }
 
+// ensureComm registers (idempotently) a communicator under a specific
+// id — the replay path of Comm_dup, where the id comes from the
+// recorded membership instead of the live allocator. The allocator is
+// kept above every forced id so live and forced allocations never
+// collide.
+func (w *World) ensureComm(id CommID, size int) CommID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.comms[id]; !ok {
+		w.comms[id] = newCommState(id, size)
+	}
+	if w.nextComm <= id {
+		w.nextComm = id + 1
+	}
+	return id
+}
+
 // RunResult summarizes a completed World.Run.
 type RunResult struct {
 	// Makespan is the maximum final virtual clock over all threads

@@ -48,6 +48,16 @@ func (m *Member) barrierAt(ord uint64) error {
 	// recorded outcome at this schedule point.
 	qa := t.rt.schedPoint(m.Ctx)
 	if t.rt.chaos.ReplayAbort(m.Ctx.Rank, m.TID, qa) {
+		// A recorded abort at a barrier point means the thread reached
+		// the rendezvous and was torn out while waiting (the only path
+		// that observes one), so it had already allocated the construct
+		// state and emitted its barrier event. Replicate both under a
+		// v2 schedule: sync-id numbering and the trace must not depend
+		// on whether the abort is native or forced.
+		if t.rt.chaos.ReplayPinsOrders() && t.size > 1 {
+			st := t.state(ord)
+			m.Ctx.Emit(trace.Event{Op: trace.OpBarrier, Sync: st.sync})
+		}
 		return ErrRankAborted
 	}
 	if t.size == 1 {
@@ -90,7 +100,12 @@ func (m *Member) barrierAt(ord uint64) error {
 			return ErrDeadlock
 		}
 		// Rank abort (crash-stop): withdraw from the rendezvous. If our
-		// waiter is gone the completing member already unblocked us.
+		// waiter is gone the barrier *completed* with our membership —
+		// the release time other members synchronized to includes our
+		// clock — so take the completion the crash raced against: the
+		// recorded run must reflect what actually happened, or a replay
+		// (which forces the abort before arriving) would strand the
+		// rest of the team at a rendezvous that can no longer fill.
 		t.mu.Lock()
 		found := false
 		for i, w := range st.waiters {
@@ -102,9 +117,14 @@ func (m *Member) barrierAt(ord uint64) error {
 			}
 		}
 		t.mu.Unlock()
-		if found {
-			t.rt.activity.Unblock()
+		if !found {
+			release := <-wake // sent under t.mu before our scan, so present
+			done()
+			t.rt.st.barrierWait.Observe(release - m.Ctx.Now)
+			m.Ctx.SyncTo(release)
+			return nil
 		}
+		t.rt.activity.Unblock()
 		done()
 		t.rt.chaos.ObserveAbort(m.Ctx.Rank, m.TID, qa)
 		return ErrRankAborted
@@ -171,13 +191,30 @@ func (m *Member) forStatic(lo, hi, chunk int64, body func(i int64) error) error 
 // iteration counter.
 func (m *Member) forDynamic(lo, hi int64, sched Schedule, chunk int64, body func(i int64) error) error {
 	t := m.team
-	st := t.state(m.nextOrdinal())
+	ord := m.nextOrdinal()
+	st := t.state(ord) // keep sync-id allocation aligned with record mode
+	if t.rt.chaos.ReplayPinsOrders() {
+		// Which chunks a thread claimed off the shared counter is
+		// host-racy: replay this thread's recorded claim sequence, keyed
+		// by (construct ordinal, claim index), ignoring the counter.
+		for k := uint64(0); ; k++ {
+			base, end, ok := t.rt.chaos.ReplayChunk(m.Ctx.Rank, m.TID, chunkKey(ord, k))
+			if !ok {
+				return nil
+			}
+			for i := base; i < end; i++ {
+				if err := body(i); err != nil {
+					return err
+				}
+			}
+		}
+	}
 	t.mu.Lock()
 	if st.counter < 0 {
 		st.counter = lo
 	}
 	t.mu.Unlock()
-	for {
+	for k := uint64(0); ; k++ {
 		t.mu.Lock()
 		base := st.counter
 		if base >= hi {
@@ -194,6 +231,7 @@ func (m *Member) forDynamic(lo, hi int64, sched Schedule, chunk int64, body func
 		end := min64(base+c, hi)
 		st.counter = end
 		t.mu.Unlock()
+		t.rt.chaos.ObserveChunk(m.Ctx.Rank, m.TID, chunkKey(ord, k), base, end)
 		for i := base; i < end; i++ {
 			if err := body(i); err != nil {
 				return err
@@ -201,6 +239,12 @@ func (m *Member) forDynamic(lo, hi int64, sched Schedule, chunk int64, body func
 		}
 	}
 }
+
+// chunkKey packs a loop construct ordinal and a per-thread claim index
+// into one schedule-point key for chunk records. Construct ordinals
+// are small (they count worksharing constructs executed by a team), so
+// 20 bits of claim index per ordinal cannot collide in practice.
+func chunkKey(ord, k uint64) uint64 { return ord<<20 | k }
 
 // Sections distributes the given section bodies over the team —
 // section i runs on thread i mod teamsize (a conforming static
@@ -224,11 +268,24 @@ func (m *Member) Sections(bodies ...func() error) error {
 // joins at the implicit barrier (`#pragma omp single`).
 func (m *Member) Single(body func() error) error {
 	t := m.team
-	st := t.state(m.nextOrdinal())
-	t.mu.Lock()
-	mine := !st.claimed
-	st.claimed = true
-	t.mu.Unlock()
+	ord := m.nextOrdinal()
+	st := t.state(ord)
+	var mine bool
+	if t.rt.chaos.ReplayPinsOrders() {
+		// First-arriver election is host-racy: force the recorded winner.
+		mine = t.rt.chaos.ReplaySingleWin(m.Ctx.Rank, m.TID, ord)
+		t.mu.Lock()
+		st.claimed = true
+		t.mu.Unlock()
+	} else {
+		t.mu.Lock()
+		mine = !st.claimed
+		st.claimed = true
+		t.mu.Unlock()
+		if mine {
+			t.rt.chaos.ObserveSingleWin(m.Ctx.Rank, m.TID, ord)
+		}
+	}
 	var err error
 	if mine {
 		err = body()
@@ -258,6 +315,15 @@ type lockState struct {
 	held    bool
 	waiters []chan struct{}
 	freeAt  int64 // virtual time of the last release (guarded by mu)
+
+	// Acquisition-order record/replay (schedule v2). grantSeq numbers
+	// completed acquisitions in record mode; nextTicket and repWaiters
+	// force that numbering in replay mode. All guarded by mu. Tickets
+	// are assigned at acquisition completion, never at release handoff:
+	// a handoff abandoned by a dying recipient consumes no ticket.
+	grantSeq   uint64
+	nextTicket uint64 // ticket allowed to acquire next (replay)
+	repWaiters map[uint64]chan struct{}
 }
 
 // lock returns (creating if needed) the named lock of the runtime.
@@ -266,7 +332,7 @@ func (rt *Runtime) lock(name string) *lockState {
 	defer rt.mu.Unlock()
 	l, ok := rt.locks[name]
 	if !ok {
-		l = &lockState{}
+		l = &lockState{nextTicket: 1}
 		rt.locks[name] = l
 	}
 	return l
@@ -277,14 +343,19 @@ func (rt *Runtime) lock(name string) *lockState {
 func (m *Member) acquire(l *lockState, id trace.LockID) error {
 	m.team.rt.st.acquires.Inc()
 	// Schedule point: whether the acquire succeeded or was abandoned by
-	// a crash-stop abort while queued is host-racy under chaos.
+	// a crash-stop abort while queued is host-racy under chaos, and so
+	// is the order in which contending threads win the lock.
 	qa := m.team.rt.schedPoint(m.Ctx)
 	if m.team.rt.chaos.ReplayAbort(m.Ctx.Rank, m.TID, qa) {
 		return ErrRankAborted
 	}
+	if m.team.rt.chaos.ReplayPinsOrders() {
+		return m.acquireForced(l, id, qa)
+	}
 	l.mu.Lock()
 	if !l.held {
 		l.held = true
+		m.recordGrantLocked(l, qa)
 		freeAt := l.freeAt
 		l.mu.Unlock()
 		m.Ctx.SyncTo(freeAt)
@@ -298,8 +369,11 @@ func (m *Member) acquire(l *lockState, id trace.LockID) error {
 		case <-wake:
 			done()
 			// Ownership was transferred by the releaser, which also
-			// restored our runnable accounting.
+			// restored our runnable accounting. Ticket assignment here is
+			// safe: grants are serialized by lock ownership, so no other
+			// thread can complete an acquisition until we release.
 			l.mu.Lock()
+			m.recordGrantLocked(l, qa)
 			freeAt := l.freeAt
 			l.mu.Unlock()
 			m.Ctx.SyncTo(freeAt)
@@ -343,12 +417,105 @@ func (m *Member) acquire(l *lockState, id trace.LockID) error {
 	return nil
 }
 
+// recordGrantLocked assigns the next acquisition ticket and records it
+// against this thread's schedule point. Caller holds l.mu at an
+// acquisition-completion site.
+func (m *Member) recordGrantLocked(l *lockState, qa uint64) {
+	rt := m.team.rt
+	if !rt.chaos.Recording() {
+		return
+	}
+	l.grantSeq++
+	rt.chaos.ObserveLockGrant(m.Ctx.Rank, m.TID, qa, l.grantSeq)
+}
+
+// acquireForced implements acquire under a v2 replay schedule: the
+// recorded grant ticket, not a host race, decides when this thread
+// gets the lock. Tickets are granted strictly in order — ticket t
+// acquires only after ticket t-1 has released.
+func (m *Member) acquireForced(l *lockState, id trace.LockID, qa uint64) error {
+	rt := m.team.rt
+	ticket, ok := rt.chaos.ReplayLockGrant(m.Ctx.Rank, m.TID, qa)
+	if !ok {
+		// No grant recorded: the schedule (e.g. the salvaged prefix of a
+		// truncated stream) ends before this acquire completed. Park; the
+		// watchdog rules on whether the run deadlocked.
+		dead, done := rt.activity.BlockDesc(m.Ctx.Rank, m.TID, "acquiring "+id.Name)
+		<-dead
+		done()
+		if rt.activity.Deadlocked() {
+			return ErrDeadlock
+		}
+		return ErrRankAborted
+	}
+	l.mu.Lock()
+	if !l.held && l.nextTicket == ticket {
+		l.held = true
+		l.nextTicket++
+		freeAt := l.freeAt
+		l.mu.Unlock()
+		m.Ctx.SyncTo(freeAt)
+	} else {
+		rt.st.contended.Inc()
+		wake := make(chan struct{}, 1)
+		if l.repWaiters == nil {
+			l.repWaiters = make(map[uint64]chan struct{})
+		}
+		l.repWaiters[ticket] = wake
+		l.mu.Unlock()
+		dead, done := rt.activity.BlockDesc(m.Ctx.Rank, m.TID, "acquiring "+id.Name)
+		select {
+		case <-wake:
+			done()
+			l.mu.Lock()
+			freeAt := l.freeAt
+			l.mu.Unlock()
+			m.Ctx.SyncTo(freeAt)
+		case <-dead:
+			if rt.activity.Deadlocked() {
+				return ErrDeadlock
+			}
+			// Defensive: forced aborts fire at qa before queueing, so a
+			// queued replay waiter only sees the dead latch on teardown.
+			l.mu.Lock()
+			found := l.repWaiters[ticket] == wake
+			if found {
+				delete(l.repWaiters, ticket)
+			}
+			l.mu.Unlock()
+			if found {
+				rt.activity.Unblock()
+			}
+			done()
+			return ErrRankAborted
+		}
+	}
+	m.Ctx.Advance(lockCostNs)
+	m.Ctx.Emit(trace.Event{Op: trace.OpAcquire, Lock: id})
+	return nil
+}
+
 // release frees the lock, publishing the holder's clock and handing
 // ownership to the next waiter, if any.
 func (m *Member) release(l *lockState, id trace.LockID) {
 	m.Ctx.Emit(trace.Event{Op: trace.OpRelease, Lock: id})
 	l.mu.Lock()
 	l.freeAt = m.Ctx.Now
+	if m.team.rt.chaos.ReplayPinsOrders() {
+		// Hand ownership to the recorded next ticket if its thread is
+		// already queued; otherwise free the lock — the ticket holder
+		// takes the fast path in acquireForced when it arrives.
+		if ch, qok := l.repWaiters[l.nextTicket]; qok {
+			delete(l.repWaiters, l.nextTicket)
+			l.nextTicket++
+			m.team.rt.activity.Unblock()
+			ch <- struct{}{}
+		} else {
+			l.held = false
+		}
+		l.mu.Unlock()
+		return
+	}
 	if len(l.waiters) > 0 {
 		next := l.waiters[0]
 		l.waiters = l.waiters[1:]

@@ -14,9 +14,21 @@ import (
 
 // Wire format constants. A schedule stream is one header line followed
 // by one JSON record per line, sorted by (rank, tid, seq, kind).
+//
+// Version history:
+//
+//	1  fault decisions and failure/match/poll resolutions — replay
+//	   reproduces the report identity (verdicts, Partial, DeadRanks,
+//	   RankCoverage, EventsAnalyzed)
+//	2  adds the order families (coll/lock/single/chunk) — replay also
+//	   reproduces virtual time: Makespan, event timestamps, timelines
+//
+// The reader accepts every version <= Version; a v1 stream decoded by
+// a v2 reader replays with the v1 guarantee (Schedule.PinsOrders
+// reports which one applies).
 const (
 	Format  = "home-sched"
-	Version = 1
+	Version = 2
 )
 
 // header is the first line of a schedule stream. It embeds the full
@@ -120,7 +132,7 @@ func Read(rd io.Reader) (*Schedule, error) {
 		}
 		if err != nil {
 			if errors.Is(err, io.ErrUnexpectedEOF) {
-				s, serr := newSchedule(h.Plan, recs)
+				s, serr := newSchedule(h.Plan, h.Version, recs)
 				if serr != nil {
 					return nil, serr
 				}
@@ -130,7 +142,7 @@ func Read(rd io.Reader) (*Schedule, error) {
 		}
 		recs = append(recs, rec)
 	}
-	return newSchedule(h.Plan, recs)
+	return newSchedule(h.Plan, h.Version, recs)
 }
 
 // ReadFile parses a schedule file.

@@ -24,6 +24,22 @@
 //	poll   a non-blocking poll (MPI_Test, MPI_Iprobe) succeeded here
 //	crash  the given rank crash-stopped (no point key)
 //
+// Format v2 adds the *order* families, which pin virtual time (see
+// docs/ROBUSTNESS.md):
+//
+//	coll   the arrival at this schedule point joined the identified
+//	       collective instance (communicator, instance seq, arrival
+//	       index; Comm_dup instances also carry the allocated
+//	       communicator id). Recorded only for instances that
+//	       *completed* — an abandoned instance leaves no coll records,
+//	       so a replayed crash can never re-join it
+//	lock   the OpenMP lock acquire at this point was granted as the
+//	       lock's ticket-th acquisition
+//	single the thread won the `single` first-arriver election at this
+//	       construct ordinal (keyed by ordinal, not schedule point)
+//	chunk  the thread claimed iteration range [base, end) from a
+//	       dynamic/guided loop (keyed by ordinal and claim index)
+//
 // Absence is meaningful: a point with no record realized no fault,
 // observed no failure, and matched no message. Wall-clock payloads
 // (jitter, stall pauses) are recorded but not re-applied on replay —
@@ -49,7 +65,24 @@ const (
 	KindMatch = "match"
 	KindPoll  = "poll"
 	KindCrash = "crash"
+
+	// Order families (format v2): collective membership, lock grants,
+	// single elections and worksharing chunk claims.
+	KindColl   = "coll"
+	KindLock   = "lock"
+	KindSingle = "single"
+	KindChunk  = "chunk"
 )
+
+// orderKind reports whether the kind belongs to the v2 order families
+// that pin virtual time.
+func orderKind(kind string) bool {
+	switch kind {
+	case KindColl, KindLock, KindSingle, KindChunk:
+		return true
+	}
+	return false
+}
 
 // Record is one realized decision. Key fields are always present;
 // payload fields are per-kind. Rank-valued payload fields (Dead1,
@@ -81,6 +114,23 @@ type Record struct {
 	Src1   int    `json:"src,omitempty"`
 	STID1  int    `json:"stid,omitempty"`
 	SrcSeq uint64 `json:"sseq,omitempty"`
+
+	// coll payload: 1-based communicator id, instance seq within the
+	// communicator (>= 1), 1-based arrival index, and the 1-based
+	// duplicated communicator id a completed Comm_dup allocated (0 =
+	// not a Comm_dup)
+	Comm1    int   `json:"comm,omitempty"`
+	CollSeq  int64 `json:"cseq,omitempty"`
+	Ord      int   `json:"ord,omitempty"`
+	NewComm1 int   `json:"ncomm,omitempty"`
+
+	// lock payload: 1-based per-lock grant ticket
+	Ticket uint64 `json:"ticket,omitempty"`
+
+	// chunk payload: claimed iteration range [base, end); plain values
+	// (omitempty only elides literal zeros, which decode back to zero)
+	Base int64 `json:"base,omitempty"`
+	End  int64 `json:"end,omitempty"`
 }
 
 // DeadRank returns the observed failed rank of a fail record.
@@ -93,6 +143,11 @@ func (r Record) Msg() chaos.MsgID {
 		return chaos.MsgID{}
 	}
 	return chaos.MsgID{Rank: r.Src1 - 1, TID: r.STID1 - 1, Seq: r.SrcSeq}
+}
+
+// CollOrder returns the instance assignment of a coll record.
+func (r Record) CollOrder() chaos.CollOrder {
+	return chaos.CollOrder{Comm: r.Comm1 - 1, Seq: r.CollSeq, Ord: r.Ord, NewComm: r.NewComm1 - 1}
 }
 
 type key struct {
@@ -190,6 +245,44 @@ func (r *Recorder) RecordCrash(rank int) {
 	r.add(Record{Kind: KindCrash, Rank: rank})
 }
 
+// RecordCollJoin implements chaos.Recorder.
+func (r *Recorder) RecordCollJoin(rank, tid int, seq uint64, o chaos.CollOrder) {
+	r.add(Record{
+		Kind: KindColl, Rank: rank, TID: tid, Seq: seq,
+		Comm1: o.Comm + 1, CollSeq: o.Seq, Ord: o.Ord, NewComm1: o.NewComm + 1,
+	})
+}
+
+// RecordLockGrant implements chaos.Recorder.
+func (r *Recorder) RecordLockGrant(rank, tid int, seq uint64, ticket uint64) {
+	r.add(Record{Kind: KindLock, Rank: rank, TID: tid, Seq: seq, Ticket: ticket})
+}
+
+// RecordSingleWin implements chaos.Recorder.
+func (r *Recorder) RecordSingleWin(rank, tid int, ord uint64) {
+	r.add(Record{Kind: KindSingle, Rank: rank, TID: tid, Seq: ord})
+}
+
+// RecordChunk implements chaos.Recorder.
+func (r *Recorder) RecordChunk(rank, tid int, seq uint64, base, end int64) {
+	r.add(Record{Kind: KindChunk, Rank: rank, TID: tid, Seq: seq, Base: base, End: end})
+}
+
+// OrderLen returns how many of the accumulated records belong to the
+// v2 order families (collective membership, lock grants, elections,
+// chunk claims) — the decisions that pin virtual time.
+func (r *Recorder) OrderLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, rec := range r.recs {
+		if orderKind(rec.Kind) {
+			n++
+		}
+	}
+	return n
+}
+
 // snapshot returns the plan and a sorted copy of the records. Sorting
 // by (rank, tid, seq, kind) makes the serialized schedule a canonical,
 // byte-stable artifact regardless of host interleaving during the
@@ -220,15 +313,17 @@ func (r *Recorder) snapshot() (chaos.Plan, []Record) {
 // chaos.Source; lookups are read-only after construction and safe for
 // concurrent use (the forced-hit counter is atomic).
 type Schedule struct {
-	plan    chaos.Plan
-	byKey   map[key]Record
-	crashes []int
-	n       int
-	forced  atomic.Int64
+	plan        chaos.Plan
+	byKey       map[key]Record
+	crashes     []int
+	n           int
+	version     int
+	forced      atomic.Int64
+	orderForced atomic.Int64
 }
 
-func newSchedule(plan chaos.Plan, recs []Record) (*Schedule, error) {
-	s := &Schedule{plan: plan, byKey: make(map[key]Record, len(recs)), n: len(recs)}
+func newSchedule(plan chaos.Plan, version int, recs []Record) (*Schedule, error) {
+	s := &Schedule{plan: plan, version: version, byKey: make(map[key]Record, len(recs)), n: len(recs)}
 	for _, rec := range recs {
 		if rec.Kind == KindCrash {
 			s.crashes = append(s.crashes, rec.Rank)
@@ -259,10 +354,26 @@ func (s *Schedule) Crashes() []int { return append([]int(nil), s.crashes...) }
 // difference Forced() around the run.
 func (s *Schedule) Forced() int64 { return s.forced.Load() }
 
+// OrderForced returns how many of the forced decisions belonged to the
+// v2 order families (subset of Forced; same reuse caveat).
+func (s *Schedule) OrderForced() int64 { return s.orderForced.Load() }
+
+// Version returns the wire-format version the schedule was decoded
+// from (1 for streams recorded before the order families existed).
+func (s *Schedule) Version() int { return s.version }
+
+// PinsOrders implements chaos.Source: only v2+ streams carry the
+// membership/acquisition order records that make virtual time replay
+// exactly; older streams replay with the report-identity guarantee.
+func (s *Schedule) PinsOrders() bool { return s.version >= 2 }
+
 func (s *Schedule) lookup(kind string, rank, tid int, seq uint64) (Record, bool) {
 	rec, ok := s.byKey[key{kind, rank, tid, seq}]
 	if ok {
 		s.forced.Add(1)
+		if orderKind(kind) {
+			s.orderForced.Add(1)
+		}
 	}
 	return rec, ok
 }
@@ -328,4 +439,37 @@ func (s *Schedule) Poll(rank, tid int, seq uint64) (chaos.MsgID, bool) {
 		return chaos.MsgID{}, false
 	}
 	return rec.Msg(), true
+}
+
+// CollJoin implements chaos.Source.
+func (s *Schedule) CollJoin(rank, tid int, seq uint64) (chaos.CollOrder, bool) {
+	rec, ok := s.lookup(KindColl, rank, tid, seq)
+	if !ok {
+		return chaos.CollOrder{}, false
+	}
+	return rec.CollOrder(), true
+}
+
+// LockGrant implements chaos.Source.
+func (s *Schedule) LockGrant(rank, tid int, seq uint64) (uint64, bool) {
+	rec, ok := s.lookup(KindLock, rank, tid, seq)
+	if !ok {
+		return 0, false
+	}
+	return rec.Ticket, true
+}
+
+// SingleWin implements chaos.Source.
+func (s *Schedule) SingleWin(rank, tid int, ord uint64) bool {
+	_, ok := s.lookup(KindSingle, rank, tid, ord)
+	return ok
+}
+
+// Chunk implements chaos.Source.
+func (s *Schedule) Chunk(rank, tid int, seq uint64) (base, end int64, ok bool) {
+	rec, found := s.lookup(KindChunk, rank, tid, seq)
+	if !found {
+		return 0, 0, false
+	}
+	return rec.Base, rec.End, true
 }

@@ -26,6 +26,13 @@ func fullRecorder() *Recorder {
 	r.RecordPoll(1, 0, 6, chaos.MsgID{})                         // bare completion poll
 	r.RecordPoll(1, 0, 7, chaos.MsgID{Rank: 2, TID: 1, Seq: 9})
 	r.RecordCrash(0)
+	// v2 order families. Comm 0 (the world) must survive the 1-based
+	// encoding; NewComm -1 (not a Comm_dup) must stay absent.
+	r.RecordCollJoin(0, 0, 8, chaos.CollOrder{Comm: 0, Seq: 1, Ord: 1, NewComm: -1})
+	r.RecordCollJoin(2, 0, 8, chaos.CollOrder{Comm: 1, Seq: 3, Ord: 2, NewComm: 2})
+	r.RecordLockGrant(1, 1, 9, 1)
+	r.RecordSingleWin(0, 1, 4)
+	r.RecordChunk(2, 2, 1<<20, 10, 20)
 	return r
 }
 
@@ -74,6 +81,29 @@ func TestScheduleRoundTrip(t *testing.T) {
 		t.Errorf("crashes = %v", got)
 	}
 
+	// v2 order families.
+	if !s.PinsOrders() {
+		t.Error("v2 schedule does not pin orders")
+	}
+	if o, ok := s.CollJoin(0, 0, 8); !ok || o.Comm != 0 || o.Seq != 1 || o.Ord != 1 || o.NewComm != -1 {
+		t.Errorf("coll join = %+v, %v (comm 0 must survive, NewComm must decode -1)", o, ok)
+	}
+	if o, ok := s.CollJoin(2, 0, 8); !ok || o.Comm != 1 || o.Seq != 3 || o.Ord != 2 || o.NewComm != 2 {
+		t.Errorf("comm-dup join = %+v, %v", o, ok)
+	}
+	if tk, ok := s.LockGrant(1, 1, 9); !ok || tk != 1 {
+		t.Errorf("lock grant = %d, %v", tk, ok)
+	}
+	if !s.SingleWin(0, 1, 4) {
+		t.Error("single win record missing")
+	}
+	if b, e, ok := s.Chunk(2, 2, 1<<20); !ok || b != 10 || e != 20 {
+		t.Errorf("chunk = [%d,%d), %v", b, e, ok)
+	}
+	if got := s.OrderForced(); got != 5 {
+		t.Errorf("OrderForced = %d after 5 order lookups", got)
+	}
+
 	// Absent points: no fault, no failure, no match.
 	if _, ok := s.SendFault(1, 0, 99); ok {
 		t.Error("phantom send fault")
@@ -83,6 +113,12 @@ func TestScheduleRoundTrip(t *testing.T) {
 	}
 	if s.Abort(0, 0, 1) {
 		t.Error("phantom abort")
+	}
+	if s.SingleWin(3, 0, 4) {
+		t.Error("phantom single win")
+	}
+	if _, _, ok := s.Chunk(2, 2, 1<<20|1); ok {
+		t.Error("phantom chunk (claim index 1 was never recorded)")
 	}
 }
 
@@ -94,13 +130,18 @@ func TestScheduleBytesCanonical(t *testing.T) {
 
 	b := NewRecorder()
 	b.SetPlan(chaos.Plan{Seed: 7, DelayProb: 0.5, MaxDelayNs: 1000, CrashRank: 1, CrashAfterCalls: 3})
+	b.RecordChunk(2, 2, 1<<20, 10, 20)
 	b.RecordCrash(0)
+	b.RecordLockGrant(1, 1, 9, 1)
 	b.RecordPoll(1, 0, 7, chaos.MsgID{Rank: 2, TID: 1, Seq: 9})
 	b.RecordMatch(0, 1, 2, chaos.MsgID{Rank: 0, TID: 0, Seq: 1})
+	b.RecordCollJoin(2, 0, 8, chaos.CollOrder{Comm: 1, Seq: 3, Ord: 2, NewComm: 2})
 	b.RecordAbort(1, 1, 5)
 	b.RecordPoll(1, 0, 6, chaos.MsgID{})
+	b.RecordSingleWin(0, 1, 4)
 	b.RecordFail(0, 0, 3, 0)
 	b.RecordRMADelay(2, 1, 4, 77)
+	b.RecordCollJoin(0, 0, 8, chaos.CollOrder{Comm: 0, Seq: 1, Ord: 1, NewComm: -1})
 	b.RecordStall(0, 1, 1, chaos.Stall{VirtualNs: 500, Wall: time.Millisecond})
 	b.RecordSend(1, 0, 2, chaos.SendFault{DelayNs: 40, Reorder: true, Retries: 2, BackoffNs: 10, JitterWall: 3 * time.Millisecond})
 
@@ -130,13 +171,28 @@ func TestReadTruncatedSalvagesPrefix(t *testing.T) {
 	if te.Records != s.Len() {
 		t.Errorf("TruncatedError.Records = %d, schedule has %d", te.Records, s.Len())
 	}
-	if s.Len() != 8 { // 9 records, last one cut
-		t.Errorf("salvaged %d records, want 8", s.Len())
+	if s.Len() != 13 { // 14 records, the trailing chunk record cut
+		t.Errorf("salvaged %d records, want 13", s.Len())
 	}
 	// The salvaged prefix still replays: canonical order puts
 	// (rank 0, tid 1, seq 1) first.
 	if st, ok := s.Stall(0, 1, 1); !ok || st.VirtualNs != 500 {
 		t.Errorf("salvaged stall = %+v, %v", st, ok)
+	}
+	// Order records inside the salvaged prefix still force, and the
+	// salvaged stream still reports the v2 guarantee.
+	if !s.PinsOrders() {
+		t.Error("salvaged v2 prefix does not pin orders")
+	}
+	if o, ok := s.CollJoin(0, 0, 8); !ok || o.Ord != 1 {
+		t.Errorf("salvaged coll join = %+v, %v", o, ok)
+	}
+	if tk, ok := s.LockGrant(1, 1, 9); !ok || tk != 1 {
+		t.Errorf("salvaged lock grant = %d, %v", tk, ok)
+	}
+	// The cut record is absent — meaningful absence, not an error.
+	if _, _, ok := s.Chunk(2, 2, 1<<20); ok {
+		t.Error("cut chunk record resurfaced")
 	}
 }
 
@@ -199,7 +255,61 @@ func TestWriteStreams(t *testing.T) {
 	if err != nil && err != io.EOF {
 		t.Fatal(err)
 	}
-	if !strings.Contains(line, `"format":"home-sched"`) || !strings.Contains(line, `"version":1`) {
+	if !strings.Contains(line, `"format":"home-sched"`) || !strings.Contains(line, `"version":2`) {
 		t.Errorf("header line = %s", line)
+	}
+}
+
+// TestV1StreamStillReplays pins backward compatibility: a v2 reader
+// accepts a v1 stream without error, replays its decisions, and
+// reports the v1 guarantee (orders not pinned) so the substrates use
+// the legacy resolution paths.
+func TestV1StreamStillReplays(t *testing.T) {
+	v1 := `{"format":"home-sched","version":1,"plan":{"Seed":7,"DelayProb":0,"MaxDelayNs":0,"ReorderProb":0,"SendFailProb":0,"MaxRetries":0,"RetryBackoffNs":0,"JitterProb":0,"JitterWall":0,"CrashRank":1,"CrashAfterCalls":3,"StallProb":0,"StallNs":0,"StallWall":0,"RMAProb":0,"MaxRMADelayNs":0}}
+{"k":"crash","r":1}
+{"k":"fail","r":0,"t":0,"q":3,"dead":2}
+{"k":"match","r":0,"t":1,"q":2,"src":1,"stid":1,"sseq":1}
+{"k":"abort","r":1,"t":1,"q":5}
+`
+	s, err := Read(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 stream rejected: %v", err)
+	}
+	if s.Version() != 1 {
+		t.Errorf("Version = %d, want 1", s.Version())
+	}
+	if s.PinsOrders() {
+		t.Error("v1 stream claims to pin orders")
+	}
+	if dead, ok := s.Fail(0, 0, 3); !ok || dead != 1 {
+		t.Errorf("v1 fail = %d, %v", dead, ok)
+	}
+	if m, ok := s.Match(0, 1, 2); !ok || (m != chaos.MsgID{Rank: 0, TID: 0, Seq: 1}) {
+		t.Errorf("v1 match = %+v, %v", m, ok)
+	}
+	if !s.Abort(1, 1, 5) {
+		t.Error("v1 abort record missing")
+	}
+	if got := s.Crashes(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("v1 crashes = %v", got)
+	}
+	// Order lookups on a v1 stream are always absent.
+	if _, ok := s.CollJoin(0, 0, 3); ok {
+		t.Error("phantom coll join on v1 stream")
+	}
+	if got := s.OrderForced(); got != 0 {
+		t.Errorf("OrderForced = %d on a v1 stream", got)
+	}
+}
+
+// TestRecorderOrderLen pins the order-record counter used by the
+// sched.order_records stat.
+func TestRecorderOrderLen(t *testing.T) {
+	rec := fullRecorder()
+	if got := rec.OrderLen(); got != 5 {
+		t.Errorf("OrderLen = %d, want 5 (2 coll + lock + single + chunk)", got)
+	}
+	if got := NewRecorder().OrderLen(); got != 0 {
+		t.Errorf("empty OrderLen = %d", got)
 	}
 }
