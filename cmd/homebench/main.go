@@ -12,10 +12,22 @@
 //	homebench -exp fig7 -class C      # heavier workload
 //	homebench -exp chaos              # fault-injection soak (docs/ROBUSTNESS.md)
 //	homebench -exp table1 -json out.json   # machine-readable results
+//	homebench -baseline BENCH_NPB.json     # write a fresh perf baseline
+//	homebench -compare BENCH_NPB.json      # gate against the committed baseline
+//	homebench -exp chaos -corpus soak.jsonl  # export the soak's run corpus
 //
 // With -json, the experiments that ran are also written to the given
 // file as one JSON document, and every HOME run carries its runtime
-// statistics (see docs/OBSERVABILITY.md).
+// statistics and the uniform per-run shape (makespan, events,
+// per-rank coverage, phase spans; see docs/OBSERVABILITY.md).
+//
+// -baseline/-compare implement the perf-baseline workflow: -baseline
+// measures the NPB matrix and writes a schema-versioned baseline
+// file; -compare re-measures under the baseline's own header config
+// and exits non-zero if any gated (virtual, deterministic) metric
+// drifts beyond -tolerance. Wall-clock metrics are advisory only.
+// -corpus writes one labeled (stats, coverage) line per chaos-soak
+// run; render it with `hometrace report`.
 package main
 
 import (
@@ -43,15 +55,20 @@ type output struct {
 	Scalability []harness.ScalePoint    `json:"scalability,omitempty"`
 	Ablation    []harness.AblationPoint `json:"ablation,omitempty"`
 	Chaos       *harness.ChaosReport    `json:"chaos,omitempty"`
+	Bench       *harness.BenchBaseline  `json:"bench,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig4, fig5, fig6, fig7, ablation, scale, chaos")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig4, fig5, fig6, fig7, ablation, scale, chaos, bench")
 	class := flag.String("class", "A", "workload class: S, W, A, B, C")
 	seed := flag.Int64("seed", 3, "simulation seed")
 	procsFlag := flag.String("procs", "2,4,8,16,32,64", "comma-separated process counts for the figures")
 	threads := flag.Int("threads", 2, "OpenMP threads per rank")
 	jsonOut := flag.String("json", "", "also write machine-readable results (with per-run stats) to this file")
+	baseline := flag.String("baseline", "", "measure the NPB bench matrix and write a perf baseline to this file")
+	compare := flag.String("compare", "", "re-measure under this baseline's header config and fail on gated-metric drift")
+	tolerance := flag.Float64("tolerance", 0.02, "relative tolerance for -compare gated metrics")
+	corpus := flag.String("corpus", "", "with -exp chaos: write one labeled (stats, coverage) JSONL line per soak run to this file")
 	flag.Parse()
 
 	var procs []int
@@ -68,14 +85,20 @@ func main() {
 		Seed:         *seed,
 		Procs:        procs,
 		Threads:      *threads,
-		CollectStats: *jsonOut != "",
+		CollectStats: *jsonOut != "" || *corpus != "",
 	}
 	out := output{Class: *class, Seed: *seed, Threads: *threads, Procs: procs}
 
+	// -baseline/-compare imply the bench experiment: `homebench
+	// -compare BENCH_NPB.json` is the whole CI gate invocation.
+	if *exp == "all" && (*baseline != "" || *compare != "") {
+		*exp = "bench"
+	}
+
 	run := func(name string, f func() error) {
-		// "scale" goes past 64 ranks and "chaos" injects faults; both
-		// are opt-in.
-		if *exp != name && (*exp != "all" || name == "scale" || name == "chaos") {
+		// "scale" goes past 64 ranks, "chaos" injects faults, and
+		// "bench" measures its own canonical matrix; all are opt-in.
+		if *exp != name && (*exp != "all" || name == "scale" || name == "chaos" || name == "bench") {
 			return
 		}
 		if err := f(); err != nil {
@@ -149,9 +172,51 @@ func main() {
 		fmt.Println("== Chaos soak: seeded fault plans over the violation corpus ==")
 		fmt.Print(harness.RenderChaos(rep))
 		fmt.Println()
+		if *corpus != "" {
+			if err := harness.WriteCorpusFile(*corpus, rep.CorpusRuns()); err != nil {
+				return err
+			}
+			fmt.Printf("corpus: %d runs written to %s (render with `hometrace report`)\n\n", len(rep.Outcomes), *corpus)
+		}
 		if !rep.OK() {
 			return fmt.Errorf("chaos contract failed (%d violations)", len(rep.Failures))
 		}
+		return nil
+	})
+	run("bench", func() error {
+		// The bench matrix is fixed by DefaultBenchConfig (or, with
+		// -compare, by the baseline's own header) so the committed
+		// artifact is reproducible regardless of the figure flags.
+		benchCfg := harness.DefaultBenchConfig()
+		var base *harness.BenchBaseline
+		if *compare != "" {
+			var err error
+			base, err = harness.ReadBenchFile(*compare)
+			if err != nil {
+				return err
+			}
+			benchCfg = base.BenchConfig()
+		}
+		fresh, err := harness.RunBench(benchCfg)
+		if err != nil {
+			return err
+		}
+		out.Bench = fresh
+		fmt.Println("== NPB perf bench ==")
+		fmt.Print(harness.RenderBench(fresh))
+		if *baseline != "" {
+			if err := harness.WriteBenchFile(*baseline, fresh); err != nil {
+				return err
+			}
+			fmt.Printf("baseline written to %s\n", *baseline)
+		}
+		if base != nil {
+			if fails := harness.CompareBench(base, fresh, *tolerance); len(fails) != 0 {
+				return fmt.Errorf("perf regression vs %s:\n  %s", *compare, strings.Join(fails, "\n  "))
+			}
+			fmt.Printf("gated metrics within %.1f%% of %s\n", 100**tolerance, *compare)
+		}
+		fmt.Println()
 		return nil
 	})
 	run("ablation", func() error {

@@ -10,6 +10,7 @@
 //	hometrace replay [-procs N] [-threads N] [-seed S] sched.jsonl program.c
 //	hometrace timeline [-o out.json] trace.jsonl
 //	hometrace timeline [-procs N] [-threads N] [-seed S] [-o out.json] sched.jsonl program.c
+//	hometrace report [-format md|json] corpus.jsonl
 //
 // record executes the program with HOME's instrumentation and writes
 // the event stream as newline-delimited JSON; -spans additionally
@@ -24,7 +25,10 @@
 // thread) in virtual time — from a recorded event trace or by
 // replaying a recorded fault schedule — with causal-witness markers
 // overlaid on every verdict site; open the output in chrome://tracing
-// or ui.perfetto.dev (see docs/OBSERVABILITY.md).
+// or ui.perfetto.dev (see docs/OBSERVABILITY.md). report aggregates a
+// run corpus written by homebench -corpus into a per-(program, plan,
+// verdict) fleet report with merged stats and corpus-wide
+// schedule-space coverage, as markdown or JSON.
 package main
 
 import (

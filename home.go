@@ -305,7 +305,8 @@ type Report struct {
 	DeadRanks []int
 	// RankCoverage summarizes, per rank, how much execution the
 	// analyses observed (instrumentation events) and whether the rank
-	// failed.
+	// failed. Filled for every run — not only partial ones — so
+	// cross-run aggregation needs no special cases.
 	RankCoverage []RankCoverage
 
 	// Stats is the run's observability snapshot (nil unless
@@ -320,9 +321,9 @@ type Report struct {
 // instrumentation events the analyses saw from it and whether it
 // crash-stopped (making its coverage a prefix).
 type RankCoverage struct {
-	Rank   int
-	Events int
-	Failed bool
+	Rank   int  `json:"rank"`
+	Events int  `json:"events"`
+	Failed bool `json:"failed,omitempty"`
 }
 
 // ParseError wraps a front-end parse failure. Its string form keeps
@@ -481,13 +482,15 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 		report.Witnesses = explain.Extract(events, rep, violations)
 		report.Trace = events
 	}
+	// Every report carries per-rank coverage — uniform shape whether or
+	// not ranks died — so fleet aggregation never special-cases.
+	report.RankCoverage = rankCoverage(opts.Procs, events, run.DeadRanks)
 	if len(run.DeadRanks) > 0 {
 		// Graceful degradation: a crash-stopped rank truncates its own
 		// event stream, but the analyses are prefix-closed, so the
 		// report stands — flagged partial, with per-rank coverage.
 		report.Partial = true
 		report.DeadRanks = run.DeadRanks
-		report.RankCoverage = rankCoverage(opts.Procs, events, run.DeadRanks)
 		opts.Stats.Counter("home.partial_reports").Inc()
 	}
 	if opts.Stats != nil {

@@ -17,6 +17,7 @@ import (
 	"home/internal/cfg"
 	"home/internal/detect"
 	"home/internal/explain"
+	"home/internal/harness"
 	"home/internal/interp"
 	"home/internal/minic"
 	"home/internal/obs"
@@ -71,6 +72,7 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 	explainJSON := fs.Bool("explain-json", false, "print the causal witnesses as a JSON array")
 	msgRaces := fs.Bool("msgrace", false, "also run the cross-rank message-race extension analysis")
 	stats := fs.Bool("stats", false, "print the run's observability counters (see docs/OBSERVABILITY.md)")
+	hotspots := fs.Bool("hotspots", false, "print the phase/hot-counter profile table (see docs/OBSERVABILITY.md)")
 	spansOut := fs.String("spans", "", "write pipeline phase spans as Chrome trace_event JSON to this file")
 	chaosSpec := fs.String("chaos", "", "inject faults from a chaos plan, e.g. seed=3 or seed=3,crash=1@5 (see docs/ROBUSTNESS.md)")
 	graceMs := fs.Int64("watchdog-grace-ms", 0, "deadlock watchdog grace window under transient stalls (0 = default)")
@@ -106,10 +108,10 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 	}
 	opts.Mode = m
 	opts.Explain = *explainFlag || *explainJSON
-	if *stats {
+	if *stats || *hotspots {
 		opts.Stats = home.NewStatsRegistry()
 	}
-	if *spansOut != "" {
+	if *spansOut != "" || *hotspots {
 		opts.Profile = home.NewProfile()
 	}
 	if *chaosSpec != "" {
@@ -227,9 +229,16 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprint(stdout, w.String())
 		}
 	}
-	if rep.Stats != nil {
+	if *stats && rep.Stats != nil {
 		fmt.Fprintln(stdout, "runtime stats:")
 		for _, line := range strings.Split(strings.TrimRight(rep.Stats.String(), "\n"), "\n") {
+			fmt.Fprintln(stdout, "  "+line)
+		}
+	}
+	if *hotspots && rep.Stats != nil {
+		hs := obs.BuildHotspots(rep.Spans, *rep.Stats)
+		fmt.Fprintln(stdout, "hotspot profile:")
+		for _, line := range strings.Split(strings.TrimRight(hs.String(), "\n"), "\n") {
 			fmt.Fprintln(stdout, "  "+line)
 		}
 	}
@@ -369,7 +378,8 @@ func HomeFmt(args []string, stdout, stderr io.Writer) int {
 	return status
 }
 
-// HomeTrace implements the hometrace command (record/analyze/replay).
+// HomeTrace implements the hometrace command
+// (record/analyze/replay/timeline/report).
 func HomeTrace(args []string, stdout, stderr io.Writer) int {
 	if len(args) < 1 {
 		traceUsage(stderr)
@@ -384,6 +394,8 @@ func HomeTrace(args []string, stdout, stderr io.Writer) int {
 		return traceReplay(args[1:], stdout, stderr)
 	case "timeline":
 		return traceTimeline(args[1:], stdout, stderr)
+	case "report":
+		return traceReport(args[1:], stdout, stderr)
 	}
 	traceUsage(stderr)
 	return 2
@@ -396,6 +408,7 @@ func traceUsage(stderr io.Writer) {
   hometrace replay [-procs N] [-threads N] [-seed S] [-mode M] sched.jsonl program.c
   hometrace timeline [-procs N] [-threads N] [-seed S] [-o out.json] trace.jsonl
   hometrace timeline [-procs N] [-threads N] [-seed S] [-o out.json] sched.jsonl program.c
+  hometrace report [-format md|json] corpus.jsonl
 
 replay re-checks the program while forcing the fault schedule recorded
 by homecheck -record-sched; pass the same -procs/-threads/-seed as the
@@ -408,7 +421,49 @@ timeline renders a per-(rank,thread) virtual-time timeline as Chrome
 trace_event JSON (open in chrome://tracing or ui.perfetto.dev), with
 causal-witness markers overlaid on every verdict site. The one-argument
 form analyzes a recorded event trace; the two-argument form replays a
-recorded fault schedule through the full checker first.`)
+recorded fault schedule through the full checker first.
+
+report aggregates a run corpus (homebench -exp chaos -corpus out.jsonl)
+into a fleet report: per-(program, plan, verdict) cells with merged
+stats, plus corpus-wide schedule-space coverage. -format md renders
+markdown; -format json emits the FleetReport document.`)
+}
+
+// traceReport renders a run-corpus JSONL file (written by homebench
+// -corpus) as a fleet report. Exit codes: 0 rendered, 2 errors.
+func traceReport(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "md", "output format: md or json")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		traceUsage(stderr)
+		return 2
+	}
+	runs, err := harness.ReadCorpusFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "hometrace:", err)
+		return 2
+	}
+	fleet := harness.BuildFleet(runs)
+	switch *format {
+	case "md":
+		fmt.Fprint(stdout, fleet.Markdown())
+	case "json":
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fleet); err != nil {
+			fmt.Fprintln(stderr, "hometrace:", err)
+			return 2
+		}
+	default:
+		fmt.Fprintf(stderr, "hometrace: unknown -format %q\n", *format)
+		return 2
+	}
+	fmt.Fprintf(stderr, "fleet report: %d runs in %d cells\n", fleet.Runs, len(fleet.Cells))
+	return 0
 }
 
 // traceTimeline renders a run as per-lane Chrome trace_event JSON with

@@ -1,0 +1,114 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestHomeCheckHotspots covers the -hotspots block: it renders the
+// phase table and the curated hot counters, it works without -stats
+// (collecting stats internally without dumping the raw inventory), and
+// it never changes the exit discipline.
+func TestHomeCheckHotspots(t *testing.T) {
+	src := writeTemp(t, "buggy.c", buggySrc)
+	var out, errb bytes.Buffer
+	code := HomeCheck([]string{"-hotspots", src}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (violations)\nstderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "hotspot profile:") {
+		t.Fatalf("no hotspot block in output:\n%s", s)
+	}
+	for _, want := range []string{"phase", "analyze", "execute", "detect.vc_comparisons", "detect.vc_joins", "per event"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("hotspot block missing %q:\n%s", want, s)
+		}
+	}
+	// -hotspots alone must not dump the raw stats inventory; both
+	// blocks appear when both flags are given.
+	if strings.Contains(s, "runtime stats:") {
+		t.Error("raw stats block printed without -stats")
+	}
+	out.Reset()
+	if code := HomeCheck([]string{"-stats", "-hotspots", src}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d with both flags", code)
+	}
+	if !strings.Contains(out.String(), "runtime stats:") || !strings.Contains(out.String(), "hotspot profile:") {
+		t.Errorf("-stats -hotspots should print both blocks:\n%s", out.String())
+	}
+}
+
+// fleetCorpus is the frozen 60-run soak corpus committed for the
+// harness golden test; the CLI test reuses it so `hometrace report`
+// is exercised over a realistic input without a live soak.
+var fleetCorpus = filepath.Join("..", "harness", "testdata", "fleet-corpus.jsonl")
+
+func TestHomeTraceReportMarkdown(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := HomeTrace([]string{"report", fleetCorpus}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"# Fleet report", "## Schedule-space coverage", "| program |", "detect.events"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("markdown report missing %q", want)
+		}
+	}
+	if !strings.Contains(errb.String(), "fleet report: 60 runs") {
+		t.Errorf("stderr summary = %q", errb.String())
+	}
+}
+
+func TestHomeTraceReportJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := HomeTrace([]string{"report", "-format", "json", fleetCorpus}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb.String())
+	}
+	var fleet struct {
+		Runs  int `json:"runs"`
+		Cells []struct {
+			Label struct {
+				Program string `json:"program"`
+				Verdict string `json:"verdict"`
+			} `json:"label"`
+			Runs int `json:"runs"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &fleet); err != nil {
+		t.Fatalf("report -format json is not valid JSON: %v", err)
+	}
+	if fleet.Runs != 60 || len(fleet.Cells) == 0 {
+		t.Fatalf("fleet document: runs = %d, cells = %d", fleet.Runs, len(fleet.Cells))
+	}
+	for _, c := range fleet.Cells {
+		if c.Label.Program == "" || c.Label.Verdict == "" || c.Runs == 0 {
+			t.Fatalf("incomplete cell: %+v", c)
+		}
+	}
+}
+
+func TestHomeTraceReportErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"missing file", []string{"report", "/nonexistent/corpus.jsonl"}},
+		{"bad format", []string{"report", "-format", "xml", fleetCorpus}},
+		{"no arguments", []string{"report"}},
+		{"not a corpus", []string{"report", filepath.Join("..", "harness", "testdata", "fleet-report.golden")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := HomeTrace(tc.args, &out, &errb); code != 2 {
+				t.Fatalf("exit = %d, want 2\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+			}
+		})
+	}
+}

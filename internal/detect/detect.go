@@ -229,13 +229,21 @@ type analyzer struct {
 //
 //	detect.events             events consumed by the analyses
 //	detect.vc_comparisons     FastTrack epoch-vs-clock tests performed
+//	detect.vc_joins           full-width vector-clock joins performed
+//	detect.vc_width           vector-clock component high-water mark (gauge)
 //	detect.lockset_size       lockset size per access (histogram)
 //	detect.lockset_candidates access pairs the lockset analysis flagged
 //	detect.hb_candidates      access pairs happens-before found concurrent
 //	detect.confirmed_races    pairs the configured mode reported
+//
+// vc_comparisons are O(1) epoch tests; vc_joins are the O(width)
+// operations — the detector's true vector-clock hot path, which is
+// why the hotspot profile reports both.
 type analyzerStats struct {
 	events      *obs.Counter
 	vcCompares  *obs.Counter
+	vcJoins     *obs.Counter
+	vcWidth     *obs.Gauge
 	locksetSize *obs.Histogram
 	lsCandid    *obs.Counter
 	hbCandid    *obs.Counter
@@ -246,6 +254,8 @@ func newAnalyzerStats(reg *obs.Registry) analyzerStats {
 	return analyzerStats{
 		events:      reg.Counter("detect.events"),
 		vcCompares:  reg.Counter("detect.vc_comparisons"),
+		vcJoins:     reg.Counter("detect.vc_joins"),
+		vcWidth:     reg.Gauge("detect.vc_width"),
 		locksetSize: reg.Histogram("detect.lockset_size"),
 		lsCandid:    reg.Counter("detect.lockset_candidates"),
 		hbCandid:    reg.Counter("detect.hb_candidates"),
@@ -363,7 +373,7 @@ func (a *analyzer) step(e trace.Event) {
 		a.forkClocks[e.Sync] = st.clock.Copy()
 	case trace.OpBegin:
 		if fc, ok := a.forkClocks[e.Sync]; ok {
-			st.clock.Join(fc)
+			a.join(st.clock, fc)
 		}
 	case trace.OpEnd:
 		acc, ok := a.joinAccs[e.Sync]
@@ -371,17 +381,17 @@ func (a *analyzer) step(e trace.Event) {
 			acc = vclock.New()
 			a.joinAccs[e.Sync] = acc
 		}
-		acc.Join(st.clock)
+		a.join(acc, st.clock)
 	case trace.OpJoin:
 		if acc, ok := a.joinAccs[e.Sync]; ok {
-			st.clock.Join(acc)
+			a.join(st.clock, acc)
 		}
 	case trace.OpBarrier:
 		a.barrier(e.Sync, gid, st)
 	case trace.OpAcquire:
 		if !a.opts.IgnoreLocks {
 			if lc, ok := a.lockClocks[e.Lock.Name]; ok {
-				st.clock.Join(lc)
+				a.join(st.clock, lc)
 			}
 			st.locks[e.Lock.Name] = struct{}{}
 		}
@@ -399,6 +409,15 @@ func (a *analyzer) step(e trace.Event) {
 	st.clock.Tick(gid)
 }
 
+// join performs a full-width O(width) clock join — the analyzer's
+// vector-clock hot path — counting it and tracking the width
+// high-water mark for the hotspot profile.
+func (a *analyzer) join(dst, src vclock.VC) {
+	dst.Join(src)
+	a.st.vcJoins.Inc()
+	a.st.vcWidth.Observe(int64(len(dst)))
+}
+
 // barrier accumulates one arrival; the last arrival merges every
 // participant's clock into all of them (everything before the barrier
 // happens-before everything after it).
@@ -408,11 +427,11 @@ func (a *analyzer) barrier(s trace.SyncID, gid vclock.TID, st *threadState) {
 		merge = vclock.New()
 		a.barrierMerge[s] = merge
 	}
-	merge.Join(st.clock)
+	a.join(merge, st.clock)
 	a.barrierArrived[s] = append(a.barrierArrived[s], gid)
 	if len(a.barrierArrived[s]) >= a.barrierExpect[s] {
 		for _, g := range a.barrierArrived[s] {
-			a.threads[g].clock.Join(merge)
+			a.join(a.threads[g].clock, merge)
 		}
 		delete(a.barrierArrived, s)
 		delete(a.barrierMerge, s)

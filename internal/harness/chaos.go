@@ -21,6 +21,7 @@ import (
 	"home/internal/chaos"
 	"home/internal/faults"
 	"home/internal/minic"
+	"home/internal/sched"
 	"home/internal/spec"
 )
 
@@ -48,17 +49,40 @@ type ChaosOutcome struct {
 	// Partial/DeadRanks mirror the report fields on crash plans.
 	Partial   bool  `json:"partial"`
 	DeadRanks []int `json:"deadRanks,omitempty"`
-	// RankCoverage carries the report's per-rank coverage on partial
-	// reports: how many events the analyses observed per rank and
-	// which ranks failed. EventsAnalyzed is the run's total, so the
-	// coverage entries sum to it.
-	RankCoverage   []home.RankCoverage `json:"rankCoverage,omitempty"`
-	EventsAnalyzed int                 `json:"eventsAnalyzed,omitempty"`
+	// Run is the uniform per-run shape: makespan, events analyzed,
+	// per-rank coverage (every run, not only partial ones) and phase
+	// spans when stats collection is on.
+	Run *RunMeta `json:"run,omitempty"`
+	// Coverage is the run's schedule-space coverage, computed from the
+	// realized schedule recorded alongside the run.
+	Coverage *sched.Coverage `json:"coverage,omitempty"`
+	// Stats is the run's observability snapshot when
+	// Config.CollectStats is set.
+	Stats *home.StatsSnapshot `json:"stats,omitempty"`
 	// SchedulePath is the dumped realized-schedule artifact of a
 	// diverged legal plan (replayable; "" when the verdict was stable).
 	SchedulePath string `json:"schedulePath,omitempty"`
 	// Err is the run's error string, if any ("" on success).
 	Err string `json:"err,omitempty"`
+}
+
+// Verdict classifies the outcome for corpus labeling: "error",
+// "diverged", "partial" (crash plan, graceful degradation), "stable"
+// (legal plan, signature matched) or "full" (crash plan that somehow
+// completed — itself a contract violation the soak flags).
+func (o ChaosOutcome) Verdict() string {
+	switch {
+	case o.Err != "":
+		return "error"
+	case o.LegalOnly && o.Stable:
+		return "stable"
+	case o.LegalOnly:
+		return "diverged"
+	case o.Partial:
+		return "partial"
+	default:
+		return "full"
+	}
 }
 
 // ChaosReport aggregates a soak sweep.
@@ -74,6 +98,9 @@ type ChaosReport struct {
 	// Failures lists contract violations (divergent signatures,
 	// missing partial metadata, unexpected errors).
 	Failures []string `json:"failures,omitempty"`
+	// Coverage is the sweep's merged schedule-space coverage — the
+	// union of every outcome's distinct scheduling decisions.
+	Coverage sched.Coverage `json:"coverage"`
 }
 
 // OK reports whether the sweep satisfied the robustness contract.
@@ -136,6 +163,8 @@ func ChaosSoak(cfg Config, seeds []int64) (*ChaosReport, error) {
 			out := ChaosOutcome{Kind: kind, Plan: plan.String(), LegalOnly: true}
 			opts := cfg.homeOptions(cfg.TableProcs)
 			opts.Chaos = plan
+			rec := sched.NewRecorder()
+			opts.RecordSchedule = rec
 			rep, err := home.CheckProgram(prog, opts)
 			if err != nil {
 				out.Err = err.Error()
@@ -144,6 +173,11 @@ func ChaosSoak(cfg Config, seeds []int64) (*ChaosReport, error) {
 			} else {
 				out.Signature = violationSignature(rep)
 				out.Stable = sameSignature(out.Signature, baseline)
+				out.Run = runMeta(rep)
+				out.Stats = rep.Stats
+				cov := rec.Coverage()
+				out.Coverage = &cov
+				report.Coverage = report.Coverage.Merge(cov)
 				if !out.Stable {
 					report.Unstable++
 					report.Failures = append(report.Failures,
@@ -173,6 +207,8 @@ func ChaosSoak(cfg Config, seeds []int64) (*ChaosReport, error) {
 			out := ChaosOutcome{Kind: kind, Plan: plan.String()}
 			opts := cfg.homeOptions(cfg.TableProcs)
 			opts.Chaos = plan
+			rec := sched.NewRecorder()
+			opts.RecordSchedule = rec
 			rep, err := home.CheckProgram(prog, opts)
 			if err != nil {
 				out.Err = err.Error()
@@ -182,8 +218,11 @@ func ChaosSoak(cfg Config, seeds []int64) (*ChaosReport, error) {
 				out.Signature = violationSignature(rep)
 				out.Partial = rep.Partial
 				out.DeadRanks = rep.DeadRanks
-				out.RankCoverage = rep.RankCoverage
-				out.EventsAnalyzed = rep.EventsAnalyzed
+				out.Run = runMeta(rep)
+				out.Stats = rep.Stats
+				cov := rec.Coverage()
+				out.Coverage = &cov
+				report.Coverage = report.Coverage.Merge(cov)
 				if !rep.Partial {
 					report.Failures = append(report.Failures,
 						fmt.Sprintf("%v crash plan %s: report not marked partial", kind, plan))
@@ -237,6 +276,9 @@ func RenderChaos(r *ChaosReport) string {
 	}
 	fmt.Fprintf(&b, "  legal-perturbation plans: %d (%d unstable)\n", legal, r.Unstable)
 	fmt.Fprintf(&b, "  crash-stop plans:         %d\n", crash)
+	cc := r.Coverage.Counts()
+	fmt.Fprintf(&b, "  schedule coverage:        %d matches, %d collectives, %d lock orders, %d crash points\n",
+		cc.Matches, cc.Collectives, cc.LockOrders, cc.CrashPoints)
 	if r.OK() {
 		b.WriteString("  contract: OK — verdicts stable, crashes degraded gracefully\n")
 	} else {

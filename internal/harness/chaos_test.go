@@ -51,7 +51,19 @@ func TestChaosSoakDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ra, rb := RenderChaos(a), RenderChaos(b)
+	// Schedule-space coverage measures the *realized* interleaving,
+	// which is host-schedule-dependent by design — strip its render
+	// line before comparing; the verdict contract is what must hold.
+	stripCoverage := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.Contains(line, "schedule coverage:") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	ra, rb := stripCoverage(RenderChaos(a)), stripCoverage(RenderChaos(b))
 	if ra != rb {
 		t.Fatalf("soak not deterministic:\n--- first\n%s\n--- second\n%s", ra, rb)
 	}
@@ -69,12 +81,12 @@ func TestChaosSoakDeterministic(t *testing.T) {
 	}
 }
 
-// TestChaosOutcomeRankCoverageJSON pins the homebench -json surface:
-// crash-plan soak outcomes carry the report's per-rank coverage, the
-// rankCoverage field survives JSON marshalling (homebench serializes
-// ChaosReport verbatim), and the per-rank event counts sum to the
-// run's EventsAnalyzed.
-func TestChaosOutcomeRankCoverageJSON(t *testing.T) {
+// TestChaosOutcomeRunMetaJSON pins the homebench -json surface: every
+// soak outcome — legal and crash alike — carries the uniform RunMeta
+// shape (makespan, events, per-rank coverage), the run field survives
+// JSON marshalling (homebench serializes ChaosReport verbatim), and
+// the per-rank event counts sum to the run's EventsAnalyzed.
+func TestChaosOutcomeRunMetaJSON(t *testing.T) {
 	cfg := Config{}.withDefaults()
 	rep, err := ChaosSoak(Config{}, []int64{3, 5})
 	if err != nil {
@@ -82,29 +94,39 @@ func TestChaosOutcomeRankCoverageJSON(t *testing.T) {
 	}
 	crashOutcomes := 0
 	for _, out := range rep.Outcomes {
-		if out.LegalOnly {
-			if out.RankCoverage != nil {
-				t.Errorf("legal plan %s carries coverage", out.Plan)
-			}
+		if !out.LegalOnly {
+			crashOutcomes++
+		}
+		if out.Run == nil {
+			t.Errorf("plan %s (kind %v): no RunMeta", out.Plan, out.Kind)
 			continue
 		}
-		crashOutcomes++
-		if len(out.RankCoverage) != cfg.TableProcs {
-			t.Errorf("crash plan %s (kind %v): coverage has %d entries, want %d",
-				out.Plan, out.Kind, len(out.RankCoverage), cfg.TableProcs)
+		if len(out.Run.RankCoverage) != cfg.TableProcs {
+			t.Errorf("plan %s (kind %v): coverage has %d entries, want %d",
+				out.Plan, out.Kind, len(out.Run.RankCoverage), cfg.TableProcs)
 			continue
 		}
 		sum := 0
-		for _, c := range out.RankCoverage {
+		for _, c := range out.Run.RankCoverage {
 			sum += c.Events
 		}
-		if sum != out.EventsAnalyzed {
-			t.Errorf("crash plan %s (kind %v): coverage sums to %d, EventsAnalyzed = %d",
-				out.Plan, out.Kind, sum, out.EventsAnalyzed)
+		if sum != out.Run.EventsAnalyzed {
+			t.Errorf("plan %s (kind %v): coverage sums to %d, EventsAnalyzed = %d",
+				out.Plan, out.Kind, sum, out.Run.EventsAnalyzed)
+		}
+		if out.Run.MakespanNs <= 0 {
+			t.Errorf("plan %s (kind %v): makespan %d, want > 0", out.Plan, out.Kind, out.Run.MakespanNs)
+		}
+		if out.Coverage == nil {
+			t.Errorf("plan %s (kind %v): no schedule coverage", out.Plan, out.Kind)
 		}
 	}
 	if crashOutcomes == 0 {
 		t.Fatal("sweep produced no crash outcomes")
+	}
+	// Crash plans must contribute crash points to the merged coverage.
+	if len(rep.Coverage.CrashPoints) == 0 {
+		t.Error("merged coverage has no crash points despite crash plans")
 	}
 
 	// The JSON document homebench writes must expose the field.
@@ -119,15 +141,17 @@ func TestChaosOutcomeRankCoverageJSON(t *testing.T) {
 	// round-trip just the outcomes to check the coverage payload.
 	var back struct {
 		Outcomes []struct {
-			RankCoverage []home.RankCoverage `json:"rankCoverage"`
+			Run *struct {
+				RankCoverage []home.RankCoverage `json:"rankCoverage"`
+			} `json:"run"`
 		} `json:"outcomes"`
 	}
 	if err := json.Unmarshal(blob, &back); err != nil {
 		t.Fatal(err)
 	}
 	for i, out := range back.Outcomes {
-		if len(out.RankCoverage) != len(rep.Outcomes[i].RankCoverage) {
-			t.Fatalf("outcome %d coverage did not round-trip JSON", i)
+		if out.Run == nil || len(out.Run.RankCoverage) != len(rep.Outcomes[i].Run.RankCoverage) {
+			t.Fatalf("outcome %d RunMeta did not round-trip JSON", i)
 		}
 	}
 }

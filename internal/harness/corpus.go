@@ -1,0 +1,210 @@
+package harness
+
+// Corpus export and fleet reporting. A multi-run harness emits one
+// CorpusRun per run — a labeled stats snapshot plus schedule-space
+// coverage — as a versioned JSONL stream (`homebench -corpus`), and
+// `hometrace report` folds such a stream into a single fleet view:
+// per-cell merged stats and the corpus-wide coverage union.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"home"
+	"home/internal/obs"
+	"home/internal/sched"
+)
+
+// Corpus wire format: one header line, then one CorpusRun per line.
+const (
+	CorpusFormat  = "home-corpus"
+	CorpusVersion = 1
+)
+
+type corpusHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+}
+
+// CorpusRun is one run's contribution to a corpus: its label, its
+// stats snapshot and its schedule-space coverage.
+type CorpusRun struct {
+	Label    obs.Label           `json:"label"`
+	Stats    *home.StatsSnapshot `json:"stats,omitempty"`
+	Coverage *sched.Coverage     `json:"coverage,omitempty"`
+}
+
+// CorpusRuns flattens a soak sweep into corpus runs, one per outcome,
+// labeled (corpus program kind, plan spec, verdict).
+func (r *ChaosReport) CorpusRuns() []CorpusRun {
+	out := make([]CorpusRun, 0, len(r.Outcomes))
+	for _, o := range r.Outcomes {
+		out = append(out, CorpusRun{
+			Label:    obs.Label{Program: o.Kind.String(), Plan: o.Plan, Verdict: o.Verdict()},
+			Stats:    o.Stats,
+			Coverage: o.Coverage,
+		})
+	}
+	return out
+}
+
+// WriteCorpus serializes runs as a corpus JSONL stream.
+func WriteCorpus(w io.Writer, runs []CorpusRun) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(corpusHeader{Format: CorpusFormat, Version: CorpusVersion}); err != nil {
+		return err
+	}
+	for _, run := range runs {
+		if err := enc.Encode(run); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCorpusFile serializes runs to a file.
+func WriteCorpusFile(path string, runs []CorpusRun) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCorpus(f, runs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCorpus parses a corpus JSONL stream.
+func ReadCorpus(r io.Reader) ([]CorpusRun, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var h corpusHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("harness: bad corpus header: %w", err)
+	}
+	if h.Format != CorpusFormat {
+		return nil, fmt.Errorf("harness: not a corpus stream (format %q, want %q)", h.Format, CorpusFormat)
+	}
+	if h.Version > CorpusVersion {
+		return nil, fmt.Errorf("harness: corpus version %d is newer than supported %d", h.Version, CorpusVersion)
+	}
+	var runs []CorpusRun
+	for {
+		var run CorpusRun
+		err := dec.Decode(&run)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, fmt.Errorf("harness: corpus stream truncated after %d runs", len(runs))
+			}
+			return nil, fmt.Errorf("harness: bad corpus run %d: %w", len(runs)+1, err)
+		}
+		runs = append(runs, run)
+	}
+	return runs, nil
+}
+
+// ReadCorpusFile parses a corpus file.
+func ReadCorpusFile(path string) ([]CorpusRun, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCorpus(f)
+}
+
+// FleetCell is one aggregation cell of a fleet report: every run
+// sharing a label, with merged stats and coverage cardinalities.
+type FleetCell struct {
+	Label    obs.Label            `json:"label"`
+	Runs     int                  `json:"runs"`
+	Stats    obs.Snapshot         `json:"stats"`
+	Coverage sched.CoverageCounts `json:"coverage"`
+}
+
+// FleetReport is the folded view of a corpus: cells sorted by label,
+// the fleet-wide stats total, and the corpus-wide coverage union.
+type FleetReport struct {
+	Runs     int                  `json:"runs"`
+	Cells    []FleetCell          `json:"cells"`
+	Total    obs.Snapshot         `json:"total"`
+	Coverage sched.Coverage       `json:"coverage"`
+	Counts   sched.CoverageCounts `json:"coverageCounts"`
+}
+
+// BuildFleet folds corpus runs into a fleet report. Runs without
+// stats still count (their cell merges an empty snapshot); runs
+// without coverage contribute nothing to the union.
+func BuildFleet(runs []CorpusRun) *FleetReport {
+	var corpus obs.Corpus
+	covByLabel := map[obs.Label]sched.Coverage{}
+	var total sched.Coverage
+	for _, run := range runs {
+		var snap obs.Snapshot
+		if run.Stats != nil {
+			snap = *run.Stats
+		}
+		corpus.Add(run.Label, snap)
+		if run.Coverage != nil {
+			covByLabel[run.Label] = covByLabel[run.Label].Merge(*run.Coverage)
+			total = total.Merge(*run.Coverage)
+		}
+	}
+	rep := &FleetReport{Runs: corpus.Runs(), Total: corpus.Total(), Coverage: total, Counts: total.Counts()}
+	for _, cell := range corpus.Cells() {
+		rep.Cells = append(rep.Cells, FleetCell{
+			Label:    cell.Label,
+			Runs:     cell.Runs,
+			Stats:    cell.Stats,
+			Coverage: covByLabel[cell.Label].Counts(),
+		})
+	}
+	return rep
+}
+
+// Markdown renders the fleet report as a markdown document: the
+// corpus-wide coverage table, a per-cell summary table (the hot
+// counters per cell), and the merged fleet totals.
+func (r *FleetReport) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Fleet report\n\n%d runs in %d cells.\n\n", r.Runs, len(r.Cells))
+
+	b.WriteString("## Schedule-space coverage\n\n")
+	b.WriteString("| family | distinct decisions |\n|---|---:|\n")
+	fmt.Fprintf(&b, "| wildcard matches | %d |\n", r.Counts.Matches)
+	fmt.Fprintf(&b, "| collective signatures | %d |\n", r.Counts.Collectives)
+	fmt.Fprintf(&b, "| lock orders | %d |\n", r.Counts.LockOrders)
+	fmt.Fprintf(&b, "| crash points | %d |\n\n", r.Counts.CrashPoints)
+
+	b.WriteString("## Cells\n\n")
+	b.WriteString("| program | plan | verdict | runs | events | vc compares | coverage |\n")
+	b.WriteString("|---|---|---|---:|---:|---:|---:|\n")
+	for _, c := range r.Cells {
+		cov := c.Coverage.Matches + c.Coverage.Collectives + c.Coverage.LockOrders + c.Coverage.CrashPoints
+		fmt.Fprintf(&b, "| %s | %s | %s | %d | %d | %d | %d |\n",
+			mdCell(c.Label.Program), mdCell(c.Label.Plan), mdCell(c.Label.Verdict),
+			c.Runs, c.Stats.Get("detect.events"), c.Stats.Get("detect.vc_comparisons"), cov)
+	}
+
+	b.WriteString("\n## Fleet totals\n\n```\n")
+	b.WriteString(r.Total.String())
+	b.WriteString("```\n")
+	return b.String()
+}
+
+// mdCell renders a label field for a markdown table cell.
+func mdCell(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return strings.ReplaceAll(s, "|", "\\|")
+}

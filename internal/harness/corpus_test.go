@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"home/internal/sched"
+)
+
+// TestFleetReportGolden pins the corpus → fleet-report transform over
+// a frozen 60-run soak corpus (testdata/fleet-corpus.jsonl, generated
+// once from a real ChaosSoak run and committed — live soak stats are
+// host-schedule-dependent, so the golden freezes the input, not the
+// soak). Regenerate the rendered golden with -update; the corpus file
+// itself stays frozen.
+func TestFleetReportGolden(t *testing.T) {
+	runs, err := ReadCorpusFile(filepath.Join("testdata", "fleet-corpus.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 60 {
+		t.Fatalf("frozen corpus has %d runs, want 60", len(runs))
+	}
+	fleet := BuildFleet(runs)
+	got := []byte(fleet.Markdown())
+	path := filepath.Join("testdata", "fleet-report.golden")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("fleet report drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Structural invariants of the frozen corpus, independent of the
+	// exact rendering: the soak covered schedule space and every
+	// family except none is non-empty.
+	if fleet.Runs != 60 {
+		t.Errorf("fleet runs = %d", fleet.Runs)
+	}
+	if fleet.Counts.Matches == 0 || fleet.Counts.Collectives == 0 || fleet.Counts.CrashPoints == 0 {
+		t.Errorf("fleet coverage unexpectedly empty: %+v", fleet.Counts)
+	}
+	if fleet.Total.Get("detect.events") == 0 {
+		t.Error("fleet totals carry no detect.events")
+	}
+}
+
+// TestCorpusRoundTrip exercises the live path: a small soak with
+// stats emits corpus runs, they survive the JSONL round trip, and the
+// merged fleet coverage equals the soak report's own merged coverage.
+func TestCorpusRoundTrip(t *testing.T) {
+	rep, err := ChaosSoak(Config{CollectStats: true}, []int64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := rep.CorpusRuns()
+	if len(runs) != len(rep.Outcomes) {
+		t.Fatalf("corpus runs %d != outcomes %d", len(runs), len(rep.Outcomes))
+	}
+	for _, run := range runs {
+		if run.Label.Program == "" || run.Label.Plan == "" || run.Label.Verdict == "" {
+			t.Fatalf("incomplete label: %+v", run.Label)
+		}
+		if run.Stats == nil {
+			t.Fatalf("run %+v has no stats despite CollectStats", run.Label)
+		}
+		if run.Coverage == nil {
+			t.Fatalf("run %+v has no coverage", run.Label)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCorpus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(runs, back) {
+		t.Fatal("corpus did not round-trip JSONL")
+	}
+
+	fleet := BuildFleet(back)
+	if fleet.Runs != len(runs) {
+		t.Errorf("fleet runs = %d, want %d", fleet.Runs, len(runs))
+	}
+	if !reflect.DeepEqual(fleet.Coverage, rep.Coverage) {
+		t.Errorf("fleet coverage %+v != soak merged coverage %+v", fleet.Coverage, rep.Coverage)
+	}
+	// Merging per-outcome coverage by hand must agree too (union is
+	// order-independent).
+	var manual sched.Coverage
+	for _, o := range rep.Outcomes {
+		if o.Coverage != nil {
+			manual = manual.Merge(*o.Coverage)
+		}
+	}
+	if !reflect.DeepEqual(manual, rep.Coverage) {
+		t.Errorf("per-outcome merge %+v != report coverage %+v", manual, rep.Coverage)
+	}
+}

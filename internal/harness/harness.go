@@ -54,13 +54,37 @@ type Config struct {
 }
 
 // homeOptions builds the options for one HOME run, attaching a stats
-// registry when the config asks for per-run statistics.
+// registry and a phase profile when the config asks for per-run
+// statistics (the profile feeds RunMeta.Phases and the hotspot view).
 func (c Config) homeOptions(procs int) home.Options {
 	o := home.Options{Procs: procs, Threads: c.Threads, Seed: c.Seed}
 	if c.CollectStats {
 		o.Stats = home.NewStatsRegistry()
+		o.Profile = home.NewProfile()
 	}
 	return o
+}
+
+// RunMeta is the uniform per-run result shape every experiment's HOME
+// run emits — makespan, analyzed-event count, per-rank coverage and
+// (when Config.CollectStats is set) the phase spans. Chaos outcomes
+// used to be the only ones carrying coverage; reports now aggregate
+// any experiment's runs without special-casing.
+type RunMeta struct {
+	MakespanNs     int64               `json:"makespanNs"`
+	EventsAnalyzed int                 `json:"eventsAnalyzed"`
+	RankCoverage   []home.RankCoverage `json:"rankCoverage,omitempty"`
+	Phases         []home.Span         `json:"phases,omitempty"`
+}
+
+// runMeta extracts the uniform shape from a report.
+func runMeta(rep *home.Report) *RunMeta {
+	return &RunMeta{
+		MakespanNs:     rep.Makespan,
+		EventsAnalyzed: rep.EventsAnalyzed,
+		RankCoverage:   rep.RankCoverage,
+		Phases:         rep.Spans,
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +117,9 @@ type ToolOutcome struct {
 	// Stats holds the HOME run's runtime statistics when
 	// Config.CollectStats is set (nil for other tools).
 	Stats *home.StatsSnapshot `json:"stats,omitempty"`
+	// Run is the uniform per-run shape (nil for non-HOME tools, whose
+	// simulations do not produce it).
+	Run *RunMeta `json:"run,omitempty"`
 }
 
 // TableRow is one benchmark's row of Table I.
@@ -128,6 +155,7 @@ func Table1(cfg Config) ([]TableRow, error) {
 		}
 		homeOut := scoreOutcome(baseline.ToolHOME, src, homeRep.Violations)
 		homeOut.Stats = homeRep.Stats
+		homeOut.Run = runMeta(homeRep)
 		row.Outcomes[baseline.ToolHOME] = homeOut
 
 		// Marmot.
@@ -176,6 +204,8 @@ type TimingPoint struct {
 	// Stats holds the HOME run's runtime statistics when
 	// Config.CollectStats is set (nil for other tools).
 	Stats *home.StatsSnapshot `json:"stats,omitempty"`
+	// Run is the uniform per-run shape (nil for non-HOME tools).
+	Run *RunMeta `json:"run,omitempty"`
 }
 
 // FigureSeries is one benchmark's execution-time figure (Fig. 4/5/6).
@@ -214,6 +244,7 @@ func Figure(bench npb.Benchmark, cfg Config) (*FigureSeries, error) {
 		}
 		homePt := point(procs, baseline.ToolHOME, homeRep.Makespan, base.Makespan)
 		homePt.Stats = homeRep.Stats
+		homePt.Run = runMeta(homeRep)
 		fs.Points = append(fs.Points, homePt)
 
 		bopts := baseline.Options{Procs: procs, Threads: cfg.Threads, Seed: cfg.Seed}

@@ -28,6 +28,8 @@ type ScalePoint struct {
 	// Stats holds the HOME run's runtime statistics when
 	// Config.CollectStats is set.
 	Stats *home.StatsSnapshot `json:"stats,omitempty"`
+	// Run is the uniform per-run shape.
+	Run *RunMeta `json:"run,omitempty"`
 }
 
 // Scalability runs the sweep on the BT workload (the heaviest) with
@@ -68,6 +70,7 @@ func Scalability(cfg Config, procs []int) ([]ScalePoint, error) {
 			ViolationKinds: len(kinds),
 			Events:         rep.EventsAnalyzed,
 			Stats:          rep.Stats,
+			Run:            runMeta(rep),
 		})
 	}
 	return out, nil

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Hotspot profiling: joins the phase spans (where the wall time went)
+// with the hot-path counters (what the detector and recorder did in
+// that time) into one table. The span side answers "which phase is
+// slow"; the counter side answers "what dominates inside it" —
+// vector-clock comparisons and joins in the analyzer, order-record
+// writes in the recorder — the quantities a perf PR has to shrink.
+
+// PhaseCost is one row of the phase half of a hotspot profile:
+// aggregate wall and virtual time for every span sharing a name.
+type PhaseCost struct {
+	Name      string  `json:"name"`
+	Spans     int     `json:"spans"`
+	WallNs    int64   `json:"wallNs"`
+	VirtualNs int64   `json:"virtualNs,omitempty"`
+	WallPct   float64 `json:"wallPct"`
+}
+
+// HotCounter is one row of the counter half: a hot-path stat with its
+// rate per analyzed event, so runs of different sizes compare.
+type HotCounter struct {
+	Name     string  `json:"name"`
+	Value    int64   `json:"value"`
+	PerEvent float64 `json:"perEvent,omitempty"`
+}
+
+// Hotspots is the joined profile. TotalWallNs is the sum over phases
+// (the denominator of WallPct); Events is detect.events, the
+// denominator of the per-event rates.
+type Hotspots struct {
+	TotalWallNs int64        `json:"totalWallNs"`
+	Events      int64        `json:"events,omitempty"`
+	Phases      []PhaseCost  `json:"phases,omitempty"`
+	Counters    []HotCounter `json:"counters,omitempty"`
+}
+
+// hotCounterNames is the curated hot-path set, in display order. Only
+// names present in the snapshot render; the curation keeps the table
+// about cost drivers, not the whole inventory.
+var hotCounterNames = []string{
+	"detect.events",
+	"detect.vc_comparisons",
+	"detect.vc_joins",
+	"detect.vc_width",
+	"detect.lockset_candidates",
+	"sched.records",
+	"sched.order_records",
+	"interp.statements",
+	"mpi.sends",
+}
+
+// HotCounterNames returns the curated hot-path stat names, in display
+// order. The doc-drift gate uses it to keep the curation inside the
+// documented inventory.
+func HotCounterNames() []string {
+	return append([]string(nil), hotCounterNames...)
+}
+
+// BuildHotspots aggregates phase spans by name and extracts the
+// hot-path counters from the snapshot. Spans keep first-seen order
+// (the pipeline order); counters keep the curated order.
+func BuildHotspots(spans []Span, snap Snapshot) Hotspots {
+	var h Hotspots
+	byName := make(map[string]*PhaseCost)
+	for _, s := range spans {
+		pc, ok := byName[s.Name]
+		if !ok {
+			h.Phases = append(h.Phases, PhaseCost{Name: s.Name})
+			pc = &h.Phases[len(h.Phases)-1]
+			byName[s.Name] = pc
+			// appends may reallocate; refresh stale pointers
+			for i := range h.Phases {
+				byName[h.Phases[i].Name] = &h.Phases[i]
+			}
+		}
+		pc.Spans++
+		pc.WallNs += s.WallNs
+		pc.VirtualNs += s.VirtualNs
+		h.TotalWallNs += s.WallNs
+	}
+	if h.TotalWallNs > 0 {
+		for i := range h.Phases {
+			h.Phases[i].WallPct = 100 * float64(h.Phases[i].WallNs) / float64(h.TotalWallNs)
+		}
+	}
+	h.Events = snap.Get("detect.events")
+	for _, name := range hotCounterNames {
+		v, ok := snap.Counters[name]
+		if !ok {
+			if g, gok := snap.Gauges[name]; gok {
+				v, ok = g, true
+			}
+		}
+		if !ok {
+			continue
+		}
+		hc := HotCounter{Name: name, Value: v}
+		if h.Events > 0 && name != "detect.events" {
+			hc.PerEvent = float64(v) / float64(h.Events)
+		}
+		h.Counters = append(h.Counters, hc)
+	}
+	return h
+}
+
+// String renders the hotspot table for the homecheck -hotspots block:
+// phases sorted as recorded with wall/virtual time and wall share,
+// then the hot counters with per-event rates.
+func (h Hotspots) String() string {
+	var b strings.Builder
+	b.WriteString("phase                    wall         virtual      share\n")
+	for _, p := range h.Phases {
+		virt := "-"
+		if p.VirtualNs != 0 {
+			virt = fmtNs(p.VirtualNs)
+		}
+		fmt.Fprintf(&b, "%-24s %-12s %-12s %5.1f%%\n", p.Name, fmtNs(p.WallNs), virt, p.WallPct)
+	}
+	if len(h.Counters) > 0 {
+		b.WriteString("\nhot counter                          value        per event\n")
+		for _, c := range h.Counters {
+			rate := "-"
+			if c.PerEvent != 0 {
+				rate = fmt.Sprintf("%.2f", c.PerEvent)
+			}
+			fmt.Fprintf(&b, "%-36s %-12d %s\n", c.Name, c.Value, rate)
+		}
+	}
+	return b.String()
+}
+
+// fmtNs renders a nanosecond duration in the largest unit that keeps
+// three significant digits readable.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

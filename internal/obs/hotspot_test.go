@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildHotspots(t *testing.T) {
+	spans := []Span{
+		{Name: "parse", WallNs: 1000},
+		{Name: "execute", WallNs: 6000, VirtualNs: 50000},
+		{Name: "analyze", WallNs: 2000},
+		{Name: "analyze", WallNs: 1000},
+	}
+	snap := Snapshot{
+		Counters: map[string]int64{
+			"detect.events":         200,
+			"detect.vc_comparisons": 150,
+			"detect.vc_joins":       40,
+			"sched.order_records":   12,
+		},
+		Gauges: map[string]int64{"detect.vc_width": 8},
+	}
+	h := BuildHotspots(spans, snap)
+	if h.TotalWallNs != 10000 {
+		t.Errorf("TotalWallNs = %d, want 10000", h.TotalWallNs)
+	}
+	if h.Events != 200 {
+		t.Errorf("Events = %d, want 200", h.Events)
+	}
+	if len(h.Phases) != 3 {
+		t.Fatalf("Phases = %d, want 3 (analyze spans aggregate)", len(h.Phases))
+	}
+	an := h.Phases[2]
+	if an.Name != "analyze" || an.Spans != 2 || an.WallNs != 3000 || an.WallPct != 30 {
+		t.Errorf("analyze phase = %+v", an)
+	}
+	if h.Phases[1].VirtualNs != 50000 {
+		t.Errorf("execute virtual = %d", h.Phases[1].VirtualNs)
+	}
+	// Counters keep curated order and compute per-event rates; the
+	// gauge-backed width row is included; absent names are skipped.
+	wantOrder := []string{"detect.events", "detect.vc_comparisons", "detect.vc_joins", "detect.vc_width", "sched.order_records"}
+	if len(h.Counters) != len(wantOrder) {
+		t.Fatalf("Counters = %+v", h.Counters)
+	}
+	for i, name := range wantOrder {
+		if h.Counters[i].Name != name {
+			t.Errorf("counter %d = %s, want %s", i, h.Counters[i].Name, name)
+		}
+	}
+	if got := h.Counters[1].PerEvent; got != 0.75 {
+		t.Errorf("vc_comparisons per event = %v, want 0.75", got)
+	}
+	if h.Counters[0].PerEvent != 0 {
+		t.Errorf("detect.events must not rate against itself")
+	}
+
+	out := h.String()
+	for _, want := range []string{"analyze", "30.0%", "detect.vc_joins", "0.20", "50.00µs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildHotspotsEmpty(t *testing.T) {
+	h := BuildHotspots(nil, Snapshot{})
+	if h.TotalWallNs != 0 || len(h.Phases) != 0 || len(h.Counters) != 0 {
+		t.Errorf("empty hotspots = %+v", h)
+	}
+	if out := h.String(); !strings.Contains(out, "phase") {
+		t.Errorf("empty String() = %q", out)
+	}
+}

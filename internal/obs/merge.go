@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+)
+
+// Cross-run aggregation. A multi-run harness (chaos soak, bench,
+// fuzz) produces one Snapshot per run; Merge folds them into a fleet
+// view and Corpus keys the folds by (program, plan, verdict) so a
+// report can slice by any of the three. Merge is commutative and
+// associative — fold order never changes the result — which is what
+// lets harnesses aggregate incrementally and in any scheduling order.
+
+// Merge folds o into a copy of s and returns the result: counters and
+// histogram contents sum, gauges keep the maximum (a gauge is a
+// high-water mark), and histogram quantiles are re-derived from the
+// merged buckets. Neither operand is modified.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	out := s.Clone()
+	for k, v := range o.Counters {
+		if out.Counters == nil {
+			out.Counters = make(map[string]int64)
+		}
+		out.Counters[k] += v
+	}
+	for k, v := range o.Gauges {
+		if out.Gauges == nil {
+			out.Gauges = make(map[string]int64)
+		}
+		if cur, ok := out.Gauges[k]; !ok || v > cur {
+			out.Gauges[k] = v
+		}
+	}
+	for k, v := range o.Histograms {
+		if out.Histograms == nil {
+			out.Histograms = make(map[string]HistogramStat)
+		}
+		out.Histograms[k] = out.Histograms[k].Merge(v)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the snapshot with freshly allocated
+// maps (nil maps stay nil).
+func (s Snapshot) Clone() Snapshot {
+	out := Snapshot{}
+	if s.Counters != nil {
+		out.Counters = make(map[string]int64, len(s.Counters))
+		for k, v := range s.Counters {
+			out.Counters[k] = v
+		}
+	}
+	if s.Gauges != nil {
+		out.Gauges = make(map[string]int64, len(s.Gauges))
+		for k, v := range s.Gauges {
+			out.Gauges[k] = v
+		}
+	}
+	if s.Histograms != nil {
+		out.Histograms = make(map[string]HistogramStat, len(s.Histograms))
+		for k, v := range s.Histograms {
+			out.Histograms[k] = v
+		}
+	}
+	return out
+}
+
+// Merge combines two histogram aggregates: counts, sums and buckets
+// add, the min/max envelope widens, and P50/P95 are recomputed from
+// the merged buckets — so a corpus-level stat answers quantile
+// queries at the same bucket resolution as the runs it folded. An
+// empty operand is the identity. A non-empty operand with no bucket
+// data (a stat decoded from a pre-bucket stream) contributes one
+// synthesized bucket at its Max, degrading its part of the quantile
+// estimate to a max-clamped bound without losing its count.
+func (s HistogramStat) Merge(o HistogramStat) HistogramStat {
+	if s.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return s
+	}
+	out := HistogramStat{
+		Count: s.Count + o.Count,
+		Sum:   s.Sum + o.Sum,
+		Min:   s.Min,
+		Max:   s.Max,
+	}
+	if o.Min < out.Min {
+		out.Min = o.Min
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	for i := range out.Buckets {
+		out.Buckets[i] = s.bucketsOrSynth(i) + o.bucketsOrSynth(i)
+	}
+	out.P50 = quantile(50, out.Count, out.Min, out.Max, &out.Buckets)
+	out.P95 = quantile(95, out.Count, out.Min, out.Max, &out.Buckets)
+	return out
+}
+
+// bucketsOrSynth returns bucket i, substituting the synthesized
+// single-bucket-at-Max shape when the stat carries a count but no
+// bucket data.
+func (s HistogramStat) bucketsOrSynth(i int) int64 {
+	if s.Count > 0 && s.Buckets == ([65]int64{}) {
+		if i == bits.Len64(uint64(s.Max)) {
+			return s.Count
+		}
+		return 0
+	}
+	return s.Buckets[i]
+}
+
+// Label identifies one run within a corpus: which program ran, under
+// which chaos plan (its String form; empty for no chaos), and what
+// the run concluded ("stable", "diverged", "partial", "error", or a
+// harness-specific verdict). Zero fields are legal — a bench corpus
+// may label only by program.
+type Label struct {
+	Program string `json:"program,omitempty"`
+	Plan    string `json:"plan,omitempty"`
+	Verdict string `json:"verdict,omitempty"`
+}
+
+// less orders labels lexicographically by (Program, Plan, Verdict) so
+// corpus renderings are deterministic.
+func (l Label) less(o Label) bool {
+	if l.Program != o.Program {
+		return l.Program < o.Program
+	}
+	if l.Plan != o.Plan {
+		return l.Plan < o.Plan
+	}
+	return l.Verdict < o.Verdict
+}
+
+// Cell is one aggregation bucket of a Corpus: every run that shares a
+// Label, merged.
+type Cell struct {
+	Label Label    `json:"label"`
+	Runs  int      `json:"runs"`
+	Stats Snapshot `json:"stats"`
+}
+
+// Corpus aggregates run snapshots keyed by Label. Safe for concurrent
+// Add; the zero value is ready to use.
+type Corpus struct {
+	mu    sync.Mutex
+	cells map[Label]*Cell
+}
+
+// Add folds one run's snapshot into the cell for its label.
+func (c *Corpus) Add(l Label, s Snapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cells == nil {
+		c.cells = make(map[Label]*Cell)
+	}
+	cell, ok := c.cells[l]
+	if !ok {
+		cell = &Cell{Label: l}
+		c.cells[l] = cell
+	}
+	cell.Runs++
+	cell.Stats = cell.Stats.Merge(s)
+}
+
+// Runs returns the total number of runs added.
+func (c *Corpus) Runs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, cell := range c.cells {
+		n += cell.Runs
+	}
+	return n
+}
+
+// Cells returns the aggregation cells sorted by label. The returned
+// cells are copies; mutating them does not affect the corpus.
+func (c *Corpus) Cells() []Cell {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Cell, 0, len(c.cells))
+	for _, cell := range c.cells {
+		out = append(out, *cell)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label.less(out[j].Label) })
+	return out
+}
+
+// Total merges every cell into one fleet-wide snapshot.
+func (c *Corpus) Total() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total Snapshot
+	// Map order does not matter: Merge is commutative and associative.
+	for _, cell := range c.cells {
+		total = total.Merge(cell.Stats)
+	}
+	return total
+}

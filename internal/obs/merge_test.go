@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func histOf(vs ...int64) HistogramStat {
+	var h Histogram
+	for _, v := range vs {
+		h.Observe(v)
+	}
+	return h.Stat()
+}
+
+func TestHistogramStatEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		stat HistogramStat
+		mean float64
+		p50  int64
+		p95  int64
+	}{
+		{name: "empty", stat: histOf(), mean: 0, p50: 0, p95: 0},
+		{name: "single-zero", stat: histOf(0), mean: 0, p50: 0, p95: 0},
+		{name: "single-sample", stat: histOf(7), mean: 7, p50: 7, p95: 7},
+		{name: "single-large", stat: histOf(1 << 40), mean: float64(int64(1) << 40), p50: 1 << 40, p95: 1 << 40},
+		{name: "two-equal", stat: histOf(5, 5), mean: 5, p50: 5, p95: 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.stat.Mean(); got != tc.mean {
+				t.Errorf("Mean = %v, want %v", got, tc.mean)
+			}
+			if tc.stat.P50 != tc.p50 {
+				t.Errorf("P50 = %d, want %d", tc.stat.P50, tc.p50)
+			}
+			if tc.stat.P95 != tc.p95 {
+				t.Errorf("P95 = %d, want %d", tc.stat.P95, tc.p95)
+			}
+		})
+	}
+}
+
+func TestHistogramStatMerge(t *testing.T) {
+	t.Run("empty-identity", func(t *testing.T) {
+		a := histOf(1, 2, 3)
+		if got := a.Merge(HistogramStat{}); got != a {
+			t.Errorf("a.Merge(empty) = %+v, want %+v", got, a)
+		}
+		if got := (HistogramStat{}).Merge(a); got != a {
+			t.Errorf("empty.Merge(a) = %+v, want %+v", got, a)
+		}
+	})
+	t.Run("matches-single-histogram", func(t *testing.T) {
+		// Merging two halves must equal observing everything in one
+		// histogram: same counts, envelope, buckets and quantiles.
+		merged := histOf(1, 2, 3).Merge(histOf(10, 20, 100))
+		whole := histOf(1, 2, 3, 10, 20, 100)
+		if merged != whole {
+			t.Errorf("merged = %+v\nwhole  = %+v", merged, whole)
+		}
+	})
+	t.Run("commutative", func(t *testing.T) {
+		a, b := histOf(4, 9), histOf(1, 1000)
+		if a.Merge(b) != b.Merge(a) {
+			t.Errorf("a.Merge(b) != b.Merge(a)")
+		}
+	})
+	t.Run("legacy-no-buckets", func(t *testing.T) {
+		// A stat decoded from a pre-bucket stream has Count > 0 but a
+		// zero bucket array; Merge synthesizes its shape at Max.
+		legacy := HistogramStat{Count: 4, Sum: 40, Min: 5, Max: 15, P50: 10, P95: 15}
+		got := legacy.Merge(histOf(2))
+		if got.Count != 5 || got.Sum != 42 || got.Min != 2 || got.Max != 15 {
+			t.Errorf("merged aggregates = %+v", got)
+		}
+		if got.P95 != 15 {
+			t.Errorf("P95 = %d, want max-clamped 15", got.P95)
+		}
+	})
+}
+
+func TestHistogramStatJSONRoundTrip(t *testing.T) {
+	orig := histOf(1, 2, 3, 1000)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistogramStat
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Errorf("round trip = %+v, want %+v", back, orig)
+	}
+	// The sparse form must not carry 65 zeroes.
+	if len(data) > 200 {
+		t.Errorf("wire form unexpectedly large (%d bytes): %s", len(data), data)
+	}
+	// Legacy wire form (no buckets key) must still decode.
+	var legacy HistogramStat
+	if err := json.Unmarshal([]byte(`{"count":2,"sum":10,"min":3,"max":7,"p50":5,"p95":7}`), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Count != 2 || legacy.Buckets != ([65]int64{}) {
+		t.Errorf("legacy decode = %+v", legacy)
+	}
+}
+
+func snapA() Snapshot {
+	return Snapshot{
+		Counters:   map[string]int64{"mpi.sends": 4, "detect.events": 100},
+		Gauges:     map[string]int64{"mpi.inflight": 3},
+		Histograms: map[string]HistogramStat{"mpi.msg_bytes": histOf(8, 8, 64)},
+	}
+}
+
+func snapB() Snapshot {
+	return Snapshot{
+		Counters:   map[string]int64{"mpi.sends": 6, "omp.tasks": 2},
+		Gauges:     map[string]int64{"mpi.inflight": 5, "omp.active": 1},
+		Histograms: map[string]HistogramStat{"mpi.msg_bytes": histOf(1024), "omp.chunk": histOf(4)},
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	got := snapA().Merge(snapB())
+	if got.Counters["mpi.sends"] != 10 {
+		t.Errorf("overlapping counter = %d, want 10", got.Counters["mpi.sends"])
+	}
+	if got.Counters["detect.events"] != 100 || got.Counters["omp.tasks"] != 2 {
+		t.Errorf("disjoint counters = %v", got.Counters)
+	}
+	if got.Gauges["mpi.inflight"] != 5 || got.Gauges["omp.active"] != 1 {
+		t.Errorf("gauges = %v, want max-merge", got.Gauges)
+	}
+	if want := histOf(8, 8, 64, 1024); got.Histograms["mpi.msg_bytes"] != want {
+		t.Errorf("merged histogram = %+v, want %+v", got.Histograms["mpi.msg_bytes"], want)
+	}
+	if got.Histograms["omp.chunk"] != histOf(4) {
+		t.Errorf("disjoint histogram = %+v", got.Histograms["omp.chunk"])
+	}
+	// Operands are untouched.
+	if snapA().Counters["mpi.sends"] != 4 {
+		t.Error("Merge mutated its receiver's source")
+	}
+}
+
+func TestSnapshotMergeEmptyAndNil(t *testing.T) {
+	var zero Snapshot
+	a := snapA()
+	if got := zero.Merge(a); !got.Equal(a) {
+		t.Errorf("zero.Merge(a) = %+v", got)
+	}
+	if got := a.Merge(zero); !got.Equal(a) {
+		t.Errorf("a.Merge(zero) = %+v", got)
+	}
+	// Empty histogram entries merge as identity.
+	e := Snapshot{Histograms: map[string]HistogramStat{"mpi.msg_bytes": {}}}
+	got := a.Merge(e)
+	if got.Histograms["mpi.msg_bytes"] != a.Histograms["mpi.msg_bytes"] {
+		t.Errorf("empty histogram entry changed merge: %+v", got.Histograms["mpi.msg_bytes"])
+	}
+}
+
+func TestSnapshotMergeCommutativeAssociative(t *testing.T) {
+	a, b := snapA(), snapB()
+	c := Snapshot{
+		Counters:   map[string]int64{"mpi.sends": 1, "detect.events": 7},
+		Histograms: map[string]HistogramStat{"omp.chunk": histOf(16, 32)},
+	}
+	if ab, ba := a.Merge(b), b.Merge(a); !ab.Equal(ba) {
+		t.Errorf("not commutative:\nab=%+v\nba=%+v", ab, ba)
+	}
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+	if !left.Equal(right) {
+		t.Errorf("not associative:\n(ab)c=%+v\na(bc)=%+v", left, right)
+	}
+}
+
+// TestMergedCorpusStringGolden pins the rendered form of a merged
+// corpus snapshot — the fleet-report building block. Regenerate the
+// constant by running the test and copying the got output if the
+// String format changes deliberately.
+func TestMergedCorpusStringGolden(t *testing.T) {
+	var c Corpus
+	c.Add(Label{Program: "ping", Plan: "seed=1", Verdict: "stable"}, snapA())
+	c.Add(Label{Program: "ping", Plan: "seed=1", Verdict: "stable"}, snapB())
+	c.Add(Label{Program: "pong", Verdict: "diverged"}, snapB())
+	const want = `detect.events                        100
+mpi.sends                            16
+omp.tasks                            4
+mpi.inflight                         5 (max)
+omp.active                           1 (max)
+mpi.msg_bytes                        count=5 sum=2128 min=8 max=1024 mean=425.6 p50=127 p95=1024
+omp.chunk                            count=2 sum=8 min=4 max=4 mean=4.0 p50=4 p95=4
+`
+	got := c.Total().String()
+	if got != want {
+		t.Errorf("merged corpus String:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if c.Runs() != 3 {
+		t.Errorf("Runs = %d, want 3", c.Runs())
+	}
+	cells := c.Cells()
+	if len(cells) != 2 {
+		t.Fatalf("Cells = %d, want 2", len(cells))
+	}
+	if cells[0].Label != (Label{Program: "ping", Plan: "seed=1", Verdict: "stable"}) || cells[0].Runs != 2 {
+		t.Errorf("cell 0 = %+v", cells[0])
+	}
+	if cells[1].Label != (Label{Program: "pong", Verdict: "diverged"}) || cells[1].Runs != 1 {
+		t.Errorf("cell 1 = %+v", cells[1])
+	}
+}

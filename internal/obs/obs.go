@@ -21,9 +21,11 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/bits"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -122,53 +124,64 @@ func (h *Histogram) Stat() HistogramStat {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return HistogramStat{
+	s := HistogramStat{
 		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
-		P50: h.quantileLocked(50), P95: h.quantileLocked(95),
+		Buckets: h.buckets,
 	}
+	s.P50 = quantile(50, s.Count, s.Min, s.Max, &s.Buckets)
+	s.P95 = quantile(95, s.Count, s.Min, s.Max, &s.Buckets)
+	return s
 }
 
-// quantileLocked estimates the q-th percentile (q in [0,100]) from the
+// quantile estimates the q-th percentile (q in [0,100]) from
 // power-of-two buckets: it finds the bucket holding the ceil(q%·count)
 // ranked sample and reports that bucket's upper bound, clamped to the
 // exact [min, max] envelope. The estimate therefore never exceeds the
 // true quantile's bucket and is exact whenever the bucket holds a
-// single distinct value (counts of 0 and 1, in particular).
-func (h *Histogram) quantileLocked(q int64) int64 {
-	if h.count == 0 {
+// single distinct value (counts of 0 and 1, in particular). It is
+// shared by live histograms and by HistogramStat merging, so a merged
+// corpus stat answers quantile queries at the same resolution as the
+// runs it folded.
+func quantile(q, count, min, max int64, buckets *[65]int64) int64 {
+	if count == 0 {
 		return 0
 	}
-	need := (h.count*q + 99) / 100
+	need := (count*q + 99) / 100
 	if need < 1 {
 		need = 1
 	}
 	var cum int64
-	for i, n := range h.buckets {
+	for i, n := range buckets {
 		cum += n
 		if cum >= need {
 			hi := int64(uint64(1)<<uint(i) - 1)
-			if hi < h.min {
-				hi = h.min
+			if hi < min {
+				hi = min
 			}
-			if hi > h.max {
-				hi = h.max
+			if hi > max {
+				hi = max
 			}
 			return hi
 		}
 	}
-	return h.max
+	return max
 }
 
 // HistogramStat is the exported aggregate of a Histogram. P50 and P95
-// are bucket-resolution estimates (see quantileLocked); the struct
-// stays comparable with == so Snapshot.Equal keeps working.
+// are bucket-resolution estimates (see quantile). It carries the full
+// bucket array, so stats from different runs merge exactly (Merge)
+// and a merged stat re-derives its quantiles at the same resolution.
+// The struct stays comparable with == (the bucket field is an array)
+// so Snapshot.Equal keeps working; JSON carries the buckets sparsely
+// (see MarshalJSON).
 type HistogramStat struct {
-	Count int64 `json:"count"`
-	Sum   int64 `json:"sum"`
-	Min   int64 `json:"min"`
-	Max   int64 `json:"max"`
-	P50   int64 `json:"p50"`
-	P95   int64 `json:"p95"`
+	Count   int64     `json:"count"`
+	Sum     int64     `json:"sum"`
+	Min     int64     `json:"min"`
+	Max     int64     `json:"max"`
+	P50     int64     `json:"p50"`
+	P95     int64     `json:"p95"`
+	Buckets [65]int64 `json:"-"`
 }
 
 // Mean returns Sum/Count (0 when empty).
@@ -177,6 +190,60 @@ func (s HistogramStat) Mean() float64 {
 		return 0
 	}
 	return float64(s.Sum) / float64(s.Count)
+}
+
+// histogramStatWire is the JSON shape of HistogramStat: the scalar
+// aggregates plus a sparse bucket map (decimal bucket index → count),
+// omitted entirely when every bucket is zero. The sparse form keeps
+// per-run JSON small — a typical stat populates two or three of the
+// 65 buckets.
+type histogramStatWire struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Min     int64            `json:"min"`
+	Max     int64            `json:"max"`
+	P50     int64            `json:"p50"`
+	P95     int64            `json:"p95"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON emits the sparse wire form.
+func (s HistogramStat) MarshalJSON() ([]byte, error) {
+	w := histogramStatWire{
+		Count: s.Count, Sum: s.Sum, Min: s.Min, Max: s.Max,
+		P50: s.P50, P95: s.P95,
+	}
+	for i, n := range s.Buckets {
+		if n != 0 {
+			if w.Buckets == nil {
+				w.Buckets = make(map[string]int64)
+			}
+			w.Buckets[strconv.Itoa(i)] = n
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON accepts the sparse wire form. Streams written before
+// buckets existed decode with a zero bucket array; Merge handles that
+// by synthesizing a single bucket at Max (a max-clamped estimate).
+func (s *HistogramStat) UnmarshalJSON(data []byte) error {
+	var w histogramStatWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*s = HistogramStat{
+		Count: w.Count, Sum: w.Sum, Min: w.Min, Max: w.Max,
+		P50: w.P50, P95: w.P95,
+	}
+	for k, n := range w.Buckets {
+		i, err := strconv.Atoi(k)
+		if err != nil || i < 0 || i >= len(s.Buckets) {
+			return fmt.Errorf("obs: bad histogram bucket index %q", k)
+		}
+		s.Buckets[i] = n
+	}
+	return nil
 }
 
 // Registry vends named counters, gauges and histograms for one run.

@@ -315,6 +315,7 @@ func (r *Recorder) snapshot() (chaos.Plan, []Record) {
 type Schedule struct {
 	plan        chaos.Plan
 	byKey       map[key]Record
+	recs        []Record
 	crashes     []int
 	n           int
 	version     int
@@ -323,7 +324,7 @@ type Schedule struct {
 }
 
 func newSchedule(plan chaos.Plan, version int, recs []Record) (*Schedule, error) {
-	s := &Schedule{plan: plan, version: version, byKey: make(map[key]Record, len(recs)), n: len(recs)}
+	s := &Schedule{plan: plan, version: version, byKey: make(map[key]Record, len(recs)), n: len(recs), recs: recs}
 	for _, rec := range recs {
 		if rec.Kind == KindCrash {
 			s.crashes = append(s.crashes, rec.Rank)

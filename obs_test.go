@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"home/internal/mpi"
+	"home/internal/obs"
 )
 
 // TestCheckStatsPopulated is the ISSUE acceptance test: a hybrid run
@@ -310,6 +311,18 @@ func TestStatsDocInventory(t *testing.T) {
 		}
 		if !got[name] {
 			t.Errorf("stat %q is documented in docs/OBSERVABILITY.md but never registered by the scenario runs", name)
+		}
+	}
+
+	// The hotspot profile's curated counters are part of the same
+	// contract: each must be a documented, runtime-registered stat, or
+	// the -hotspots table would silently render stale names.
+	for _, name := range obs.HotCounterNames() {
+		if !inDoc(name) {
+			t.Errorf("hot counter %q is not in the documented inventory", name)
+		}
+		if !got[name] {
+			t.Errorf("hot counter %q was never registered by the scenario runs", name)
 		}
 	}
 }
