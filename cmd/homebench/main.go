@@ -55,11 +55,12 @@ type output struct {
 	Scalability []harness.ScalePoint    `json:"scalability,omitempty"`
 	Ablation    []harness.AblationPoint `json:"ablation,omitempty"`
 	Chaos       *harness.ChaosReport    `json:"chaos,omitempty"`
+	Explore     *harness.ExploreReport  `json:"explore,omitempty"`
 	Bench       *harness.BenchBaseline  `json:"bench,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig4, fig5, fig6, fig7, ablation, scale, chaos, bench")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig4, fig5, fig6, fig7, ablation, scale, chaos, explore, bench")
 	class := flag.String("class", "A", "workload class: S, W, A, B, C")
 	seed := flag.Int64("seed", 3, "simulation seed")
 	procsFlag := flag.String("procs", "2,4,8,16,32,64", "comma-separated process counts for the figures")
@@ -68,7 +69,8 @@ func main() {
 	baseline := flag.String("baseline", "", "measure the NPB bench matrix and write a perf baseline to this file")
 	compare := flag.String("compare", "", "re-measure under this baseline's header config and fail on gated-metric drift")
 	tolerance := flag.Float64("tolerance", 0.02, "relative tolerance for -compare gated metrics")
-	corpus := flag.String("corpus", "", "with -exp chaos: write one labeled (stats, coverage) JSONL line per soak run to this file")
+	corpus := flag.String("corpus", "", "with -exp chaos/explore: write one labeled (stats, coverage) JSONL line per run to this file")
+	exploreBudget := flag.Int("explore-budget", 16, "with -exp explore: mutants to try per corpus kind")
 	flag.Parse()
 
 	var procs []int
@@ -96,9 +98,10 @@ func main() {
 	}
 
 	run := func(name string, f func() error) {
-		// "scale" goes past 64 ranks, "chaos" injects faults, and
-		// "bench" measures its own canonical matrix; all are opt-in.
-		if *exp != name && (*exp != "all" || name == "scale" || name == "chaos" || name == "bench") {
+		// "scale" goes past 64 ranks, "chaos" injects faults, "explore"
+		// mutates schedules, and "bench" measures its own canonical
+		// matrix; all are opt-in.
+		if *exp != name && (*exp != "all" || name == "scale" || name == "chaos" || name == "explore" || name == "bench") {
 			return
 		}
 		if err := f(); err != nil {
@@ -180,6 +183,23 @@ func main() {
 		}
 		if !rep.OK() {
 			return fmt.Errorf("chaos contract failed (%d violations)", len(rep.Failures))
+		}
+		return nil
+	})
+	run("explore", func() error {
+		rep, err := harness.RunExplore(cfg, *exploreBudget)
+		if err != nil {
+			return err
+		}
+		out.Explore = rep
+		fmt.Println("== Schedule-space exploration: mutation campaigns over the violation corpus ==")
+		fmt.Print(harness.RenderExplore(rep))
+		fmt.Println()
+		if *corpus != "" {
+			if err := harness.WriteCorpusFile(*corpus, rep.CorpusRuns()); err != nil {
+				return err
+			}
+			fmt.Printf("corpus: %d campaigns written to %s (render with `hometrace report`)\n\n", len(rep.Cells), *corpus)
 		}
 		return nil
 	})

@@ -213,7 +213,11 @@ type Options struct {
 	// RecordSchedule, when non-nil, records the run's realized fault
 	// schedule (every fault decision and nondeterministic resolution)
 	// into the given recorder; serialize it with its Write/WriteFile
-	// methods. Ignored when ReplaySchedule is set.
+	// methods. Combined with ReplaySchedule it re-records the replay's
+	// realized schedule: forced decisions are echoed verbatim and any
+	// live fallback past the forced prefix is captured, so a partially
+	// divergent replay (a mutated or salvaged schedule) still yields a
+	// complete, deterministically replayable recording.
 	RecordSchedule *ScheduleRecorder
 	// ReplaySchedule, when non-nil, replays a recorded schedule: the
 	// run takes its chaos plan from the schedule header (Options.Chaos
@@ -502,12 +506,23 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 
 // resolveSched resolves the run's chaos plan and record/replay hooks
 // from the options. Replay takes precedence: the plan embedded in the
-// schedule header reconstructs the recorded injector exactly, and
-// recording a replayed run is meaningless (replay branches re-apply
-// decisions rather than observing fresh ones).
+// schedule header reconstructs the recorded injector exactly. Setting
+// both ReplaySchedule and RecordSchedule re-records the *realized*
+// schedule of the replay through an echo source: forced decisions are
+// copied verbatim into the recorder (replay branches re-apply records
+// without reaching the Observe hooks) while decisions past the forced
+// prefix — where a mutated or truncated schedule lets execution
+// diverge to live resolution — are captured by the hooks as usual.
+// The re-recorded stream is a complete schedule of the run that
+// actually happened, which is how the schedule-space explorer turns a
+// diverging mutant into a deterministic repro.
 func resolveSched(opts *Options) (*chaos.Plan, chaos.Recorder, chaos.Source) {
 	if opts.ReplaySchedule != nil {
 		plan := opts.ReplaySchedule.Plan()
+		if opts.RecordSchedule != nil {
+			opts.RecordSchedule.SetPlan(plan)
+			return &plan, opts.RecordSchedule, sched.Echo(opts.ReplaySchedule, opts.RecordSchedule)
+		}
 		return &plan, nil, opts.ReplaySchedule
 	}
 	if opts.RecordSchedule != nil {
@@ -542,11 +557,11 @@ func replayForced(opts *Options) (forced0, orderForced0 int64) {
 //	sched.order_forced   subset of sched.replay_forced from the order
 //	                     families (always 0 when replaying a v1 stream)
 func recordSchedStats(opts *Options, forced0, orderForced0 int64) {
-	switch {
-	case opts.ReplaySchedule != nil:
+	if opts.ReplaySchedule != nil {
 		opts.Stats.Counter("sched.replay_forced").Add(opts.ReplaySchedule.Forced() - forced0)
 		opts.Stats.Counter("sched.order_forced").Add(opts.ReplaySchedule.OrderForced() - orderForced0)
-	case opts.RecordSchedule != nil:
+	}
+	if opts.RecordSchedule != nil {
 		opts.Stats.Counter("sched.records").Add(int64(opts.RecordSchedule.Len()))
 		opts.Stats.Counter("sched.order_records").Add(int64(opts.RecordSchedule.OrderLen()))
 	}

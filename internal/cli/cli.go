@@ -12,11 +12,13 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"home"
 	"home/internal/cfg"
 	"home/internal/detect"
 	"home/internal/explain"
+	"home/internal/explore"
 	"home/internal/harness"
 	"home/internal/interp"
 	"home/internal/minic"
@@ -78,6 +80,10 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 	graceMs := fs.Int64("watchdog-grace-ms", 0, "deadlock watchdog grace window under transient stalls (0 = default)")
 	recordSched := fs.String("record-sched", "", "record the run's realized fault schedule to this file (replay it with -replay-sched)")
 	replaySched := fs.String("replay-sched", "", "replay a recorded fault schedule, forcing the recorded interleaving (plan comes from the schedule; excludes -chaos)")
+	exploreFlag := fs.Bool("explore", false, "run a schedule-space exploration campaign around the seed schedule (-replay-sched, or a fresh recording under -chaos; see docs/ROBUSTNESS.md)")
+	exploreBudget := fs.Int("explore-budget", 64, "mutants to try in the -explore campaign")
+	exploreOut := fs.String("explore-out", "", "directory for minimal reproducing schedules found by -explore (default: a fresh temp directory)")
+	replayTimeout := fs.Duration("replay-timeout", 0, "per-replay wall-clock watchdog; a run exceeding it reports budget-exceeded instead of wedging (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -165,6 +171,10 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 			*replaySched, &plan, guarantee)
 	}
 
+	if *exploreFlag {
+		return runExploreCampaign(src, opts, *seed, *exploreBudget, *exploreOut, *replayTimeout, stdout, stderr)
+	}
+
 	if *dumpCFG {
 		prog, err := minic.Parse(src)
 		if err != nil {
@@ -195,7 +205,22 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	rep, err := home.Check(src, opts)
+	var rep *home.Report
+	if *replayTimeout > 0 {
+		prog, perr := home.Parse(src)
+		if perr != nil {
+			fmt.Fprintln(stderr, "homecheck:", perr)
+			return 2
+		}
+		var timedOut bool
+		rep, err, timedOut = explore.CheckBounded(prog, opts, *replayTimeout)
+		if timedOut {
+			fmt.Fprintf(stderr, "homecheck: budget-exceeded: run exceeded -replay-timeout %s\n", *replayTimeout)
+			return 2
+		}
+	} else {
+		rep, err = home.Check(src, opts)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "homecheck:", err)
 		return 2
@@ -274,6 +299,78 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runExploreCampaign implements homecheck -explore: seed a schedule
+// (the -replay-sched file, or a fresh recording under the -chaos
+// plan), run a budgeted mutation campaign around it, and print the
+// campaign summary plus any minimal repro artifacts. Exit codes:
+// 0 nothing new found, 1 the campaign discovered new verdicts,
+// 2 setup error.
+func runExploreCampaign(src string, opts home.Options, seed int64, budget int, outDir string, timeout time.Duration, stdout, stderr io.Writer) int {
+	prog, err := home.Parse(src)
+	if err != nil {
+		fmt.Fprintln(stderr, "homecheck:", err)
+		return 2
+	}
+	seedSched := opts.ReplaySchedule
+	if seedSched == nil {
+		// Record the seed schedule under the given options (the -chaos
+		// plan, or the unperturbed run).
+		rec := home.NewScheduleRecorder()
+		recOpts := opts
+		recOpts.RecordSchedule, recOpts.Explain = rec, false
+		if _, rerr := home.CheckProgram(prog, recOpts); rerr != nil {
+			fmt.Fprintln(stderr, "homecheck: recording seed schedule:", rerr)
+			return 2
+		}
+		if seedSched, err = rec.Schedule(); err != nil {
+			fmt.Fprintln(stderr, "homecheck: seed schedule:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "explore: recorded seed schedule (%d decisions)\n", seedSched.Len())
+	}
+	if outDir == "" {
+		if outDir, err = os.MkdirTemp("", "homecheck-explore-"); err != nil {
+			fmt.Fprintln(stderr, "homecheck:", err)
+			return 2
+		}
+	}
+	res, err := explore.Run(prog, seedSched, explore.Config{
+		Procs:           opts.Procs,
+		Threads:         opts.Threads,
+		Seed:            seed,
+		Budget:          budget,
+		MutantTimeout:   timeout,
+		WatchdogGraceNs: opts.WatchdogGraceNs,
+		OutDir:          outDir,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "homecheck:", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "explore: %d mutants tried: %d ok, %d diverged, %d infeasible, %d budget-exceeded\n",
+		res.Tried, res.Outcomes.OK, res.Outcomes.Diverged, res.Outcomes.Infeasible, res.Outcomes.Budget)
+	s, e := res.CoverageStart, res.CoverageEnd
+	fmt.Fprintf(stdout, "explore: coverage %d -> %d distinct decisions (+%d)\n",
+		s.Matches+s.Collectives+s.LockOrders+s.CrashPoints,
+		e.Matches+e.Collectives+e.LockOrders+e.CrashPoints, res.NewSignatures())
+	if len(res.NewVerdicts) == 0 {
+		fmt.Fprintln(stdout, "explore: no new verdicts beyond the seed schedule")
+		return 0
+	}
+	fmt.Fprintf(stdout, "explore: %d new verdicts:\n", len(res.NewVerdicts))
+	for _, v := range res.NewVerdicts {
+		fmt.Fprintln(stdout, "  "+v)
+	}
+	for i, rp := range res.Repros {
+		status := "UNVERIFIED"
+		if rp.Verified {
+			status = "verified"
+		}
+		fmt.Fprintf(stdout, "explore: repro %d (%d mutations, %s): %s\n", i, len(rp.Mutations), status, rp.SchedPath)
+	}
+	return 1
 }
 
 // HomeRun implements the homerun command. Exit codes: 0 success,

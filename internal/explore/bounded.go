@@ -1,0 +1,66 @@
+package explore
+
+// Budgeted replay and mutant salvage. Every mutant runs under two
+// budgets: a virtual statement budget (home.Options.MaxSteps, typed
+// interp.ErrStepBudget) and a wall-clock budget enforced here. A
+// pathological forced interleaving that wedges past the watchdog's
+// reach reports BudgetExceeded instead of hanging the campaign — the
+// abandoned goroutine is leaked deliberately (its run state is
+// per-mutant and never read again).
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"home"
+	"home/internal/sched"
+)
+
+// CheckBounded runs home.CheckProgram under a wall-clock budget.
+// timedOut reports that the budget expired before the run finished;
+// the run's goroutine is abandoned (its per-run state is never read
+// after the deadline). A zero or negative timeout disables the bound.
+// A panicking replay is converted into an error — a mutant schedule
+// must never take the campaign down.
+func CheckBounded(prog *home.Program, opts home.Options, timeout time.Duration) (rep *home.Report, err error, timedOut bool) {
+	type result struct {
+		rep *home.Report
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- result{nil, fmt.Errorf("explore: replay panicked: %v", r)}
+			}
+		}()
+		r, e := home.CheckProgram(prog, opts)
+		ch <- result{r, e}
+	}()
+	if timeout <= 0 {
+		r := <-ch
+		return r.rep, r.err, false
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r.rep, r.err, false
+	case <-t.C:
+		return nil, nil, true
+	}
+}
+
+// LoadMutant decodes a serialized mutant schedule. Unlike the replay
+// path — which salvages a truncated stream's prefix — any decode
+// failure here is an error: a partially lost mutant is not the mutant
+// the campaign meant to test, so the caller classifies it Infeasible
+// with the decode error attached.
+func LoadMutant(data []byte) (*sched.Schedule, error) {
+	s, err := sched.Read(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,76 @@
+package explore
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+
+	"home/internal/chaos"
+	"home/internal/obs"
+	"home/internal/spec"
+)
+
+// docExploreNames extracts every backticked explore.* token from
+// docs/ROBUSTNESS.md's exploration section.
+func docExploreNames(t *testing.T) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "ROBUSTNESS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, m := range regexp.MustCompile("`(explore\\.[a-z_]+)`").FindAllStringSubmatch(string(data), -1) {
+		names[m[1]] = true
+	}
+	if len(names) == 0 {
+		t.Fatal("no explore.* names found in docs/ROBUSTNESS.md")
+	}
+	return names
+}
+
+// TestExploreStatDocDrift is the doc-drift gate over campaign
+// counters: every name a campaign registers must be documented in
+// docs/ROBUSTNESS.md, and every documented name must actually be
+// registered by a live campaign — the doc and the engine cannot
+// diverge silently.
+func TestExploreStatDocDrift(t *testing.T) {
+	doc := docExploreNames(t)
+
+	prog, seed := recordSeed(t, spec.ProbeViolation, chaos.Crash(5, 1, 1), 2, 2)
+	stats := obs.NewRegistry()
+	if _, err := Run(prog, seed, Config{
+		Procs: 2, Threads: 2, Seed: 1, Budget: 2,
+		MutantTimeout: 5 * time.Second, Stats: stats,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap := stats.Snapshot()
+	got := map[string]bool{}
+	for name := range snap.Counters {
+		got[name] = true
+	}
+
+	for name := range got {
+		if !doc[name] {
+			t.Errorf("stat %q is registered by campaigns but undocumented in docs/ROBUSTNESS.md", name)
+		}
+	}
+	for name := range doc {
+		if !got[name] {
+			t.Errorf("stat %q is documented in docs/ROBUSTNESS.md but never registered by a campaign", name)
+		}
+	}
+
+	// The exported inventory is the same contract: the pre-registered
+	// names and the registry contents must agree exactly.
+	if len(got) != len(StatNames) {
+		t.Errorf("campaign registered %d counters, StatNames lists %d", len(got), len(StatNames))
+	}
+	for _, name := range StatNames {
+		if !got[name] {
+			t.Errorf("StatNames entry %q was not registered", name)
+		}
+	}
+}

@@ -195,10 +195,40 @@ func (r *FleetReport) Markdown() string {
 			c.Runs, c.Stats.Get("detect.events"), c.Stats.Get("detect.vc_comparisons"), cov)
 	}
 
+	if camp := r.exploreCells(); len(camp) > 0 {
+		b.WriteString("\n## Exploration campaigns\n\n")
+		b.WriteString("| program | plan | verdict | mutants | ok | diverged | infeasible | budget | new verdicts | repros |\n")
+		b.WriteString("|---|---|---|---:|---:|---:|---:|---:|---:|---:|\n")
+		for _, c := range camp {
+			fmt.Fprintf(&b, "| %s | %s | %s | %d | %d | %d | %d | %d | %d | %d |\n",
+				mdCell(c.Label.Program), mdCell(c.Label.Plan), mdCell(c.Label.Verdict),
+				c.Stats.Get("explore.mutants"), c.Stats.Get("explore.ok"),
+				c.Stats.Get("explore.diverged"), c.Stats.Get("explore.infeasible"),
+				c.Stats.Get("explore.budget_exceeded"), c.Stats.Get("explore.new_verdicts"),
+				c.Stats.Get("explore.repros"))
+		}
+		fmt.Fprintf(&b, "\nCampaign totals: %d mutants, %d new verdicts, %d minimal repros (%d minimization replays), +%d coverage signatures.\n",
+			r.Total.Get("explore.mutants"), r.Total.Get("explore.new_verdicts"),
+			r.Total.Get("explore.repros"), r.Total.Get("explore.minimize_runs"),
+			r.Total.Get("explore.new_signatures"))
+	}
+
 	b.WriteString("\n## Fleet totals\n\n```\n")
 	b.WriteString(r.Total.String())
 	b.WriteString("```\n")
 	return b.String()
+}
+
+// exploreCells returns the cells that ran an exploration campaign
+// (any cell whose merged stats saw at least one mutant).
+func (r *FleetReport) exploreCells() []FleetCell {
+	var out []FleetCell
+	for _, c := range r.Cells {
+		if c.Stats.Get("explore.mutants") > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // mdCell renders a label field for a markdown table cell.

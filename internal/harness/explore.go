@@ -1,0 +1,173 @@
+package harness
+
+// Exploration campaigns over the injected-violation corpus. For each
+// corpus kind, RunExplore records one crash-perturbed seed schedule
+// and hands it to the schedule-space explorer (internal/explore); the
+// per-kind campaign results flatten into corpus runs so homebench
+// streams and `hometrace report` aggregate campaigns next to soak
+// cells.
+
+import (
+	"fmt"
+	"strings"
+
+	"home"
+	"home/internal/chaos"
+	"home/internal/explore"
+	"home/internal/faults"
+	"home/internal/minic"
+	"home/internal/obs"
+	"home/internal/sched"
+	"home/internal/spec"
+)
+
+// ExploreCell is one corpus kind's campaign.
+type ExploreCell struct {
+	Kind spec.Kind `json:"kind"`
+	// Plan describes the seed schedule's fault plan.
+	Plan string `json:"plan"`
+	// Result is the campaign outcome (mutants, histogram, new
+	// verdicts, repros, coverage growth).
+	Result *explore.Result `json:"result"`
+	// Stats is the campaign's explore.* counter snapshot.
+	Stats *home.StatsSnapshot `json:"stats,omitempty"`
+	// Err is the cell's failure, if the campaign could not run.
+	Err string `json:"err,omitempty"`
+}
+
+// ExploreReport aggregates a corpus-wide exploration sweep.
+type ExploreReport struct {
+	// Budget is the per-cell mutant budget.
+	Budget int           `json:"budget"`
+	Cells  []ExploreCell `json:"cells"`
+	// NewVerdicts counts campaign discoveries across all cells.
+	NewVerdicts int `json:"newVerdicts"`
+	// Repros counts minimal reproducing schedules emitted (Verified
+	// counts the ones whose replay reproduced the evidence bytes).
+	Repros   int `json:"repros"`
+	Verified int `json:"verified"`
+	// Errors counts cells that failed to run at all.
+	Errors int `json:"errors"`
+}
+
+// RunExplore sweeps an exploration campaign over every corpus kind.
+// Each cell seeds from a crash-perturbed recording (crash plans mask
+// violations on the dead rank, which is exactly the schedule
+// neighborhood worth exploring) and runs a budgeted campaign.
+func RunExplore(cfg Config, budget int) (*ExploreReport, error) {
+	cfg = cfg.withDefaults()
+	if budget <= 0 {
+		budget = 16
+	}
+	rep := &ExploreReport{Budget: budget}
+	for _, kind := range faults.AllKinds() {
+		cell := ExploreCell{Kind: kind}
+		plan := chaos.Crash(cfg.Seed+int64(kind), 1, 1)
+		cell.Plan = plan.String()
+		res, stats, err := exploreKind(kind, plan, cfg, budget)
+		if err != nil {
+			cell.Err = err.Error()
+			rep.Errors++
+		} else {
+			cell.Result = res
+			cell.Stats = stats
+			rep.NewVerdicts += len(res.NewVerdicts)
+			rep.Repros += len(res.Repros)
+			for _, rp := range res.Repros {
+				if rp.Verified {
+					rep.Verified++
+				}
+			}
+		}
+		rep.Cells = append(rep.Cells, cell)
+	}
+	return rep, nil
+}
+
+// exploreKind runs one corpus kind's campaign: record the seed
+// schedule under the cell plan, then explore its neighborhood.
+func exploreKind(kind spec.Kind, plan *chaos.Plan, cfg Config, budget int) (*explore.Result, *home.StatsSnapshot, error) {
+	prog, err := minic.Parse(faults.Program(kind))
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse %s: %w", kind, err)
+	}
+	rec := sched.NewRecorder()
+	if _, err := home.CheckProgram(prog, home.Options{
+		Procs:          cfg.TableProcs,
+		Threads:        cfg.Threads,
+		Chaos:          plan,
+		RecordSchedule: rec,
+	}); err != nil {
+		return nil, nil, fmt.Errorf("record seed for %s: %w", kind, err)
+	}
+	seed, err := rec.Schedule()
+	if err != nil {
+		return nil, nil, fmt.Errorf("seed schedule for %s: %w", kind, err)
+	}
+	stats := obs.NewRegistry()
+	res, err := explore.Run(prog, seed, explore.Config{
+		Procs:   cfg.TableProcs,
+		Threads: cfg.Threads,
+		Seed:    cfg.Seed,
+		Budget:  budget,
+		Stats:   stats,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("explore %s: %w", kind, err)
+	}
+	snap := stats.Snapshot()
+	return res, &snap, nil
+}
+
+// RenderExplore renders the sweep as the homebench text table.
+func RenderExplore(r *ExploreReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-kind campaigns, %d-mutant budget:\n", r.Budget)
+	fmt.Fprintf(&b, "  %-28s %8s %4s %9s %11s %7s %9s %7s\n",
+		"kind", "mutants", "ok", "diverged", "infeasible", "budget", "new", "repros")
+	for _, c := range r.Cells {
+		if c.Err != "" {
+			fmt.Fprintf(&b, "  %-28s error: %s\n", c.Kind, c.Err)
+			continue
+		}
+		res := c.Result
+		verified := 0
+		for _, rp := range res.Repros {
+			if rp.Verified {
+				verified++
+			}
+		}
+		fmt.Fprintf(&b, "  %-28s %8d %4d %9d %11d %7d %9d %4d/%d\n",
+			c.Kind, res.Tried, res.Outcomes.OK, res.Outcomes.Diverged,
+			res.Outcomes.Infeasible, res.Outcomes.Budget, len(res.NewVerdicts),
+			verified, len(res.Repros))
+	}
+	fmt.Fprintf(&b, "totals: %d new verdicts, %d minimal repros (%d verified), %d cell errors\n",
+		r.NewVerdicts, r.Repros, r.Verified, r.Errors)
+	return b.String()
+}
+
+// CorpusRuns flattens the sweep into corpus runs, one per cell,
+// labeled (kind, plan, "explore+N") where N counts the cell's new
+// verdicts — so a fleet report separates discovering campaigns from
+// barren ones.
+func (r *ExploreReport) CorpusRuns() []CorpusRun {
+	out := make([]CorpusRun, 0, len(r.Cells))
+	for _, c := range r.Cells {
+		verdict := "explore-error"
+		var stats *home.StatsSnapshot
+		var cov *sched.Coverage
+		if c.Err == "" {
+			verdict = fmt.Sprintf("explore+%d", len(c.Result.NewVerdicts))
+			stats = c.Stats
+			cc := c.Result.Coverage
+			cov = &cc
+		}
+		out = append(out, CorpusRun{
+			Label:    obs.Label{Program: c.Kind.String(), Plan: c.Plan, Verdict: verdict},
+			Stats:    stats,
+			Coverage: cov,
+		})
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExploreCampaignGolden pins the campaign-corpus → fleet-report
+// transform over a frozen exploration sweep
+// (testdata/explore-corpus.jsonl). Unlike soak cells, campaign cells
+// are virtual-time deterministic except for wall-clock budget
+// outcomes, so -update regenerates the corpus and the rendered golden
+// together from one live sweep.
+func TestExploreCampaignGolden(t *testing.T) {
+	corpusPath := filepath.Join("testdata", "explore-corpus.jsonl")
+	goldenPath := filepath.Join("testdata", "explore-report.golden")
+	if *update {
+		rep, err := RunExplore(Config{Seed: 3}, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCorpusFile(corpusPath, rep.CorpusRuns()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs, err := ReadCorpusFile(corpusPath)
+	if err != nil {
+		t.Fatalf("frozen campaign corpus (regenerate with -update): %v", err)
+	}
+	fleet := BuildFleet(runs)
+	got := []byte(fleet.Markdown())
+	if *update {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("campaign report drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if !strings.Contains(string(got), "## Exploration campaigns") {
+		t.Error("campaign corpus did not render an exploration section")
+	}
+}
+
+// TestExploreCorpusShape asserts the frozen campaign corpus carries
+// everything `hometrace report` aggregation needs: one cell per
+// corpus kind, explore-prefixed verdicts, explore.* stats, and
+// schedule coverage.
+func TestExploreCorpusShape(t *testing.T) {
+	runs, err := ReadCorpusFile(filepath.Join("testdata", "explore-corpus.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 6 {
+		t.Fatalf("frozen campaign corpus has %d cells, want 6", len(runs))
+	}
+	discoveries := 0
+	for _, run := range runs {
+		if !strings.HasPrefix(run.Label.Verdict, "explore") {
+			t.Errorf("%s: verdict %q lacks explore prefix", run.Label.Program, run.Label.Verdict)
+		}
+		if run.Label.Verdict == "explore-error" {
+			t.Errorf("%s: frozen corpus contains a failed cell", run.Label.Program)
+			continue
+		}
+		if run.Stats == nil || run.Stats.Get("explore.mutants") == 0 {
+			t.Errorf("%s: missing explore.mutants stat", run.Label.Program)
+		}
+		if run.Coverage == nil || run.Coverage.Total() == 0 {
+			t.Errorf("%s: missing campaign coverage", run.Label.Program)
+		}
+		if run.Label.Verdict != "explore+0" {
+			discoveries++
+		}
+	}
+	if discoveries == 0 {
+		t.Error("no campaign in the frozen corpus discovered a new verdict")
+	}
+}
+
+// TestRunExploreLive exercises the live sweep end to end on a tiny
+// budget: every corpus kind yields a cell, stats flow through, and
+// the rendered table carries the totals line.
+func TestRunExploreLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live exploration sweep")
+	}
+	rep, err := RunExplore(Config{Seed: 9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 6 {
+		t.Fatalf("sweep produced %d cells, want 6", len(rep.Cells))
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("sweep had %d cell errors", rep.Errors)
+	}
+	for _, c := range rep.Cells {
+		if c.Result.Tried == 0 {
+			t.Errorf("%s: campaign tried no mutants", c.Kind)
+		}
+		if c.Stats.Get("explore.mutants") != int64(c.Result.Tried) {
+			t.Errorf("%s: stats disagree with result: %v != %d",
+				c.Kind, c.Stats.Get("explore.mutants"), c.Result.Tried)
+		}
+	}
+	text := RenderExplore(rep)
+	if !strings.Contains(text, "totals:") {
+		t.Errorf("rendered table lacks totals line:\n%s", text)
+	}
+	if got := rep.CorpusRuns(); len(got) != 6 {
+		t.Errorf("CorpusRuns produced %d runs, want 6", len(got))
+	}
+}

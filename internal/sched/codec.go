@@ -64,9 +64,15 @@ func (e *TruncatedError) Unwrap() error { return ErrTruncated }
 // carrying the chaos plan, then the records in canonical order.
 func (r *Recorder) Write(w io.Writer) error {
 	plan, recs := r.snapshot()
+	return writeStream(w, plan, Version, recs)
+}
+
+// writeStream serializes an already-sorted record list as a schedule
+// stream.
+func writeStream(w io.Writer, plan chaos.Plan, version int, recs []Record) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	if err := enc.Encode(header{Format: Format, Version: Version, Plan: plan}); err != nil {
+	if err := enc.Encode(header{Format: Format, Version: version, Plan: plan}); err != nil {
 		return err
 	}
 	for _, rec := range recs {

@@ -286,7 +286,11 @@ func (r *Recorder) OrderLen() int {
 // snapshot returns the plan and a sorted copy of the records. Sorting
 // by (rank, tid, seq, kind) makes the serialized schedule a canonical,
 // byte-stable artifact regardless of host interleaving during the
-// recorded run.
+// recorded run. Exact duplicates collapse to one record: in echo mode
+// (replay + re-record) a forced decision can be booked twice — once by
+// the echo source, once by a runtime path that observes even on a
+// replay hit — with identical content. Duplicate keys with *different*
+// content are kept, so schedule construction still rejects them.
 func (r *Recorder) snapshot() (chaos.Plan, []Record) {
 	r.mu.Lock()
 	recs := make([]Record, len(r.recs))
@@ -306,7 +310,14 @@ func (r *Recorder) snapshot() (chaos.Plan, []Record) {
 		}
 		return a.Kind < b.Kind
 	})
-	return plan, recs
+	uniq := recs[:0]
+	for i, rec := range recs {
+		if i > 0 && rec == uniq[len(uniq)-1] {
+			continue
+		}
+		uniq = append(uniq, rec)
+	}
+	return plan, uniq
 }
 
 // Schedule is a recorded schedule loaded for replay. It implements

@@ -216,10 +216,13 @@ func TestReadHeaderErrors(t *testing.T) {
 }
 
 func TestReadRejectsDuplicateKeys(t *testing.T) {
-	r := NewRecorder()
-	r.RecordAbort(0, 0, 1)
-	r.RecordAbort(0, 0, 1)
-	if _, err := Read(bytes.NewReader(r.Bytes())); err == nil || !strings.Contains(err.Error(), "duplicate") {
+	// The recorder collapses identical duplicates (echo mode books a
+	// forced decision twice), so build the corrupt stream directly.
+	data := EncodeRecords(chaos.Plan{Seed: 1}, []Record{
+		{Kind: KindAbort, Rank: 0, TID: 0, Seq: 1},
+		{Kind: KindAbort, Rank: 0, TID: 0, Seq: 1},
+	})
+	if _, err := Read(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "duplicate") {
 		t.Errorf("err = %v, want duplicate-record rejection", err)
 	}
 }
