@@ -231,6 +231,7 @@ func main() {
 			fmt.Printf("baseline written to %s\n", *baseline)
 		}
 		if base != nil {
+			fmt.Print(harness.RenderBenchRatios(base, fresh))
 			if fails := harness.CompareBench(base, fresh, *tolerance); len(fails) != 0 {
 				return fmt.Errorf("perf regression vs %s:\n  %s", *compare, strings.Join(fails, "\n  "))
 			}

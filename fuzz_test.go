@@ -1,6 +1,7 @@
 package home
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 
@@ -8,6 +9,8 @@ import (
 	"home/internal/interp"
 	"home/internal/mpi"
 	"home/internal/omp"
+	"home/internal/sched"
+	"home/internal/spec"
 )
 
 // FuzzCheck drives the whole pipeline — parser, static analysis,
@@ -66,6 +69,87 @@ func FuzzCheck(f *testing.F) {
 			if rerr != nil && !documentedRunError(rerr) {
 				t.Fatalf("rank %d surfaced an undocumented error type %T: %v", rank, rerr, rerr)
 			}
+		}
+	})
+}
+
+// FuzzSchedBinary drives the schedule-stream reader — the v3 binary
+// frame decoder and the JSONL fallback it sniffs against — on
+// arbitrary bytes. The contract: Read never panics, every failure is
+// a documented typed error (*sched.TruncatedError or a hard decode
+// error), and a successfully decoded binary stream transcodes
+// losslessly.
+func FuzzSchedBinary(f *testing.F) {
+	// Seed with a real recorded schedule in both containers, plus
+	// truncated and corrupted variants of the binary form.
+	rec := sched.NewRecorder()
+	_, err := Check(faults.Program(spec.CollectiveCallViolation), Options{
+		Procs: 2, Threads: 2, Seed: 1,
+		Chaos:          ChaosPerturb(3),
+		RecordSchedule: rec,
+	})
+	if err != nil {
+		f.Fatalf("seed schedule: %v", err)
+	}
+	bin := rec.BytesBinary()
+	jsonl := rec.Bytes()
+	f.Add(bin)
+	f.Add(jsonl)
+	f.Add(bin[:len(bin)/2])
+	f.Add(bin[:len(bin)-1])
+	corrupt := append([]byte(nil), bin...)
+	corrupt[len(corrupt)/2] ^= 0x80
+	f.Add(corrupt)
+	f.Add([]byte(sched.BinaryMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := sched.Read(bytes.NewReader(data))
+		if err != nil {
+			var te *sched.TruncatedError
+			if errors.As(err, &te) {
+				// The salvage contract: a TruncatedError always carries
+				// a replayable prefix (the CLIs call methods on it).
+				if s == nil {
+					t.Fatalf("TruncatedError without a salvaged schedule: %v", err)
+				}
+				if te.Records < 0 {
+					t.Fatalf("negative salvage count %d", te.Records)
+				}
+				return
+			}
+			if s != nil {
+				t.Fatalf("schedule returned alongside hard error %v", err)
+			}
+			return
+		}
+		if s == nil {
+			t.Fatal("Read returned neither schedule nor error")
+		}
+		if !sched.Binary(data) {
+			// JSONL streams can carry fields outside their kind's
+			// payload contract, which the binary container does not
+			// preserve; the round-trip guarantee applies to canonical
+			// streams (internal/difftest pins those), not fuzzed ones.
+			return
+		}
+		// A decoded binary stream is canonical by construction: both
+		// re-encodes must reproduce it exactly.
+		rebin, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("binary-decoded schedule failed to re-encode: %v", err)
+		}
+		s2, rerr := sched.Read(bytes.NewReader(rebin))
+		if rerr != nil {
+			t.Fatalf("re-encoded stream failed to decode: %v", rerr)
+		}
+		j1, err1 := s.MarshalJSONL()
+		j2, err2 := s2.MarshalJSONL()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("jsonl re-encode: %v / %v", err1, err2)
+		}
+		if !bytes.Equal(j1, j2) {
+			t.Fatalf("binary round trip diverged:\n got %q\nwant %q", j2, j1)
 		}
 	})
 }

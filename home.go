@@ -556,6 +556,8 @@ func replayForced(opts *Options) (forced0, orderForced0 int64) {
 //	sched.replay_forced  recorded decisions replay forced onto this run
 //	sched.order_forced   subset of sched.replay_forced from the order
 //	                     families (always 0 when replaying a v1 stream)
+//	sched.bytes_v3       recorded schedule size in the v3 binary
+//	                     container
 func recordSchedStats(opts *Options, forced0, orderForced0 int64) {
 	if opts.ReplaySchedule != nil {
 		opts.Stats.Counter("sched.replay_forced").Add(opts.ReplaySchedule.Forced() - forced0)
@@ -564,6 +566,10 @@ func recordSchedStats(opts *Options, forced0, orderForced0 int64) {
 	if opts.RecordSchedule != nil {
 		opts.Stats.Counter("sched.records").Add(int64(opts.RecordSchedule.Len()))
 		opts.Stats.Counter("sched.order_records").Add(int64(opts.RecordSchedule.OrderLen()))
+		// Size of the run's schedule in the v3 binary container — the
+		// artifact cost a `hometrace transcode` or WriteFileBinary
+		// would pay, and the number the codec-size CI gate watches.
+		opts.Stats.Counter("sched.bytes_v3").Add(int64(len(opts.RecordSchedule.BytesBinary())))
 	}
 }
 

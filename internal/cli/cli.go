@@ -5,12 +5,14 @@
 package cli
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -493,6 +495,8 @@ func HomeTrace(args []string, stdout, stderr io.Writer) int {
 		return traceTimeline(args[1:], stdout, stderr)
 	case "report":
 		return traceReport(args[1:], stdout, stderr)
+	case "transcode":
+		return traceTranscode(args[1:], stdout, stderr)
 	}
 	traceUsage(stderr)
 	return 2
@@ -501,11 +505,12 @@ func HomeTrace(args []string, stdout, stderr io.Writer) int {
 func traceUsage(stderr io.Writer) {
 	fmt.Fprintln(stderr, `usage:
   hometrace record [-procs N] [-threads N] [-seed S] [-all] [-spans out.json] program.c > trace.jsonl
-  hometrace analyze [-mode combined|lockset|hb] [-ignore-locks] trace.jsonl
+  hometrace analyze [-mode combined|lockset|hb] [-ignore-locks] [-shards N] trace.jsonl
   hometrace replay [-procs N] [-threads N] [-seed S] [-mode M] sched.jsonl program.c
   hometrace timeline [-procs N] [-threads N] [-seed S] [-o out.json] trace.jsonl
   hometrace timeline [-procs N] [-threads N] [-seed S] [-o out.json] sched.jsonl program.c
   hometrace report [-format md|json] corpus.jsonl
+  hometrace transcode [-to v3|jsonl] [-o out] sched.jsonl|sched.bin
 
 replay re-checks the program while forcing the fault schedule recorded
 by homecheck -record-sched; pass the same -procs/-threads/-seed as the
@@ -523,7 +528,14 @@ recorded fault schedule through the full checker first.
 report aggregates a run corpus (homebench -exp chaos -corpus out.jsonl)
 into a fleet report: per-(program, plan, verdict) cells with merged
 stats, plus corpus-wide schedule-space coverage. -format md renders
-markdown; -format json emits the FleetReport document.`)
+markdown; -format json emits the FleetReport document.
+
+transcode converts a schedule between the JSONL container and the v3
+binary container (-to v3 by default when given JSONL, -to jsonl when
+given binary). The conversion is lossless: records, their order and
+the stream's base version survive exactly, so a transcoded schedule
+replays with the same guarantee, and a v2->v3->v2 round trip is
+byte-identical.`)
 }
 
 // traceReport renders a run-corpus JSONL file (written by homebench
@@ -778,6 +790,7 @@ func traceAnalyze(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	mode := fs.String("mode", "combined", "analysis: combined, lockset, or hb")
 	ignoreLocks := fs.Bool("ignore-locks", false, "drop lock events (the ITC model)")
+	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "parallel shards for the offline pair scan (1 = serial; output is identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -803,7 +816,7 @@ func traceAnalyze(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "hometrace: warning: %v; analyzing the salvaged prefix\n", te)
 	}
 
-	opts := detect.Options{IgnoreLocks: *ignoreLocks}
+	opts := detect.Options{IgnoreLocks: *ignoreLocks, Shards: *shards}
 	m, ok := parseMode(*mode)
 	if !ok {
 		traceUsage(stderr)
@@ -823,5 +836,66 @@ func traceAnalyze(args []string, stdout, stderr io.Writer) int {
 	if len(violations) > 0 {
 		return 1
 	}
+	return 0
+}
+
+// traceTranscode converts a schedule stream between the JSONL and v3
+// binary containers, losslessly. Exit codes: 0 written, 2 errors
+// (including truncated input — a partial artifact should be salvaged
+// deliberately with replay, not silently re-serialized as complete).
+func traceTranscode(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("transcode", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	to := fs.String("to", "", "target container: v3 or jsonl (default: the one the input is not)")
+	out := fs.String("o", "", "write the converted schedule to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		traceUsage(stderr)
+		return 2
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "hometrace:", err)
+		return 2
+	}
+	target := *to
+	if target == "" {
+		if sched.Binary(data) {
+			target = "jsonl"
+		} else {
+			target = "v3"
+		}
+	}
+	s, err := sched.Read(bytes.NewReader(data))
+	if err != nil {
+		fmt.Fprintln(stderr, "hometrace:", err)
+		return 2
+	}
+	var converted []byte
+	switch target {
+	case "v3", "binary":
+		converted, err = s.MarshalBinary()
+	case "jsonl", "json":
+		converted, err = s.MarshalJSONL()
+	default:
+		fmt.Fprintf(stderr, "hometrace: unknown -to %q (want v3 or jsonl)\n", target)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "hometrace:", err)
+		return 2
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, converted, 0o644); err != nil {
+			fmt.Fprintln(stderr, "hometrace:", err)
+			return 2
+		}
+	} else if _, err := stdout.Write(converted); err != nil {
+		fmt.Fprintln(stderr, "hometrace:", err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "transcoded %d bytes to %d bytes (%s)\n", len(data), len(converted), target)
 	return 0
 }

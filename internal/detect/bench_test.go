@@ -56,3 +56,36 @@ func BenchmarkAnalyzeCombined(b *testing.B)  { benchAnalyze(b, ModeCombined, 4, 
 func BenchmarkAnalyzeLockset(b *testing.B)   { benchAnalyze(b, ModeLocksetOnly, 4, 50) }
 func BenchmarkAnalyzeHB(b *testing.B)        { benchAnalyze(b, ModeHappensBeforeOnly, 4, 50) }
 func BenchmarkAnalyzeWideTeams(b *testing.B) { benchAnalyze(b, ModeCombined, 16, 20) }
+
+// Width-parameterized variants: clock width (threads interned into
+// the slot space) is the packed representation's scaling axis — the
+// epoch fast paths must keep the common operations O(1) as teams
+// grow, with the O(width) scans confined to genuine contention.
+func benchAnalyzeWidth(b *testing.B, nThreads int) {
+	// Scale rounds down so total event count stays comparable across
+	// widths and the metric isolates per-event cost at each width.
+	rounds := 1600 / nThreads
+	if rounds < 2 {
+		rounds = 2
+	}
+	benchAnalyze(b, ModeCombined, nThreads, rounds)
+}
+
+func BenchmarkAnalyzeWidth8(b *testing.B)   { benchAnalyzeWidth(b, 8) }
+func BenchmarkAnalyzeWidth64(b *testing.B)  { benchAnalyzeWidth(b, 64) }
+func BenchmarkAnalyzeWidth256(b *testing.B) { benchAnalyzeWidth(b, 256) }
+
+// BenchmarkAnalyzeSharded measures the sharded offline scan against
+// the serial one on the same wide log.
+func benchAnalyzeSharded(b *testing.B, shards int) {
+	events := syntheticLog(64, 25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(events, Options{Mode: ModeCombined, Shards: shards})
+	}
+	b.ReportMetric(float64(len(events)), "events")
+}
+
+func BenchmarkAnalyzeShards1(b *testing.B) { benchAnalyzeSharded(b, 1) }
+func BenchmarkAnalyzeShards4(b *testing.B) { benchAnalyzeSharded(b, 4) }

@@ -27,8 +27,12 @@
 package detect
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"sort"
+	"sync"
 
 	"home/internal/obs"
 	"home/internal/sim"
@@ -95,6 +99,16 @@ type Options struct {
 	// order, so explained reports are byte-stable across host
 	// schedules. Costs one clock copy per monitored access.
 	Explain bool
+
+	// Shards, when > 1, parallelizes the offline pair-checking phase:
+	// locations are partitioned by (rank, variable) and scanned by
+	// that many workers. The clock replay itself stays sequential (it
+	// is inherently ordered), but the O(history²) access-pair scans —
+	// the bulk of the work on access-heavy logs — are independent per
+	// location. Reports, witnesses and stats are identical to the
+	// serial analysis (internal/difftest proves it). Ignored by the
+	// online analyzer, which interleaves checking with arrival.
+	Shards int
 }
 
 // Default history/report bounds.
@@ -179,40 +193,49 @@ func (r *Report) RacesOn(rank int, name string) []Race {
 
 // threadState is the replay state of one logical thread.
 type threadState struct {
-	clock vclock.VC
+	clock *vclock.Packed
 	locks map[string]struct{}
 }
 
 // accessRec is a retained access with its analysis snapshots.
 type accessRec struct {
-	seq   uint64
-	gid   vclock.TID
-	rank  int
-	tid   int
-	time  int64
-	op    trace.Op
-	epoch vclock.Epoch
-	locks map[string]struct{}
-	call  *trace.MPICall
-	ix    uint64    // per-lane event index (Explain only)
-	clock vclock.VC // full clock snapshot (Explain only)
+	seq    uint64
+	gid    vclock.TID
+	rank   int
+	tid    int
+	time   int64
+	op     trace.Op
+	eslot  vclock.Slot // last-write epoch: accessor's slot ...
+	ev     uint64      // ... and component, pre-tick (FastTrack)
+	locks  map[string]struct{}
+	call   *trace.MPICall
+	pclock *vclock.Packed // O(1) clock snapshot (batch mode only)
+	ix     uint64         // per-lane event index (Explain only)
+	clock  vclock.VC      // full clock snapshot (Explain only)
 }
 
 // analyzer carries the replay state.
 type analyzer struct {
 	opts    Options
+	space   *vclock.Space
 	threads map[vclock.TID]*threadState
+	// batch defers access-pair checking to a post-replay phase (the
+	// offline Analyze path, where it can shard); the online path
+	// checks incrementally as accesses arrive.
+	batch bool
 	// fork snapshots and join accumulators per sync episode
-	forkClocks map[trace.SyncID]vclock.VC
-	joinAccs   map[trace.SyncID]vclock.VC
+	forkClocks map[trace.SyncID]*vclock.Packed
+	joinAccs   map[trace.SyncID]*vclock.Packed
 	// barrier episodes: expected participant count (from pre-pass) and
 	// accumulated state
 	barrierExpect  map[trace.SyncID]int
 	barrierArrived map[trace.SyncID][]vclock.TID
-	barrierMerge   map[trace.SyncID]vclock.VC
+	barrierMerge   map[trace.SyncID]*vclock.Packed
 	// lock vector clocks for release->acquire edges
-	lockClocks map[string]vclock.VC
-	// per-location access history
+	lockClocks map[string]*vclock.Packed
+	// per-location access history (bounded incrementally online;
+	// batch mode retains every arrival and applies the bound during
+	// the scan phase)
 	history map[trace.Loc][]accessRec
 	races   map[trace.Loc][]Race
 	// per-lane event counters (Explain only): the next index each
@@ -230,7 +253,9 @@ type analyzer struct {
 //	detect.events             events consumed by the analyses
 //	detect.vc_comparisons     FastTrack epoch-vs-clock tests performed
 //	detect.vc_joins           full-width vector-clock joins performed
+//	detect.epoch_hits         O(width) joins elided by O(1) epoch adoption
 //	detect.vc_width           vector-clock component high-water mark (gauge)
+//	detect.shards             pair-scan shards of the analysis (gauge)
 //	detect.lockset_size       lockset size per access (histogram)
 //	detect.lockset_candidates access pairs the lockset analysis flagged
 //	detect.hb_candidates      access pairs happens-before found concurrent
@@ -238,12 +263,21 @@ type analyzer struct {
 //
 // vc_comparisons are O(1) epoch tests; vc_joins are the O(width)
 // operations — the detector's true vector-clock hot path, which is
-// why the hotspot profile reports both.
+// why the hotspot profile reports both. epoch_hits counts the
+// synchronization edges (fork→begin adoption, an episode's first
+// end-contribution, barrier publication and completion) where the
+// packed clock's epoch fast path replaced a full join with an O(1)
+// slice share; every hit is a join the map-backed detector would have
+// performed. Both counts depend only on the trace's synchronization
+// structure, not on host scheduling, so they stay gate-worthy
+// deterministic metrics.
 type analyzerStats struct {
 	events      *obs.Counter
 	vcCompares  *obs.Counter
 	vcJoins     *obs.Counter
+	epochHits   *obs.Counter
 	vcWidth     *obs.Gauge
+	shards      *obs.Gauge
 	locksetSize *obs.Histogram
 	lsCandid    *obs.Counter
 	hbCandid    *obs.Counter
@@ -255,7 +289,9 @@ func newAnalyzerStats(reg *obs.Registry) analyzerStats {
 		events:      reg.Counter("detect.events"),
 		vcCompares:  reg.Counter("detect.vc_comparisons"),
 		vcJoins:     reg.Counter("detect.vc_joins"),
+		epochHits:   reg.Counter("detect.epoch_hits"),
 		vcWidth:     reg.Gauge("detect.vc_width"),
+		shards:      reg.Gauge("detect.shards"),
 		locksetSize: reg.Histogram("detect.lockset_size"),
 		lsCandid:    reg.Counter("detect.lockset_candidates"),
 		hbCandid:    reg.Counter("detect.hb_candidates"),
@@ -268,13 +304,14 @@ func newAnalyzer(opts Options) *analyzer {
 	return &analyzer{
 		opts:           opts,
 		st:             newAnalyzerStats(opts.Stats),
+		space:          vclock.NewSpace(),
 		threads:        make(map[vclock.TID]*threadState),
-		forkClocks:     make(map[trace.SyncID]vclock.VC),
-		joinAccs:       make(map[trace.SyncID]vclock.VC),
+		forkClocks:     make(map[trace.SyncID]*vclock.Packed),
+		joinAccs:       make(map[trace.SyncID]*vclock.Packed),
 		barrierExpect:  make(map[trace.SyncID]int),
 		barrierArrived: make(map[trace.SyncID][]vclock.TID),
-		barrierMerge:   make(map[trace.SyncID]vclock.VC),
-		lockClocks:     make(map[string]vclock.VC),
+		barrierMerge:   make(map[trace.SyncID]*vclock.Packed),
+		lockClocks:     make(map[string]*vclock.Packed),
 		history:        make(map[trace.Loc][]accessRec),
 		races:          make(map[trace.Loc][]Race),
 		laneIx:         make(map[vclock.TID]uint64),
@@ -318,7 +355,11 @@ func accessEq(a, b Access) bool {
 	return a.Rank == b.Rank && a.TID == b.TID && a.Ix == b.Ix
 }
 
-// Analyze replays the event log and returns the race report.
+// Analyze replays the event log and returns the race report. The
+// clock replay is sequential (the happens-before relation is built in
+// log order); the access-pair scans run on opts.Shards workers
+// partitioned by location, producing a report identical to the serial
+// scan.
 func Analyze(events []trace.Event, opts Options) *Report {
 	if opts.MaxHistoryPerLoc <= 0 {
 		opts.MaxHistoryPerLoc = DefaultMaxHistory
@@ -326,7 +367,12 @@ func Analyze(events []trace.Event, opts Options) *Report {
 	if opts.MaxRacesPerLoc <= 0 {
 		opts.MaxRacesPerLoc = DefaultMaxRaces
 	}
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
 	a := newAnalyzer(opts)
+	a.batch = true
+	a.st.shards.Observe(int64(opts.Shards))
 
 	// Pre-pass: barrier participant counts per episode. Every
 	// participant emits exactly one OpBarrier per episode before any
@@ -341,6 +387,7 @@ func Analyze(events []trace.Event, opts Options) *Report {
 	for _, e := range events {
 		a.step(e)
 	}
+	a.scanAll()
 
 	rep := a.report()
 	rep.EventsAnalyzed = len(events)
@@ -352,8 +399,8 @@ func (a *analyzer) thread(rank, tid int) (*threadState, vclock.TID) {
 	gid := sim.GID(rank, tid)
 	st, ok := a.threads[gid]
 	if !ok {
-		st = &threadState{clock: vclock.New(), locks: make(map[string]struct{})}
-		st.clock.Tick(gid)
+		st = &threadState{clock: a.space.Clock(gid), locks: make(map[string]struct{})}
+		st.clock.Tick()
 		a.threads[gid] = st
 	}
 	return st, gid
@@ -370,16 +417,25 @@ func (a *analyzer) step(e trace.Event) {
 	}
 	switch e.Op {
 	case trace.OpFork:
-		a.forkClocks[e.Sync] = st.clock.Copy()
+		a.forkClocks[e.Sync] = st.clock.Publish()
 	case trace.OpBegin:
 		if fc, ok := a.forkClocks[e.Sync]; ok {
-			a.join(st.clock, fc)
+			// The fork snapshot dominates everything the member thread
+			// has seen except its own ticks (the member's last
+			// contribution flowed to the parent through the previous
+			// region's join), so adoption nearly always applies.
+			a.adoptOrJoin(st.clock, fc)
 		}
 	case trace.OpEnd:
 		acc, ok := a.joinAccs[e.Sync]
 		if !ok {
-			acc = vclock.New()
-			a.joinAccs[e.Sync] = acc
+			// The episode's first contribution IS the accumulator:
+			// publishing the member's clock replaces the join into an
+			// empty clock the map-backed detector performs.
+			a.joinAccs[e.Sync] = st.clock.Publish()
+			a.st.epochHits.Inc()
+			a.st.vcWidth.Observe(int64(st.clock.Components()))
+			break
 		}
 		a.join(acc, st.clock)
 	case trace.OpJoin:
@@ -397,7 +453,7 @@ func (a *analyzer) step(e trace.Event) {
 		}
 	case trace.OpRelease:
 		if !a.opts.IgnoreLocks {
-			a.lockClocks[e.Lock.Name] = st.clock.Copy()
+			a.lockClocks[e.Lock.Name] = st.clock.Publish()
 			delete(st.locks, e.Lock.Name)
 		}
 	case trace.OpRead, trace.OpWrite:
@@ -406,32 +462,53 @@ func (a *analyzer) step(e trace.Event) {
 		// Call records are consumed by the spec matcher, not the race
 		// analyses.
 	}
-	st.clock.Tick(gid)
+	st.clock.Tick()
 }
 
 // join performs a full-width O(width) clock join — the analyzer's
 // vector-clock hot path — counting it and tracking the width
 // high-water mark for the hotspot profile.
-func (a *analyzer) join(dst, src vclock.VC) {
+func (a *analyzer) join(dst, src *vclock.Packed) {
 	dst.Join(src)
 	a.st.vcJoins.Inc()
-	a.st.vcWidth.Observe(int64(len(dst)))
+	a.st.vcWidth.Observe(int64(dst.Components()))
+}
+
+// adoptOrJoin takes the O(1) epoch-adoption fast path when it
+// applies, falling back to the counted full join. Whether adoption
+// applies at a given synchronization edge depends only on the trace's
+// happens-before structure — never on host scheduling — so the two
+// counters stay deterministic.
+func (a *analyzer) adoptOrJoin(dst, src *vclock.Packed) {
+	if dst.Adopt(src) {
+		a.st.epochHits.Inc()
+		a.st.vcWidth.Observe(int64(dst.Components()))
+		return
+	}
+	a.join(dst, src)
 }
 
 // barrier accumulates one arrival; the last arrival merges every
 // participant's clock into all of them (everything before the barrier
-// happens-before everything after it).
+// happens-before everything after it). The first arrival's published
+// clock seeds the merge, and completion distributes the merge by
+// adoption: a participant's clock differs from its arrival snapshot
+// only by its own post-arrival tick, which the packed clock keeps
+// out-of-line, so sharing the merge slice is exactly the join result.
 func (a *analyzer) barrier(s trace.SyncID, gid vclock.TID, st *threadState) {
 	merge, ok := a.barrierMerge[s]
 	if !ok {
-		merge = vclock.New()
+		merge = st.clock.Publish()
 		a.barrierMerge[s] = merge
+		a.st.epochHits.Inc()
+		a.st.vcWidth.Observe(int64(merge.Components()))
+	} else {
+		a.join(merge, st.clock)
 	}
-	a.join(merge, st.clock)
 	a.barrierArrived[s] = append(a.barrierArrived[s], gid)
 	if len(a.barrierArrived[s]) >= a.barrierExpect[s] {
 		for _, g := range a.barrierArrived[s] {
-			a.join(a.threads[g].clock, merge)
+			a.adoptOrJoin(a.threads[g].clock, merge)
 		}
 		delete(a.barrierArrived, s)
 		delete(a.barrierMerge, s)
@@ -439,7 +516,9 @@ func (a *analyzer) barrier(s trace.SyncID, gid vclock.TID, st *threadState) {
 }
 
 // access checks the new access against the location history and
-// records it.
+// records it. In batch mode it only records — the pair checks run in
+// the sharded scan phase against the access's O(1) clock snapshot —
+// while the online path checks incrementally against the live clock.
 func (a *analyzer) access(e trace.Event, st *threadState, gid vclock.TID, ix uint64) {
 	rec := accessRec{
 		seq:   e.Seq,
@@ -448,19 +527,56 @@ func (a *analyzer) access(e trace.Event, st *threadState, gid vclock.TID, ix uin
 		tid:   e.TID,
 		time:  e.Time,
 		op:    e.Op,
-		epoch: vclock.EpochOf(st.clock, gid),
+		eslot: st.clock.OwnSlot(),
+		ev:    st.clock.OwnV(),
 		locks: copyLocks(st.locks),
 		call:  e.Call,
 	}
 	if a.opts.Explain {
 		rec.ix = ix
-		rec.clock = st.clock.Copy()
+		rec.clock = st.clock.ToVC()
 	}
 	a.st.locksetSize.Observe(int64(len(rec.locks)))
+	if a.batch {
+		rec.pclock = st.clock.Snapshot()
+		a.history[e.Loc] = append(a.history[e.Loc], rec)
+		return
+	}
 	hist := a.history[e.Loc]
+	var tally pairTally
+	races := a.checkPairs(e.Loc, hist, &rec, st.clock, a.races[e.Loc], &tally)
+	if len(races) > 0 {
+		a.races[e.Loc] = races
+	}
+	tally.add(&a.st)
+	if len(hist) < a.opts.MaxHistoryPerLoc {
+		a.history[e.Loc] = append(hist, rec)
+	}
+}
+
+// pairTally accumulates the pair-scan counters locally so the sharded
+// scan can fold them into the registry once per shard (counter
+// addition commutes, so totals are identical to serial counting).
+type pairTally struct {
+	vcCompares, lsCandid, hbCandid, confirmed int64
+}
+
+func (t *pairTally) add(st *analyzerStats) {
+	st.vcCompares.Add(t.vcCompares)
+	st.lsCandid.Add(t.lsCandid)
+	st.hbCandid.Add(t.hbCandid)
+	st.confirmed.Add(t.confirmed)
+}
+
+// checkPairs tests one access against the prior history of its
+// location, appending reported races (bounded by MaxRacesPerLoc) and
+// tallying the pair counters. clock is the accessor's clock at the
+// access — the live thread clock online, the access's snapshot in the
+// scan phase.
+func (a *analyzer) checkPairs(loc trace.Loc, hist []accessRec, rec *accessRec, clock *vclock.Packed, races []Race, tally *pairTally) []Race {
 	for i := range hist {
 		prev := &hist[i]
-		if prev.gid == gid {
+		if prev.gid == rec.gid {
 			continue
 		}
 		if prev.op != trace.OpWrite && rec.op != trace.OpWrite {
@@ -469,14 +585,15 @@ func (a *analyzer) access(e trace.Event, st *threadState, gid vclock.TID, ix uin
 		lsRace := disjoint(prev.locks, rec.locks)
 		// prev happened earlier in the log; it is ordered before the
 		// current access iff its epoch has been observed by the
-		// current thread's clock (FastTrack's epoch test).
-		a.st.vcCompares.Inc()
-		hbRace := !prev.epoch.Leq(st.clock)
+		// current thread's clock (FastTrack's epoch test) — one O(1)
+		// slot read on the packed clock.
+		tally.vcCompares++
+		hbRace := prev.ev > clock.AtSlot(prev.eslot)
 		if lsRace {
-			a.st.lsCandid.Inc()
+			tally.lsCandid++
 		}
 		if hbRace {
-			a.st.hbCandid.Inc()
+			tally.hbCandid++
 		}
 
 		reported := false
@@ -489,9 +606,9 @@ func (a *analyzer) access(e trace.Event, st *threadState, gid vclock.TID, ix uin
 			reported = hbRace
 		}
 		if reported {
-			a.st.confirmed.Inc()
+			tally.confirmed++
 		}
-		if reported && len(a.races[e.Loc]) < a.opts.MaxRacesPerLoc {
+		if reported && len(races) < a.opts.MaxRacesPerLoc {
 			first, second := prev.toAccess(), rec.toAccess()
 			// Under Explain the pair order is canonical — by
 			// schedule-stable lane coordinate rather than analysis
@@ -500,8 +617,8 @@ func (a *analyzer) access(e trace.Event, st *threadState, gid vclock.TID, ix uin
 			if a.opts.Explain && laneAfter(first, second) {
 				first, second = second, first
 			}
-			a.races[e.Loc] = append(a.races[e.Loc], Race{
-				Loc:         e.Loc,
+			races = append(races, Race{
+				Loc:         loc,
 				First:       first,
 				Second:      second,
 				LocksetRace: lsRace,
@@ -509,9 +626,91 @@ func (a *analyzer) access(e trace.Event, st *threadState, gid vclock.TID, ix uin
 			})
 		}
 	}
-	if len(hist) < a.opts.MaxHistoryPerLoc {
-		a.history[e.Loc] = append(hist, rec)
+	return races
+}
+
+// scanAll runs the batch pair-checking phase: locations are
+// partitioned across opts.Shards workers and scanned independently.
+// Each location's scan replays the incremental semantics exactly —
+// the j-th arrival is checked against the first min(j,
+// MaxHistoryPerLoc) arrivals, in arrival order — so reports and
+// counters match the online analyzer's.
+func (a *analyzer) scanAll() {
+	locs := make([]trace.Loc, 0, len(a.history))
+	for l := range a.history {
+		locs = append(locs, l)
 	}
+	sort.Slice(locs, func(i, j int) bool {
+		if locs[i].Rank != locs[j].Rank {
+			return locs[i].Rank < locs[j].Rank
+		}
+		return locs[i].Name < locs[j].Name
+	})
+	shards := a.opts.Shards
+	if shards > len(locs) {
+		shards = len(locs)
+	}
+	if shards <= 1 {
+		var tally pairTally
+		for _, l := range locs {
+			if races := a.scanLoc(l, &tally); len(races) > 0 {
+				a.races[l] = races
+			}
+		}
+		tally.add(&a.st)
+		return
+	}
+	var wg sync.WaitGroup
+	results := make([]map[trace.Loc][]Race, shards)
+	tallies := make([]pairTally, shards)
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			out := make(map[trace.Loc][]Race)
+			for _, l := range locs {
+				if locShard(l, shards) != s {
+					continue
+				}
+				out[l] = a.scanLoc(l, &tallies[s])
+			}
+			results[s] = out
+		}(s)
+	}
+	wg.Wait()
+	for s := 0; s < shards; s++ {
+		for l, races := range results[s] {
+			if len(races) > 0 {
+				a.races[l] = races
+			}
+		}
+		tallies[s].add(&a.st)
+	}
+}
+
+// scanLoc checks every access pair of one location.
+func (a *analyzer) scanLoc(loc trace.Loc, tally *pairTally) []Race {
+	arr := a.history[loc]
+	var races []Race
+	for j := 1; j < len(arr); j++ {
+		n := j
+		if n > a.opts.MaxHistoryPerLoc {
+			n = a.opts.MaxHistoryPerLoc
+		}
+		races = a.checkPairs(loc, arr[:n], &arr[j], arr[j].pclock, races, tally)
+	}
+	return races
+}
+
+// locShard assigns a location to a scan shard by its (rank, variable)
+// identity — stable across runs and shard counts' partitions of work.
+func locShard(l trace.Loc, shards int) int {
+	h := fnv.New32a()
+	io.WriteString(h, l.Name)
+	var rb [4]byte
+	binary.LittleEndian.PutUint32(rb[:], uint32(l.Rank))
+	h.Write(rb[:])
+	return int(h.Sum32() % uint32(shards))
 }
 
 func (r accessRec) toAccess() Access {

@@ -38,10 +38,12 @@ func NewOnline(opts Options) *Online {
 	if opts.MaxRacesPerLoc <= 0 {
 		opts.MaxRacesPerLoc = DefaultMaxRaces
 	}
-	return &Online{
+	o := &Online{
 		a:       newAnalyzer(opts),
 		pending: make(map[vclock.TID][]trace.SyncID),
 	}
+	o.a.st.shards.Observe(1) // online checking is inline, never sharded
+	return o
 }
 
 // Emit consumes one event (trace.Sink). Events are numbered in
@@ -55,10 +57,18 @@ func (o *Online) Emit(e trace.Event) {
 	st, gid := o.a.thread(e.Rank, e.TID)
 
 	// Absorb completed barrier episodes before the thread's next
-	// action.
+	// action. The first pending merge usually adopts in O(1): since
+	// its arrival the thread has only ticked, and the merge dominates
+	// its arrival clock, so sharing the merge slice is exactly the
+	// join result. Later pending merges fold over an already-adopted
+	// slice and take the full join.
 	if eps := o.pending[gid]; len(eps) > 0 && e.Op != trace.OpBarrier {
-		for _, s := range eps {
+		for i, s := range eps {
 			if merge, ok := o.a.barrierMerge[s]; ok {
+				if i == 0 && st.clock.Adopt(merge) {
+					o.a.st.epochHits.Inc()
+					continue
+				}
 				st.clock.Join(merge)
 			}
 		}
@@ -75,12 +85,13 @@ func (o *Online) Emit(e trace.Event) {
 		}
 		merge, ok := o.a.barrierMerge[e.Sync]
 		if !ok {
-			merge = vclock.New()
-			o.a.barrierMerge[e.Sync] = merge
+			o.a.barrierMerge[e.Sync] = st.clock.Publish()
+			o.a.st.epochHits.Inc()
+		} else {
+			merge.Join(st.clock)
 		}
-		merge.Join(st.clock)
 		o.pending[gid] = append(o.pending[gid], e.Sync)
-		st.clock.Tick(gid)
+		st.clock.Tick()
 	default:
 		o.a.step(e)
 	}

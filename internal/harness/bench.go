@@ -22,9 +22,16 @@ import (
 )
 
 // Bench wire format constants.
+//
+// Schema history:
+//
+//	1  camelCase detector-counter keys (vcComparisons, vcJoins)
+//	2  detector counters keyed by their registry names
+//	   (detect.vc_comparisons, detect.vc_joins), so a baseline row and
+//	   the stats snapshot it came from agree on spelling
 const (
 	BenchFormat = "home-bench"
-	BenchSchema = 1
+	BenchSchema = 2
 )
 
 // BenchWorkload is one (benchmark, procs) measurement.
@@ -32,15 +39,38 @@ type BenchWorkload struct {
 	Benchmark string `json:"benchmark"`
 	Procs     int    `json:"procs"`
 
-	// Gated metrics: deterministic functions of the simulation.
+	// Gated metrics: deterministic functions of the simulation. The
+	// counter fields carry their obs registry names.
 	MakespanNs    int64 `json:"makespanNs"`
 	Events        int   `json:"events"`
-	VCComparisons int64 `json:"vcComparisons"`
-	VCJoins       int64 `json:"vcJoins"`
+	VCComparisons int64 `json:"detect.vc_comparisons"`
+	VCJoins       int64 `json:"detect.vc_joins"`
 
 	// Advisory metrics: host-dependent, never gate the comparison.
 	WallNs       int64   `json:"wallNs"`
 	EventsPerSec float64 `json:"eventsPerSec"`
+}
+
+// UnmarshalJSON accepts both the schema-2 dotted counter keys and the
+// schema-1 camelCase spellings, so frozen schema-1 baselines stay
+// readable.
+func (w *BenchWorkload) UnmarshalJSON(data []byte) error {
+	type alias BenchWorkload
+	aux := struct {
+		*alias
+		LegacyComparisons *int64 `json:"vcComparisons"`
+		LegacyJoins       *int64 `json:"vcJoins"`
+	}{alias: (*alias)(w)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	if aux.LegacyComparisons != nil && w.VCComparisons == 0 {
+		w.VCComparisons = *aux.LegacyComparisons
+	}
+	if aux.LegacyJoins != nil && w.VCJoins == 0 {
+		w.VCJoins = *aux.LegacyJoins
+	}
+	return nil
 }
 
 // BenchBaseline is the committed perf baseline. The config header
@@ -160,8 +190,8 @@ func CompareBench(base, fresh *BenchBaseline, tolerance float64) []string {
 		}
 		check("makespanNs", bw.MakespanNs, fw.MakespanNs)
 		check("events", int64(bw.Events), int64(fw.Events))
-		check("vcComparisons", bw.VCComparisons, fw.VCComparisons)
-		check("vcJoins", bw.VCJoins, fw.VCJoins)
+		check("detect.vc_comparisons", bw.VCComparisons, fw.VCComparisons)
+		check("detect.vc_joins", bw.VCJoins, fw.VCJoins)
 	}
 	if len(base.Workloads) != len(fresh.Workloads) {
 		fails = append(fails, fmt.Sprintf("workload count: baseline %d, fresh %d",
@@ -209,6 +239,37 @@ func ReadBenchFile(path string) (*BenchBaseline, error) {
 		return nil, fmt.Errorf("harness: bench schema %d is newer than supported %d", b.Schema, BenchSchema)
 	}
 	return &b, nil
+}
+
+// RenderBenchRatios summarizes how a fresh measurement moved against a
+// baseline on the detector counters: baseline/fresh per workload (>1 is
+// an improvement). Advisory context for -compare output — the
+// tolerance gate, not the ratio, decides pass/fail.
+func RenderBenchRatios(base, fresh *BenchBaseline) string {
+	index := map[string]BenchWorkload{}
+	for _, w := range fresh.Workloads {
+		index[w.Benchmark+"/"+fmt.Sprint(w.Procs)] = w
+	}
+	ratio := func(b, f int64) string {
+		if b == f {
+			return "1.00x"
+		}
+		if f == 0 {
+			return "inf"
+		}
+		return fmt.Sprintf("%.2fx", float64(b)/float64(f))
+	}
+	out := fmt.Sprintf("%-12s %18s %18s\n", "workload", "vc-compare ratio", "vc-join ratio")
+	for _, bw := range base.Workloads {
+		key := bw.Benchmark + "/" + fmt.Sprint(bw.Procs)
+		fw, ok := index[key]
+		if !ok {
+			continue
+		}
+		out += fmt.Sprintf("%-12s %18s %18s\n",
+			key, ratio(bw.VCComparisons, fw.VCComparisons), ratio(bw.VCJoins, fw.VCJoins))
+	}
+	return out
 }
 
 // RenderBench summarizes a baseline for terminal output.

@@ -47,6 +47,7 @@ var hotCounterNames = []string{
 	"detect.events",
 	"detect.vc_comparisons",
 	"detect.vc_joins",
+	"detect.epoch_hits",
 	"detect.vc_width",
 	"detect.lockset_candidates",
 	"sched.records",

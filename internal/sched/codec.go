@@ -26,6 +26,11 @@ import (
 // The reader accepts every version <= Version; a v1 stream decoded by
 // a v2 reader replays with the v1 guarantee (Schedule.PinsOrders
 // reports which one applies).
+//
+// Version 3 is a *container*, not new semantics: the same records in
+// the binary per-lane framing of binary.go, carrying their JSONL base
+// version (1 or 2) so transcoding is lossless in both directions.
+// Read sniffs the container automatically.
 const (
 	Format  = "home-sched"
 	Version = 2
@@ -110,16 +115,25 @@ func (r *Recorder) WriteFile(path string) error {
 	return f.Close()
 }
 
-// Read parses a schedule stream. A stream cut mid-record returns the
-// salvaged prefix together with a *TruncatedError (unwrapping to
-// ErrTruncated), mirroring trace.ReadJSON — a replay of a salvaged
-// prefix forces the recorded interleaving as far as it goes.
+// Read parses a schedule stream in either container — it sniffs the
+// v3 binary magic and falls back to JSONL. A stream cut mid-record
+// returns the salvaged prefix together with a *TruncatedError
+// (unwrapping to ErrTruncated), mirroring trace.ReadJSON — a replay
+// of a salvaged prefix forces the recorded interleaving as far as it
+// goes. A *TruncatedError always comes with a non-nil salvaged
+// schedule; a stream cut before its header is complete (including an
+// empty stream) is a hard error, because without the embedded plan
+// there is no prefix a replay could force.
 func Read(rd io.Reader) (*Schedule, error) {
-	dec := json.NewDecoder(bufio.NewReader(rd))
+	br := bufio.NewReader(rd)
+	if magic, err := br.Peek(len(BinaryMagic)); err == nil && string(magic) == BinaryMagic {
+		return readBinary(br)
+	}
+	dec := json.NewDecoder(br)
 	var h header
 	if err := dec.Decode(&h); err != nil {
 		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
-			return nil, &TruncatedError{Records: 0, Err: err}
+			return nil, fmt.Errorf("sched: schedule stream truncated in header: %w", err)
 		}
 		return nil, fmt.Errorf("sched: bad schedule header: %w", err)
 	}

@@ -197,9 +197,11 @@ func TestReadTruncatedSalvagesPrefix(t *testing.T) {
 }
 
 func TestReadHeaderErrors(t *testing.T) {
-	// Empty stream: truncated before the header.
-	if _, err := Read(bytes.NewReader(nil)); !errors.Is(err, ErrTruncated) {
-		t.Errorf("empty stream err = %v, want ErrTruncated", err)
+	// Empty stream: cut before the header is complete. No plan means
+	// no salvageable prefix, so this is hard, not ErrTruncated — the
+	// salvage contract guarantees TruncatedError carries a schedule.
+	if _, err := Read(bytes.NewReader(nil)); err == nil || errors.Is(err, ErrTruncated) {
+		t.Errorf("empty stream err = %v, want hard header error", err)
 	}
 	// Wrong format string.
 	if _, err := Read(strings.NewReader(`{"format":"home-trace","version":1}` + "\n")); err == nil || errors.Is(err, ErrTruncated) {
