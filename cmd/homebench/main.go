@@ -37,9 +37,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"home/internal/harness"
 	"home/internal/npb"
+	"home/internal/obs/live"
 )
 
 // output is the -json document: one field per experiment, populated
@@ -71,6 +73,8 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.02, "relative tolerance for -compare gated metrics")
 	corpus := flag.String("corpus", "", "with -exp chaos/explore: write one labeled (stats, coverage) JSONL line per run to this file")
 	exploreBudget := flag.Int("explore-budget", 16, "with -exp explore: mutants to try per corpus kind")
+	introspect := flag.String("introspect", "", "serve live HTTP/SSE introspection on this address, e.g. 127.0.0.1:8090 (see docs/OBSERVABILITY.md)")
+	introspectHold := flag.Duration("introspect-hold", 0, "with -introspect: keep serving for this long after the experiments finish (SSE subscribers get the backlog replayed)")
 	flag.Parse()
 
 	var procs []int
@@ -88,6 +92,26 @@ func main() {
 		Procs:        procs,
 		Threads:      *threads,
 		CollectStats: *jsonOut != "" || *corpus != "",
+	}
+	// The telemetry plane feeds both the -introspect HTTP/SSE server
+	// and the TTY progress ticker; the long campaign experiments
+	// (chaos, explore) register every run on it. One plane per process.
+	wantTicker := tickerWanted()
+	if *introspect != "" || wantTicker {
+		cfg.Live = live.NewPlane()
+	}
+	if *introspect != "" {
+		srv, err := live.Serve(*introspect, cfg.Live)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "homebench: %v\n", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "introspect: serving on %s\n", srv.Addr())
+	}
+	if wantTicker {
+		stop := startTicker(cfg.Live)
+		defer stop()
 	}
 	out := output{Class: *class, Seed: *seed, Threads: *threads, Procs: procs}
 
@@ -257,6 +281,59 @@ func main() {
 			fmt.Fprintf(os.Stderr, "homebench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	// Hold the introspection server open so probes (CI smoke, a human
+	// with curl) can inspect the finished campaign before exit.
+	if *introspect != "" && *introspectHold > 0 {
+		fmt.Fprintf(os.Stderr, "introspect: holding for %s\n", *introspectHold)
+		time.Sleep(*introspectHold)
+	}
+}
+
+// tickerWanted reports whether the live progress ticker should run:
+// only when stderr is attached to a terminal, so redirected or CI
+// output stays clean.
+func tickerWanted() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// startTicker prints a single-line live progress ticker to stderr
+// twice a second, sourced from the same plane the HTTP server reads:
+// runs done (vs expected when a campaign declared a total) and event
+// throughput. Returns a stop function that clears the line.
+func startTicker(plane *live.Plane) func() {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(500 * time.Millisecond)
+		defer t.Stop()
+		start := time.Now()
+		var lastEvents int64
+		var lastAt = start
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				runs, expected, events := plane.Progress()
+				if runs == 0 && events == 0 {
+					continue
+				}
+				rate := float64(events-lastEvents) / now.Sub(lastAt).Seconds()
+				lastEvents, lastAt = events, now
+				total := "?"
+				if expected > 0 {
+					total = fmt.Sprintf("%d", expected)
+				}
+				fmt.Fprintf(os.Stderr, "\r\x1b[K%d/%s runs  %.0f events/s  %s elapsed",
+					runs, total, rate, time.Since(start).Truncate(time.Second))
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		fmt.Fprint(os.Stderr, "\r\x1b[K")
 	}
 }
 

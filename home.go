@@ -47,6 +47,7 @@ import (
 	"home/internal/minic"
 	"home/internal/msgrace"
 	"home/internal/obs"
+	"home/internal/obs/live"
 	"home/internal/sched"
 	"home/internal/sim"
 	"home/internal/spec"
@@ -237,6 +238,16 @@ type Options struct {
 	// of the run; Report.Stats carries the final snapshot. Use one
 	// registry per run.
 	Stats *StatsRegistry
+	// Live, when non-nil, registers the run on the process-wide
+	// telemetry plane (internal/obs/live): phase transitions, periodic
+	// stats-snapshot deltas and a per-(rank, tid) flight recorder
+	// become observable over the -introspect HTTP/SSE server while the
+	// run executes. Publication only reads run state — virtual time,
+	// schedules and report bytes are identical with and without it.
+	Live *live.Plane
+	// LiveName labels the run on the telemetry plane ("program" when
+	// empty). Purely cosmetic; it appears in /runs and SSE events.
+	LiveName string
 	// Profile, when non-nil, records a span per pipeline phase
 	// (parse, static, instrument, execute, analyze, match);
 	// Report.Spans carries the result.
@@ -407,11 +418,24 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 		opts.Threads = 2
 	}
 
+	// Register on the telemetry plane (nil-safe: a nil Options.Live
+	// yields a nil handle whose methods all no-op).
+	lh := opts.Live.Register(live.RunInfo{
+		Program: liveName(&opts),
+		Plan:    livePlanLabel(&opts),
+		Procs:   opts.Procs,
+		Threads: opts.Threads,
+		Seed:    opts.Seed,
+	})
+	lh.AttachStats(opts.Stats)
+
 	// Phase 1: compile-time checking — front-end semantic validation
 	// followed by the instrumentation analysis.
+	lh.Phase("static")
 	sp := opts.Profile.Start("static")
 	diags := minic.CheckSemantics(prog, minic.DefaultSemaOptions())
 	sp.End()
+	lh.Phase("instrument")
 	sp = opts.Profile.Start("instrument")
 	plan := static.Analyze(prog, static.Options{
 		InstrumentAll:   opts.InstrumentAll,
@@ -434,6 +458,14 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 	online := detect.NewOnline(detect.Options{Mode: opts.Mode, Stats: opts.Stats, Explain: opts.Explain})
 	chaosPlan, schedRec, schedSrc := resolveSched(&opts)
 	forced0, orderForced0 := replayForced(&opts)
+	// The flight recorder rides the TeeSink: the per-event Emit cost is
+	// charged whether or not a recorder is attached (Sink is always
+	// non-nil here), so attaching one never perturbs virtual time.
+	sink := trace.TeeSink{log, online}
+	if fr := lh.Flight(); fr != nil {
+		sink = append(sink, fr)
+	}
+	lh.Phase("execute")
 	sp = opts.Profile.Start("execute")
 	run := interp.Run(prog, interp.Config{
 		Procs:              opts.Procs,
@@ -442,7 +474,7 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 		Costs:              costs,
 		EnforceThreadLevel: opts.EnforceThreadLevel,
 		Instrument:         plan.Instrument,
-		Sink:               trace.TeeSink{log, online},
+		Sink:               sink,
 		MaxSteps:           opts.MaxSteps,
 		MaxArrayElems:      opts.MaxArrayElems,
 		Stats:              opts.Stats,
@@ -450,12 +482,22 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 		SchedRecorder:      schedRec,
 		SchedSource:        schedSrc,
 		WatchdogGraceNs:    opts.WatchdogGraceNs,
+		Live:               lh,
 	})
 	sp.SetVirtual(run.Makespan)
 	sp.End()
+	// Capture the "what was everyone doing" table the moment the run
+	// stops abnormally — watchdog expiry trips the deadlock latch in
+	// this runtime, so run.Deadlocked covers both.
+	if run.Deadlocked {
+		lh.AutoDump("deadlock")
+	} else if len(run.DeadRanks) > 0 {
+		lh.AutoDump("crash-stop")
+	}
 	// The analyze span covers the report assembly; the per-event
 	// analysis itself ran online during execute, where its virtual
 	// cost (AnalysisNsPerEvent per event) is charged.
+	lh.Phase("analyze")
 	sp = opts.Profile.Start("analyze")
 	rep := online.Report()
 	sp.SetVirtual(int64(rep.EventsAnalyzed) * costs.AnalysisNsPerEvent)
@@ -465,6 +507,7 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 
 	// Phase 4: specification matching.
 	events := log.Events()
+	lh.Phase("match")
 	sp = opts.Profile.Start("match")
 	violations := spec.Match(events, rep)
 	sp.End()
@@ -501,7 +544,44 @@ func CheckProgram(prog *Program, opts Options) (*Report, error) {
 		snap := opts.Stats.Snapshot()
 		report.Stats = &snap
 	}
+	lh.Finish(liveVerdict(report))
 	return report, nil
+}
+
+// liveName labels a run for the telemetry plane.
+func liveName(opts *Options) string {
+	if opts.LiveName != "" {
+		return opts.LiveName
+	}
+	return "program"
+}
+
+// livePlanLabel renders the run's chaos plan for the telemetry plane
+// (the replay header's plan when replaying; "" without chaos).
+func livePlanLabel(opts *Options) string {
+	if opts.ReplaySchedule != nil {
+		p := opts.ReplaySchedule.Plan()
+		return p.String()
+	}
+	if opts.Chaos != nil {
+		return opts.Chaos.String()
+	}
+	return ""
+}
+
+// liveVerdict summarizes a report for the telemetry plane's verdict
+// event.
+func liveVerdict(r *Report) string {
+	switch {
+	case r.Deadlocked:
+		return "deadlock"
+	case r.Partial:
+		return fmt.Sprintf("partial:%d violations", len(r.Violations))
+	case len(r.Violations) > 0:
+		return fmt.Sprintf("%d violations", len(r.Violations))
+	default:
+		return "clean"
+	}
 }
 
 // resolveSched resolves the run's chaos plan and record/replay hooks

@@ -25,6 +25,7 @@ import (
 	"home/internal/interp"
 	"home/internal/minic"
 	"home/internal/obs"
+	"home/internal/obs/live"
 	"home/internal/sched"
 	"home/internal/spec"
 	"home/internal/static"
@@ -86,6 +87,7 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 	exploreBudget := fs.Int("explore-budget", 64, "mutants to try in the -explore campaign")
 	exploreOut := fs.String("explore-out", "", "directory for minimal reproducing schedules found by -explore (default: a fresh temp directory)")
 	replayTimeout := fs.Duration("replay-timeout", 0, "per-replay wall-clock watchdog; a run exceeding it reports budget-exceeded instead of wedging (0 = off)")
+	introspect := fs.String("introspect", "", "serve live HTTP/SSE introspection on this address, e.g. 127.0.0.1:8090 (see docs/OBSERVABILITY.md)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -133,6 +135,18 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 	}
 	if *graceMs > 0 {
 		opts.WatchdogGraceNs = *graceMs * 1e6
+	}
+	if *introspect != "" {
+		plane := live.NewPlane()
+		srv, serr := live.Serve(*introspect, plane)
+		if serr != nil {
+			fmt.Fprintln(stderr, "homecheck:", serr)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "introspect: serving on %s\n", srv.Addr())
+		opts.Live = plane
+		opts.LiveName = fs.Arg(0)
 	}
 	if *recordSched != "" && *replaySched != "" {
 		fmt.Fprintln(stderr, "homecheck: -record-sched and -replay-sched are mutually exclusive")
@@ -346,6 +360,7 @@ func runExploreCampaign(src string, opts home.Options, seed int64, budget int, o
 		MutantTimeout:   timeout,
 		WatchdogGraceNs: opts.WatchdogGraceNs,
 		OutDir:          outDir,
+		Live:            opts.Live,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "homecheck:", err)

@@ -1,0 +1,50 @@
+package cli
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestHomeCheckIntrospectIdentity pins the CLI face of the live
+// telemetry plane: -introspect announces its bound address on stderr
+// and changes neither the exit code nor a single report byte. The
+// comparison runs without -stats: the stats block includes gauges that
+// are legitimately host-schedule-sensitive across independent runs
+// (e.g. mpi.unexpected_queue_hwm), which the byte-level identity suite
+// in the root package handles via forced replay.
+func TestHomeCheckIntrospectIdentity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"clean", cleanSrc, 0},
+		{"violations", buggySrc, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			file := writeTemp(t, tc.name+".c", tc.src)
+			var base, baseErr bytes.Buffer
+			if code := HomeCheck([]string{file}, &base, &baseErr); code != tc.want {
+				t.Fatalf("base exit = %d, want %d\nstderr: %s", code, tc.want, baseErr.String())
+			}
+			var live, liveErr bytes.Buffer
+			if code := HomeCheck([]string{"-introspect", "127.0.0.1:0", file}, &live, &liveErr); code != tc.want {
+				t.Fatalf("introspected exit = %d, want %d\nstderr: %s", code, tc.want, liveErr.String())
+			}
+			if !strings.Contains(liveErr.String(), "introspect: serving on 127.0.0.1:") {
+				t.Fatalf("stderr missing serving line:\n%s", liveErr.String())
+			}
+			if base.String() != live.String() {
+				t.Fatalf("stdout diverged under -introspect:\n--- base\n%s\n--- live\n%s", base.String(), live.String())
+			}
+		})
+	}
+
+	// A bad address is a usage error (exit 2), reported before any run.
+	var out, errb bytes.Buffer
+	file := writeTemp(t, "clean.c", cleanSrc)
+	if code := HomeCheck([]string{"-introspect", "256.256.256.256:1", file}, &out, &errb); code != 2 {
+		t.Fatalf("bad address exit = %d, want 2\nstderr: %s", code, errb.String())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"testing"
 	"time"
 
@@ -51,6 +52,11 @@ func TestExploreStatDocDrift(t *testing.T) {
 	for name := range snap.Counters {
 		got[name] = true
 	}
+	gotGauges := map[string]bool{}
+	for name := range snap.Gauges {
+		gotGauges[name] = true
+		got[name] = true
+	}
 
 	for name := range got {
 		if !doc[name] {
@@ -65,12 +71,33 @@ func TestExploreStatDocDrift(t *testing.T) {
 
 	// The exported inventory is the same contract: the pre-registered
 	// names and the registry contents must agree exactly.
-	if len(got) != len(StatNames) {
-		t.Errorf("campaign registered %d counters, StatNames lists %d", len(got), len(StatNames))
+	if len(got) != len(StatNames)+len(GaugeNames) {
+		t.Errorf("campaign registered %d stats, StatNames+GaugeNames list %d",
+			len(got), len(StatNames)+len(GaugeNames))
 	}
 	for _, name := range StatNames {
 		if !got[name] {
 			t.Errorf("StatNames entry %q was not registered", name)
+		}
+	}
+	for _, name := range GaugeNames {
+		if !gotGauges[name] {
+			t.Errorf("GaugeNames entry %q was not registered as a gauge", name)
+		}
+	}
+
+	// The hotspot curation set's explore.* entries are part of this
+	// gate (the root doc-drift test skips them): each must be a
+	// documented, campaign-registered name.
+	for _, name := range obs.HotCounterNames() {
+		if !strings.HasPrefix(name, "explore.") {
+			continue
+		}
+		if !doc[name] {
+			t.Errorf("hot counter %q is not documented in docs/ROBUSTNESS.md", name)
+		}
+		if !got[name] {
+			t.Errorf("hot counter %q was not registered by the campaign", name)
 		}
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"home"
 	"home/internal/interp"
 	"home/internal/obs"
+	"home/internal/obs/live"
 	"home/internal/sched"
 )
 
@@ -86,6 +87,10 @@ type Config struct {
 	// OutDir receives repro-NNN.sched / repro-NNN.witness.json pairs
 	// ("" = keep repros in memory only).
 	OutDir string
+	// Live, when non-nil, registers every mutant replay on the
+	// telemetry plane (internal/obs/live), so a long campaign is
+	// observable over -introspect while it runs.
+	Live *live.Plane
 }
 
 func (c Config) withDefaults() Config {
@@ -226,6 +231,18 @@ var StatNames = []string{
 	"explore.repros",
 }
 
+// GaugeNames is the campaign gauge inventory, pre-registered like
+// StatNames and documented alongside them:
+//
+//	explore.frontier_size    high-water frontier population (how many
+//	                         mutation lists were worth extending)
+//	explore.mutants_per_min  campaign throughput, wall-clock derived —
+//	                         advisory only, never byte-compared
+var GaugeNames = []string{
+	"explore.frontier_size",
+	"explore.mutants_per_min",
+}
+
 // Run executes a campaign over the seed schedule. The seed must have
 // been recorded from the same program with the same Procs/Threads.
 func Run(prog *home.Program, seedSched *sched.Schedule, cfg Config) (*Result, error) {
@@ -236,6 +253,10 @@ func Run(prog *home.Program, seedSched *sched.Schedule, cfg Config) (*Result, er
 	for _, name := range StatNames {
 		cfg.Stats.Counter(name)
 	}
+	for _, name := range GaugeNames {
+		cfg.Stats.Gauge(name)
+	}
+	campaignStart := time.Now()
 	if cfg.OutDir != "" {
 		if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
 			return nil, fmt.Errorf("explore: out dir: %w", err)
@@ -274,6 +295,7 @@ func Run(prog *home.Program, seedSched *sched.Schedule, cfg Config) (*Result, er
 	attempts := 0
 	for e.res.Tried < cfg.Budget && attempts < cfg.Budget*8+16 && len(frontier) > 0 {
 		attempts++
+		cfg.Stats.Gauge("explore.frontier_size").Observe(int64(len(frontier)))
 		pi := popBest(frontier)
 		parent := frontier[pi]
 		parent.tie = nextTie
@@ -339,6 +361,12 @@ func Run(prog *home.Program, seedSched *sched.Schedule, cfg Config) (*Result, er
 	e.res.CoverageEnd = e.union.Counts()
 	e.res.Coverage = e.union
 	e.cfg.Stats.Counter("explore.new_signatures").Add(int64(e.res.NewSignatures()))
+	// Campaign throughput — wall-clock derived, so advisory only: it is
+	// never part of a byte-compared artifact (no snapshot-equality test
+	// covers explorer gauges; the frozen harness goldens are on disk).
+	if mins := time.Since(campaignStart).Minutes(); mins > 0 {
+		cfg.Stats.Gauge("explore.mutants_per_min").Observe(int64(float64(e.res.Tried) / mins))
+	}
 	return e.res, nil
 }
 
@@ -413,6 +441,8 @@ func (e *engine) runSchedule(ms *sched.Schedule) mutantRun {
 		ReplaySchedule:  ms,
 		RecordSchedule:  rec,
 		Explain:         true,
+		Live:            e.cfg.Live,
+		LiveName:        "explore-mutant",
 	}
 	forced0 := ms.Forced()
 	rep, err, timedOut := CheckBounded(e.prog, opts, e.cfg.MutantTimeout)

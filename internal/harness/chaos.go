@@ -141,6 +141,10 @@ func ChaosSoak(cfg Config, seeds []int64) (*ChaosReport, error) {
 	if len(seeds) == 0 {
 		seeds = DefaultChaosSeeds()
 	}
+	// Declare the campaign size up front so the telemetry plane can
+	// meter progress: per kind, one baseline + one legal plan per seed
+	// + two crash plans.
+	cfg.Live.SetExpected(len(faults.AllKinds()) * (1 + len(seeds) + 2))
 	report := &ChaosReport{Baselines: map[spec.Kind][]string{}}
 
 	for _, kind := range faults.AllKinds() {

@@ -97,6 +97,8 @@ func exploreKind(kind spec.Kind, plan *chaos.Plan, cfg Config, budget int) (*exp
 		Threads:        cfg.Threads,
 		Chaos:          plan,
 		RecordSchedule: rec,
+		Live:           cfg.Live,
+		LiveName:       "explore-seed",
 	}); err != nil {
 		return nil, nil, fmt.Errorf("record seed for %s: %w", kind, err)
 	}
@@ -111,6 +113,7 @@ func exploreKind(kind spec.Kind, plan *chaos.Plan, cfg Config, budget int) (*exp
 		Seed:    cfg.Seed,
 		Budget:  budget,
 		Stats:   stats,
+		Live:    cfg.Live,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("explore %s: %w", kind, err)

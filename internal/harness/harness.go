@@ -26,6 +26,7 @@ import (
 	"home/internal/baseline"
 	"home/internal/minic"
 	"home/internal/npb"
+	"home/internal/obs/live"
 	"home/internal/spec"
 )
 
@@ -51,13 +52,18 @@ type Config struct {
 	// of any plan whose verdict diverges from its baseline, as a
 	// replayable artifact ("" = the OS temp directory).
 	ScheduleDir string
+	// Live, when non-nil, registers every HOME run on the telemetry
+	// plane (internal/obs/live): a long soak or campaign becomes
+	// observable over homebench -introspect and feeds the progress
+	// ticker. Publication never perturbs run artifacts.
+	Live *live.Plane
 }
 
 // homeOptions builds the options for one HOME run, attaching a stats
 // registry and a phase profile when the config asks for per-run
 // statistics (the profile feeds RunMeta.Phases and the hotspot view).
 func (c Config) homeOptions(procs int) home.Options {
-	o := home.Options{Procs: procs, Threads: c.Threads, Seed: c.Seed}
+	o := home.Options{Procs: procs, Threads: c.Threads, Seed: c.Seed, Live: c.Live}
 	if c.CollectStats {
 		o.Stats = home.NewStatsRegistry()
 		o.Profile = home.NewProfile()

@@ -28,6 +28,7 @@ import (
 	"home/internal/minic"
 	"home/internal/mpi"
 	"home/internal/obs"
+	"home/internal/obs/live"
 	"home/internal/omp"
 	"home/internal/sim"
 	"home/internal/trace"
@@ -88,6 +89,13 @@ type Config struct {
 	// WatchdogGraceNs passes through to the MPI runtime's deadlock
 	// watchdog (grace for injected transient stalls; 0 = default).
 	WatchdogGraceNs int64
+
+	// Live, when non-nil, is the run's telemetry-plane handle: the
+	// interpreter attaches the runtime's watchdog to it (the source of
+	// the live blocked-op table) and publishes periodic stats-snapshot
+	// deltas from the statement loop. Publication only reads — it
+	// cannot perturb virtual time or schedules.
+	Live *live.RunHandle
 }
 
 // DefaultMaxSteps bounds runaway programs.
@@ -213,6 +221,7 @@ func Run(prog *minic.Program, conf Config) *Result {
 		SchedSource:        conf.SchedSource,
 		WatchdogGraceNs:    conf.WatchdogGraceNs,
 	})
+	conf.Live.AttachActivity(world.Activity())
 	out := &output{}
 	var steps int64
 	exitCodes := make([]int, conf.Procs)
@@ -294,9 +303,14 @@ func (tc *threadCtx) child() *threadCtx {
 // thread's compute loops too, so a dead rank stops executing rather
 // than running on without a working MPI library.
 func (tc *threadCtx) bumpStep() error {
-	if atomic.AddInt64(tc.in.steps, 1) > tc.in.maxStep {
+	n := atomic.AddInt64(tc.in.steps, 1)
+	if n > tc.in.maxStep {
 		return ErrStepBudget
 	}
+	// Telemetry tick: each counter value is observed by exactly one
+	// thread, so the publication points are a deterministic function of
+	// the run; the tick itself only reads (no virtual-time effect).
+	tc.in.conf.Live.StepTick(n, tc.ctx.Now)
 	if tc.in.chaosOn {
 		if inj := tc.in.world.Chaos(); inj.SchedActive() {
 			// Which statement of a crash-stopped rank first observes

@@ -1,0 +1,75 @@
+package obs
+
+// Snapshot deltas. The live telemetry plane (internal/obs/live)
+// publishes a run's stats incrementally: each publication is the
+// movement since the previous one, shaped so that folding the deltas
+// with Merge reconstructs the cumulative snapshot exactly —
+//
+//	base.Merge(d1).Merge(d2)...Merge(dn) == final snapshot
+//
+// byte-for-byte (pinned by TestDeltaStreamReconstructs). The shapes
+// per kind:
+//
+//   - Counters: cur − prev, for every key of cur — zero diffs are
+//     kept so the reconstructed key set matches the final snapshot
+//     (Merge sums, so zeros are harmless).
+//   - Gauges: the current value, for every key of cur. A gauge is a
+//     monotone high-water mark and Merge keeps the max, so carrying
+//     the current value reconstructs it.
+//   - Histograms: count/sum/bucket diffs with Min and Max copied from
+//     cur (both envelopes are monotone, and Merge widens, so the
+//     reconstructed envelope is cur's). A key whose count did not
+//     move contributes an empty stat — the Merge identity — keeping
+//     the key set intact. P50/P95 of the delta are derived from the
+//     diff buckets; after Merge they are recomputed from the summed
+//     buckets, which equal cur's, so the reconstruction is exact.
+type deltaDoc struct{} //nolint:unused // anchor for the package doc above
+
+// Delta returns the movement from prev to s, suitable for streaming:
+// s.Delta(prev) merged onto a reconstruction of prev yields s. Keys
+// present only in prev (impossible for registries, which never drop
+// hooks) are ignored.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{}
+	if s.Counters != nil {
+		out.Counters = make(map[string]int64, len(s.Counters))
+		for k, v := range s.Counters {
+			out.Counters[k] = v - prev.Counters[k]
+		}
+	}
+	if s.Gauges != nil {
+		out.Gauges = make(map[string]int64, len(s.Gauges))
+		for k, v := range s.Gauges {
+			out.Gauges[k] = v
+		}
+	}
+	if s.Histograms != nil {
+		out.Histograms = make(map[string]HistogramStat, len(s.Histograms))
+		for k, v := range s.Histograms {
+			out.Histograms[k] = v.Delta(prev.Histograms[k])
+		}
+	}
+	return out
+}
+
+// Delta returns the histogram movement from prev to s: diffed count,
+// sum and buckets under s's min/max envelope, with the quantiles
+// re-derived from the diff buckets. When nothing moved it returns the
+// empty stat (the Merge identity).
+func (s HistogramStat) Delta(prev HistogramStat) HistogramStat {
+	if s.Count == prev.Count {
+		return HistogramStat{}
+	}
+	out := HistogramStat{
+		Count: s.Count - prev.Count,
+		Sum:   s.Sum - prev.Sum,
+		Min:   s.Min,
+		Max:   s.Max,
+	}
+	for i := range out.Buckets {
+		out.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+	}
+	out.P50 = quantile(50, out.Count, out.Min, out.Max, &out.Buckets)
+	out.P95 = quantile(95, out.Count, out.Min, out.Max, &out.Buckets)
+	return out
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// TestDeltaStreamReconstructs is the delta-semantics property test:
+// random registry activity interleaved with random publication points
+// must reconstruct the final snapshot byte-for-byte by folding the
+// published deltas with Merge — the invariant the live telemetry
+// plane's SSE stream relies on. Every delta also round-trips through
+// the sparse-bucket JSON wire form before folding, so the property
+// covers what a network consumer actually receives.
+func TestDeltaStreamReconstructs(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRegistry()
+		counterNames := []string{"a.count", "b.count", "c.count"}
+		gaugeNames := []string{"a.max", "b.max"}
+		histNames := []string{"a.hist", "b.hist"}
+
+		var reconstructed Snapshot
+		prev := Snapshot{}
+		publish := func() {
+			cur := r.Snapshot()
+			delta := cur.Delta(prev)
+			prev = cur
+			// Round-trip the delta through JSON (the SSE wire form,
+			// including the sparse bucket map).
+			wire, err := json.Marshal(delta)
+			if err != nil {
+				t.Fatalf("seed %d: marshal delta: %v", seed, err)
+			}
+			var decoded Snapshot
+			if err := json.Unmarshal(wire, &decoded); err != nil {
+				t.Fatalf("seed %d: unmarshal delta: %v", seed, err)
+			}
+			reconstructed = reconstructed.Merge(decoded)
+		}
+
+		steps := 50 + rng.Intn(200)
+		for i := 0; i < steps; i++ {
+			switch rng.Intn(7) {
+			case 0, 1, 2:
+				r.Counter(counterNames[rng.Intn(len(counterNames))]).Add(int64(rng.Intn(10)))
+			case 3:
+				r.Gauge(gaugeNames[rng.Intn(len(gaugeNames))]).Observe(int64(rng.Intn(1 << 20)))
+			case 4, 5:
+				r.Histogram(histNames[rng.Intn(len(histNames))]).Observe(int64(rng.Intn(1 << 16)))
+			case 6:
+				publish()
+			}
+		}
+		publish() // final end-of-run delta
+
+		final := r.Snapshot()
+		if !reconstructed.Equal(final) {
+			t.Fatalf("seed %d: reconstruction differs:\nreconstructed:\n%s\nfinal:\n%s",
+				seed, reconstructed.String(), final.String())
+		}
+		// Byte-for-byte: the rendered and JSON forms must agree too
+		// (Equal does not compare quantiles' derivations — String and
+		// the JSON wire include P50/P95 and bucket contents).
+		if reconstructed.String() != final.String() {
+			t.Fatalf("seed %d: String differs:\n%s\nvs\n%s", seed, reconstructed.String(), final.String())
+		}
+		a, _ := json.Marshal(reconstructed)
+		b, _ := json.Marshal(final)
+		if string(a) != string(b) {
+			t.Fatalf("seed %d: JSON differs:\n%s\nvs\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestDeltaFirstPublicationIsVerbatim pins the base case: a first
+// delta against the empty snapshot is the snapshot itself, quantiles
+// included.
+func TestDeltaFirstPublicationIsVerbatim(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(7)
+	r.Gauge("g").Observe(41)
+	h := r.Histogram("h")
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	cur := r.Snapshot()
+	delta := cur.Delta(Snapshot{})
+	if !delta.Equal(cur) {
+		t.Fatalf("first delta != snapshot:\n%s\nvs\n%s", delta.String(), cur.String())
+	}
+	if delta.Histograms["h"] != cur.Histograms["h"] {
+		t.Fatalf("histogram delta %+v != stat %+v", delta.Histograms["h"], cur.Histograms["h"])
+	}
+}
+
+// TestDeltaZeroMovementKeepsKeys pins that an idle interval publishes
+// zero-valued entries for every known name rather than dropping keys:
+// Snapshot.Equal compares map lengths, so a reconstruction missing
+// keys would flunk the identity even with equal values.
+func TestDeltaZeroMovementKeepsKeys(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(3)
+	r.Gauge("g").Observe(5)
+	r.Histogram("h").Observe(9)
+	s1 := r.Snapshot()
+	delta := r.Snapshot().Delta(s1) // nothing moved
+	if len(delta.Counters) != 1 || delta.Counters["x"] != 0 {
+		t.Fatalf("idle counter delta = %v, want {x:0}", delta.Counters)
+	}
+	if len(delta.Gauges) != 1 || delta.Gauges["g"] != 5 {
+		t.Fatalf("idle gauge delta = %v, want {g:5} (gauges carry the current value)", delta.Gauges)
+	}
+	hs, ok := delta.Histograms["h"]
+	if !ok || hs != (HistogramStat{}) {
+		t.Fatalf("idle histogram delta = %+v, want empty stat under key h", delta.Histograms)
+	}
+	// And the empty stat is the Merge identity.
+	if got := s1.Merge(delta); !got.Equal(s1) || got.Histograms["h"] != s1.Histograms["h"] {
+		t.Fatalf("merging the idle delta changed the snapshot: %s vs %s", got, s1)
+	}
+}

@@ -54,6 +54,8 @@ var hotCounterNames = []string{
 	"sched.order_records",
 	"interp.statements",
 	"mpi.sends",
+	"explore.frontier_size",
+	"explore.mutants_per_min",
 }
 
 // HotCounterNames returns the curated hot-path stat names, in display

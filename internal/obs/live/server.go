@@ -1,0 +1,165 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is the embedded introspection endpoint: the exact streaming
+// surface the future homeserve daemon mounts. Endpoints:
+//
+//	GET /healthz              liveness + campaign progress
+//	GET /runs                 retained runs, registration order
+//	GET /runs/{id}/stats      last published cumulative snapshot
+//	GET /runs/{id}/blocked    current blocked-op table
+//	GET /runs/{id}/flight     on-demand flight-recorder dump
+//	GET /events               SSE stream (run/phase/delta/verdict)
+//
+// Everything served is assembled from atomic reads and ring-buffer
+// copies; a slow or hostile client can never block the simulation.
+type Server struct {
+	plane *Plane
+	ln    net.Listener
+	srv   *http.Server
+}
+
+// Serve starts the introspection server on addr ("127.0.0.1:0" picks
+// a free port) and returns once the listener is bound.
+func Serve(addr string, plane *Plane) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{plane: plane, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /runs", s.runs)
+	mux.HandleFunc("GET /runs/{id}/stats", s.runStats)
+	mux.HandleFunc("GET /runs/{id}/blocked", s.runBlocked)
+	mux.HandleFunc("GET /runs/{id}/flight", s.runFlight)
+	mux.HandleFunc("GET /events", s.events)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	done, expected, events := s.plane.Progress()
+	writeJSON(w, map[string]any{
+		"ok":       true,
+		"runs":     len(s.plane.Runs()),
+		"done":     done,
+		"expected": expected,
+		"events":   events,
+	})
+}
+
+func (s *Server) runs(w http.ResponseWriter, r *http.Request) {
+	handles := s.plane.Runs()
+	out := make([]RunStatus, 0, len(handles))
+	for _, h := range handles {
+		out = append(out, h.Status())
+	}
+	writeJSON(w, out)
+}
+
+// lookup resolves the {id} path wildcard, writing a 404 on a miss.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *RunHandle {
+	h := s.plane.Run(r.PathValue("id"))
+	if h == nil {
+		http.Error(w, `{"error":"unknown run"}`, http.StatusNotFound)
+	}
+	return h
+}
+
+func (s *Server) runStats(w http.ResponseWriter, r *http.Request) {
+	h := s.lookup(w, r)
+	if h == nil {
+		return
+	}
+	writeJSON(w, map[string]any{
+		"status":   h.Status(),
+		"snapshot": h.Snapshot(),
+	})
+}
+
+func (s *Server) runBlocked(w http.ResponseWriter, r *http.Request) {
+	h := s.lookup(w, r)
+	if h == nil {
+		return
+	}
+	blocked := h.Blocked()
+	writeJSON(w, map[string]any{
+		"run":     h.ID(),
+		"blocked": blocked,
+	})
+}
+
+func (s *Server) runFlight(w http.ResponseWriter, r *http.Request) {
+	h := s.lookup(w, r)
+	if h == nil {
+		return
+	}
+	// Prefer the automatic dump (it froze the blocked table at the
+	// moment of failure); fall back to a live capture.
+	d := h.LastDump()
+	if d == nil {
+		d = h.Flight().Dump("request")
+	}
+	writeJSON(w, d)
+}
+
+// events streams the plane's event feed as SSE. Grammar: each event
+// is "event: <type>\ndata: <one-line JSON Event>\n\n" with type one
+// of run, phase, delta, verdict; a ": keepalive" comment line is sent
+// every 15s of silence.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	ch, cancel := s.plane.Subscribe()
+	defer cancel()
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			fl.Flush()
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

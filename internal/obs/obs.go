@@ -249,7 +249,11 @@ func (s *HistogramStat) UnmarshalJSON(data []byte) error {
 // Registry vends named counters, gauges and histograms for one run.
 // Handles are created on first use; asking for the same name twice
 // returns the same handle. All methods are safe on a nil *Registry
-// (they return nil handles, whose methods are no-ops).
+// (they return nil handles, whose methods are no-ops) and safe to
+// call concurrently with Snapshot — hook installation and snapshot
+// iteration share r.mu, and the maps are lazily initialized under it,
+// so a zero-value Registry works too (the live plane snapshots
+// registries while other goroutines are still installing hooks).
 type Registry struct {
 	mu     sync.Mutex
 	counts map[string]*Counter
@@ -275,6 +279,9 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	c, ok := r.counts[name]
 	if !ok {
+		if r.counts == nil {
+			r.counts = make(map[string]*Counter)
+		}
 		c = &Counter{}
 		r.counts[name] = c
 	}
@@ -290,6 +297,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
+		if r.gauges == nil {
+			r.gauges = make(map[string]*Gauge)
+		}
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
@@ -305,6 +315,9 @@ func (r *Registry) Histogram(name string) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
+		if r.hists == nil {
+			r.hists = make(map[string]*Histogram)
+		}
 		h = &Histogram{}
 		r.hists[name] = h
 	}

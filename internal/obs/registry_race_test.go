@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentHookInstall pins that installing hooks
+// (Counter/Gauge/Histogram on names not yet registered) is safe while
+// other goroutines snapshot and render — the live telemetry plane
+// snapshots a run's registry from an HTTP handler while the
+// interpreter is still creating counters. Run under -race this also
+// covers the lazy map initialization on a zero-value Registry.
+func TestRegistryConcurrentHookInstall(t *testing.T) {
+	for name, r := range map[string]*Registry{
+		"constructed": NewRegistry(),
+		"zero-value":  {},
+	} {
+		t.Run(name, func(t *testing.T) {
+			r := r
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 200; i++ {
+						r.Counter(fmt.Sprintf("c.%d.%d", g, i)).Inc()
+						r.Gauge(fmt.Sprintf("g.%d.%d", g, i)).Observe(int64(i))
+						r.Histogram(fmt.Sprintf("h.%d.%d", g, i)).Observe(int64(i))
+					}
+				}(g)
+			}
+			for g := 0; g < 2; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 200; i++ {
+						snap := r.Snapshot()
+						_ = snap.String()
+						_ = snap.Merge(snap.Delta(Snapshot{}))
+					}
+				}()
+			}
+			wg.Wait()
+			snap := r.Snapshot()
+			if len(snap.Counters) != 4*200 || len(snap.Gauges) != 4*200 || len(snap.Histograms) != 4*200 {
+				t.Fatalf("final snapshot sizes = %d/%d/%d, want 800 each",
+					len(snap.Counters), len(snap.Gauges), len(snap.Histograms))
+			}
+		})
+	}
+}
+
+// TestZeroValueRegistryWorks pins the satellite fix directly: hook
+// installation on a zero-value Registry must lazily initialize the
+// maps rather than panic on nil-map assignment.
+func TestZeroValueRegistryWorks(t *testing.T) {
+	var r Registry
+	r.Counter("c").Add(2)
+	r.Gauge("g").Observe(3)
+	r.Histogram("h").Observe(4)
+	snap := r.Snapshot()
+	if snap.Counters["c"] != 2 || snap.Gauges["g"] != 3 || snap.Histograms["h"].Count != 1 {
+		t.Fatalf("zero-value registry snapshot = %s", snap)
+	}
+}

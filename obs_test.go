@@ -10,6 +10,7 @@ import (
 
 	"home/internal/mpi"
 	"home/internal/obs"
+	"home/internal/obs/live"
 )
 
 // TestCheckStatsPopulated is the ISSUE acceptance test: a hybrid run
@@ -224,13 +225,13 @@ func docStatNames(t *testing.T) map[string]bool {
 // runtimeStatNames collects the union of stat names registered by a
 // set of runs chosen to touch every instrumented subsystem: a plain
 // hybrid run, a perturbed run that records its schedule, the replay of
-// that schedule, a crash-stop run (partial report), and an RMA run
-// under perturbation.
+// that schedule, a crash-stop run (partial report), an RMA run under
+// perturbation, and a live-introspected run (whose published snapshot
+// carries the live.* counters).
 func runtimeStatNames(t *testing.T) map[string]bool {
 	t.Helper()
 	names := map[string]bool{}
-	collect := func(reg *StatsRegistry) {
-		snap := reg.Snapshot()
+	collectSnap := func(snap StatsSnapshot) {
 		for n := range snap.Counters {
 			names[n] = true
 		}
@@ -241,6 +242,7 @@ func runtimeStatNames(t *testing.T) map[string]bool {
 			names[n] = true
 		}
 	}
+	collect := func(reg *StatsRegistry) { collectSnap(reg.Snapshot()) }
 
 	rec := NewScheduleRecorder()
 	runs := []struct {
@@ -268,6 +270,18 @@ func runtimeStatNames(t *testing.T) map[string]bool {
 		t.Fatal(err)
 	}
 	collect(reg)
+
+	// Live-introspected run: the handle's published snapshot is the
+	// user registry merged with the plane's live.* counters, so those
+	// names count as runtime-registered too.
+	plane := live.NewPlane()
+	liveReg := NewStatsRegistry()
+	if _, err := Check(statsInvariantSrc, Options{Procs: 1, Threads: 2, Seed: 1, Stats: liveReg, Live: plane}); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range plane.Runs() {
+		collectSnap(h.Snapshot())
+	}
 	return names
 }
 
@@ -316,8 +330,14 @@ func TestStatsDocInventory(t *testing.T) {
 
 	// The hotspot profile's curated counters are part of the same
 	// contract: each must be a documented, runtime-registered stat, or
-	// the -hotspots table would silently render stale names.
+	// the -hotspots table would silently render stale names. The
+	// explore.* entries are campaign stats documented in
+	// docs/ROBUSTNESS.md and gated by TestExploreStatDocDrift — the
+	// scenario runs here never run a campaign, so skip them.
 	for _, name := range obs.HotCounterNames() {
+		if strings.HasPrefix(name, "explore.") {
+			continue
+		}
 		if !inDoc(name) {
 			t.Errorf("hot counter %q is not in the documented inventory", name)
 		}
