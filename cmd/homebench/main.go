@@ -41,7 +41,9 @@ import (
 
 	"home/internal/harness"
 	"home/internal/npb"
+	"home/internal/obs"
 	"home/internal/obs/live"
+	"home/internal/serve"
 )
 
 // output is the -json document: one field per experiment, populated
@@ -92,6 +94,11 @@ func main() {
 		Procs:        procs,
 		Threads:      *threads,
 		CollectStats: *jsonOut != "" || *corpus != "",
+		// One artifact cache across every experiment in the invocation:
+		// `-exp all` revisits the same generated workloads repeatedly
+		// (Figure 7 reruns the per-benchmark figures, the ablation reuses
+		// LU), so the front-end runs once per distinct source.
+		Cache: serve.NewCache(0, obs.NewRegistry()),
 	}
 	// The telemetry plane feeds both the -introspect HTTP/SSE server
 	// and the TTY progress ticker; the long campaign experiments
@@ -281,6 +288,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "homebench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	if hits, misses := cfg.Cache.HitsMisses(); hits+misses > 0 {
+		fmt.Fprintf(os.Stderr, "front-end cache: %d hits, %d misses\n", hits, misses)
 	}
 
 	// Hold the introspection server open so probes (CI smoke, a human

@@ -1,0 +1,15 @@
+// Command homeserve is the long-lived checking daemon: HTTP/JSON job
+// intake, a bounded worker pool with per-job budgets, a compiled-
+// program artifact cache, and live SSE introspection on the same
+// listener. See docs/SERVING.md.
+package main
+
+import (
+	"os"
+
+	"home/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.HomeServe(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -399,153 +399,23 @@ func Parse(src string) (*Program, error) { return minic.Parse(src) }
 // Check parses the source and runs the full HOME pipeline.
 func Check(src string, opts Options) (*Report, error) {
 	sp := opts.Profile.Start("parse")
-	prog, err := minic.Parse(src)
+	c, err := Compile(src)
 	sp.End()
 	if err != nil {
-		return nil, &ParseError{Err: err}
+		return nil, err
 	}
-	return CheckProgram(prog, opts)
+	return CheckCompiled(c, opts)
 }
 
 // CheckProgram runs the full HOME pipeline on a parsed program:
 // static analysis, instrumented execution, combined dynamic analysis,
-// and specification matching.
+// and specification matching. Each call builds a fresh one-shot
+// *Compiled handle, so the front-end runs (and its phase spans appear)
+// exactly as they always have; callers that check the same program
+// repeatedly should compile once (Compile/CompileProgram) and call
+// CheckCompiled to skip the front-end after the first run.
 func CheckProgram(prog *Program, opts Options) (*Report, error) {
-	if opts.Procs <= 0 {
-		opts.Procs = 2
-	}
-	if opts.Threads <= 0 {
-		opts.Threads = 2
-	}
-
-	// Register on the telemetry plane (nil-safe: a nil Options.Live
-	// yields a nil handle whose methods all no-op).
-	lh := opts.Live.Register(live.RunInfo{
-		Program: liveName(&opts),
-		Plan:    livePlanLabel(&opts),
-		Procs:   opts.Procs,
-		Threads: opts.Threads,
-		Seed:    opts.Seed,
-	})
-	lh.AttachStats(opts.Stats)
-
-	// Phase 1: compile-time checking — front-end semantic validation
-	// followed by the instrumentation analysis.
-	lh.Phase("static")
-	sp := opts.Profile.Start("static")
-	diags := minic.CheckSemantics(prog, minic.DefaultSemaOptions())
-	sp.End()
-	lh.Phase("instrument")
-	sp = opts.Profile.Start("instrument")
-	plan := static.Analyze(prog, static.Options{
-		InstrumentAll:   opts.InstrumentAll,
-		Interprocedural: opts.Interprocedural,
-	})
-	sp.End()
-
-	// Phase 2: instrumented execution.
-	costs := opts.Costs
-	if costs == (sim.CostModel{}) {
-		costs = sim.DefaultCostModel()
-	}
-	costs.EmitNs = homeEmitNs
-	costs.AnalysisNsPerEvent = homeAnalysisNs(opts.Procs, opts.Threads)
-	// Phase 3 runs on the fly: the online detector consumes the event
-	// stream as the program executes (the paper's HOME monitors during
-	// execution); the log keeps the raw records the specification
-	// matcher needs afterwards.
-	log := trace.NewLog()
-	online := detect.NewOnline(detect.Options{Mode: opts.Mode, Stats: opts.Stats, Explain: opts.Explain})
-	chaosPlan, schedRec, schedSrc := resolveSched(&opts)
-	forced0, orderForced0 := replayForced(&opts)
-	// The flight recorder rides the TeeSink: the per-event Emit cost is
-	// charged whether or not a recorder is attached (Sink is always
-	// non-nil here), so attaching one never perturbs virtual time.
-	sink := trace.TeeSink{log, online}
-	if fr := lh.Flight(); fr != nil {
-		sink = append(sink, fr)
-	}
-	lh.Phase("execute")
-	sp = opts.Profile.Start("execute")
-	run := interp.Run(prog, interp.Config{
-		Procs:              opts.Procs,
-		Threads:            opts.Threads,
-		Seed:               opts.Seed,
-		Costs:              costs,
-		EnforceThreadLevel: opts.EnforceThreadLevel,
-		Instrument:         plan.Instrument,
-		Sink:               sink,
-		MaxSteps:           opts.MaxSteps,
-		MaxArrayElems:      opts.MaxArrayElems,
-		Stats:              opts.Stats,
-		Chaos:              chaosPlan,
-		SchedRecorder:      schedRec,
-		SchedSource:        schedSrc,
-		WatchdogGraceNs:    opts.WatchdogGraceNs,
-		Live:               lh,
-	})
-	sp.SetVirtual(run.Makespan)
-	sp.End()
-	// Capture the "what was everyone doing" table the moment the run
-	// stops abnormally — watchdog expiry trips the deadlock latch in
-	// this runtime, so run.Deadlocked covers both.
-	if run.Deadlocked {
-		lh.AutoDump("deadlock")
-	} else if len(run.DeadRanks) > 0 {
-		lh.AutoDump("crash-stop")
-	}
-	// The analyze span covers the report assembly; the per-event
-	// analysis itself ran online during execute, where its virtual
-	// cost (AnalysisNsPerEvent per event) is charged.
-	lh.Phase("analyze")
-	sp = opts.Profile.Start("analyze")
-	rep := online.Report()
-	sp.SetVirtual(int64(rep.EventsAnalyzed) * costs.AnalysisNsPerEvent)
-	sp.End()
-
-	recordSchedStats(&opts, forced0, orderForced0)
-
-	// Phase 4: specification matching.
-	events := log.Events()
-	lh.Phase("match")
-	sp = opts.Profile.Start("match")
-	violations := spec.Match(events, rep)
-	sp.End()
-
-	report := &Report{
-		Plan:           plan,
-		Warnings:       plan.Warnings,
-		Diagnostics:    diags,
-		Races:          rep.Races,
-		Violations:     violations,
-		Makespan:       run.Makespan,
-		Deadlocked:     run.Deadlocked,
-		Output:         run.Output,
-		RunErrors:      run.Errs,
-		EventsAnalyzed: rep.EventsAnalyzed,
-		Spans:          opts.Profile.Spans(),
-	}
-	if opts.Explain {
-		report.Witnesses = explain.Extract(events, rep, violations)
-		report.Trace = events
-	}
-	// Every report carries per-rank coverage — uniform shape whether or
-	// not ranks died — so fleet aggregation never special-cases.
-	report.RankCoverage = rankCoverage(opts.Procs, events, run.DeadRanks)
-	if len(run.DeadRanks) > 0 {
-		// Graceful degradation: a crash-stopped rank truncates its own
-		// event stream, but the analyses are prefix-closed, so the
-		// report stands — flagged partial, with per-rank coverage.
-		report.Partial = true
-		report.DeadRanks = run.DeadRanks
-		opts.Stats.Counter("home.partial_reports").Inc()
-	}
-	if opts.Stats != nil {
-		snap := opts.Stats.Snapshot()
-		report.Stats = &snap
-	}
-	lh.Finish(liveVerdict(report))
-	return report, nil
+	return CheckCompiled(CompileProgram(prog), opts)
 }
 
 // liveName labels a run for the telemetry plane.
@@ -571,7 +441,13 @@ func livePlanLabel(opts *Options) string {
 
 // liveVerdict summarizes a report for the telemetry plane's verdict
 // event.
-func liveVerdict(r *Report) string {
+func liveVerdict(r *Report) string { return r.Verdict() }
+
+// Verdict is the report's one-line outcome — "clean", "N violations",
+// "partial:N violations" or "deadlock" — the same string the telemetry
+// plane publishes as the run's verdict event and homeserve returns as
+// the job verdict.
+func (r *Report) Verdict() string {
 	switch {
 	case r.Deadlocked:
 		return "deadlock"

@@ -223,13 +223,13 @@ func HomeCheck(args []string, stdout, stderr io.Writer) int {
 
 	var rep *home.Report
 	if *replayTimeout > 0 {
-		prog, perr := home.Parse(src)
-		if perr != nil {
-			fmt.Fprintln(stderr, "homecheck:", perr)
+		comp, cerr := home.Compile(src)
+		if cerr != nil {
+			fmt.Fprintln(stderr, "homecheck:", cerr)
 			return 2
 		}
 		var timedOut bool
-		rep, err, timedOut = explore.CheckBounded(prog, opts, *replayTimeout)
+		rep, err, timedOut = explore.CheckCompiledBounded(comp, opts, *replayTimeout)
 		if timedOut {
 			fmt.Fprintf(stderr, "homecheck: budget-exceeded: run exceeded -replay-timeout %s\n", *replayTimeout)
 			return 2

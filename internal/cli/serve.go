@@ -1,0 +1,69 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"home/internal/serve"
+)
+
+// HomeServe implements the homeserve daemon command: a long-lived
+// checking service accepting program+plan jobs over HTTP/JSON (see
+// docs/SERVING.md). Exit codes: 0 clean shutdown, 1 startup or
+// shutdown error, 2 usage error.
+func HomeServe(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("homeserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	workers := fs.Int("workers", 0, "check worker pool size (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache", 0, "compiled-program artifact cache entries (0 = default)")
+	queue := fs.Int("queue", 0, "pending-job queue depth; submissions past it get 503 (0 = default)")
+	timeout := fs.Duration("timeout", 0, "default per-job wall-clock watchdog (0 = 30s)")
+	maxSteps := fs.Int64("max-steps", 0, "default per-job virtual statement budget (0 = interpreter default)")
+	drain := fs.Duration("drain", 2*time.Minute, "graceful-shutdown budget: how long SIGINT/SIGTERM waits for queued jobs to finish")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: homeserve [flags]")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	s := serve.New(serve.Config{
+		Workers:         *workers,
+		CacheEntries:    *cacheSize,
+		QueueDepth:      *queue,
+		DefaultTimeout:  *timeout,
+		DefaultMaxSteps: *maxSteps,
+	})
+	if err := s.Start(*addr); err != nil {
+		fmt.Fprintln(stderr, "homeserve:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "homeserve: serving on %s\n", s.Addr())
+	for _, ep := range serve.Endpoints() {
+		fmt.Fprintf(stderr, "homeserve:   %s\n", ep)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	sig := <-sigs
+	fmt.Fprintf(stderr, "homeserve: %s: draining (budget %s)\n", sig, *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Fprintln(stderr, "homeserve: shutdown:", err)
+		return 1
+	}
+	hits, misses := s.CacheStats()
+	fmt.Fprintf(stderr, "homeserve: stopped (front-end cache: %d hits, %d misses)\n", hits, misses)
+	return 0
+}

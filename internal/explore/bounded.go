@@ -17,13 +17,23 @@ import (
 	"home/internal/sched"
 )
 
-// CheckBounded runs home.CheckProgram under a wall-clock budget.
-// timedOut reports that the budget expired before the run finished;
-// the run's goroutine is abandoned (its per-run state is never read
-// after the deadline). A zero or negative timeout disables the bound.
-// A panicking replay is converted into an error — a mutant schedule
-// must never take the campaign down.
+// CheckBounded runs home.CheckProgram under a wall-clock budget. It
+// wraps the program in a one-shot compiled handle; callers with many
+// bounded runs over one program (the explorer, homeserve workers)
+// should compile once and use CheckCompiledBounded so the front-end is
+// amortized.
 func CheckBounded(prog *home.Program, opts home.Options, timeout time.Duration) (rep *home.Report, err error, timedOut bool) {
+	return CheckCompiledBounded(home.CompileProgram(prog), opts, timeout)
+}
+
+// CheckCompiledBounded runs home.CheckCompiled under a wall-clock
+// budget. timedOut reports that the budget expired before the run
+// finished; the run's goroutine is abandoned (its per-run state is
+// never read after the deadline). A zero or negative timeout disables
+// the bound. A panicking replay is converted into an error — a mutant
+// schedule or a hostile job submission must never take the campaign or
+// the daemon down.
+func CheckCompiledBounded(c *home.Compiled, opts home.Options, timeout time.Duration) (rep *home.Report, err error, timedOut bool) {
 	type result struct {
 		rep *home.Report
 		err error
@@ -35,7 +45,7 @@ func CheckBounded(prog *home.Program, opts home.Options, timeout time.Duration) 
 				ch <- result{nil, fmt.Errorf("explore: replay panicked: %v", r)}
 			}
 		}()
-		r, e := home.CheckProgram(prog, opts)
+		r, e := home.CheckCompiled(c, opts)
 		ch <- result{r, e}
 	}()
 	if timeout <= 0 {

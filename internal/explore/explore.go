@@ -183,10 +183,22 @@ func (r *Result) NewSignatures() int {
 		r.CoverageStart.Matches - r.CoverageStart.Collectives - r.CoverageStart.LockOrders - r.CoverageStart.CrashPoints
 }
 
+// compiled returns the campaign's compiled handle, building one on
+// first use. Run compiles eagerly; the fallback keeps directly
+// constructed engines (the white-box tests) working. The campaign
+// loop is single-threaded, so the lazy init is unsynchronized.
+func (e *engine) compiled() *home.Compiled {
+	if e.comp == nil {
+		e.comp = home.CompileProgram(e.prog)
+	}
+	return e.comp
+}
+
 // engine is one campaign's state.
 type engine struct {
 	cfg      Config
 	prog     *home.Program
+	comp     *home.Compiled // front-end compiled once per campaign
 	seed     *sched.Schedule
 	seedRecs []sched.Record
 	rng      *rand.Rand
@@ -265,6 +277,7 @@ func Run(prog *home.Program, seedSched *sched.Schedule, cfg Config) (*Result, er
 	e := &engine{
 		cfg:      cfg,
 		prog:     prog,
+		comp:     home.CompileProgram(prog),
 		seed:     seedSched,
 		seedRecs: seedSched.Records(),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
@@ -445,7 +458,7 @@ func (e *engine) runSchedule(ms *sched.Schedule) mutantRun {
 		LiveName:        "explore-mutant",
 	}
 	forced0 := ms.Forced()
-	rep, err, timedOut := CheckBounded(e.prog, opts, e.cfg.MutantTimeout)
+	rep, err, timedOut := CheckCompiledBounded(e.compiled(), opts, e.cfg.MutantTimeout)
 	run := mutantRun{rep: rep, realized: rec}
 	switch {
 	case timedOut:

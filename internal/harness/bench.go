@@ -17,7 +17,6 @@ import (
 	"time"
 
 	"home"
-	"home/internal/minic"
 	"home/internal/npb"
 )
 
@@ -130,13 +129,13 @@ func RunBench(cfg Config) (*BenchBaseline, error) {
 		o := npb.PaperInjections(bench)
 		o.Class = cfg.Class
 		src := npb.Generate(bench, o)
-		prog, err := minic.Parse(src.Text)
+		comp, err := cfg.compileSource(src.Text)
 		if err != nil {
 			return nil, fmt.Errorf("%v: %w", bench, err)
 		}
 		for _, procs := range cfg.Procs {
 			start := time.Now()
-			rep, err := home.CheckProgram(prog, cfg.homeOptions(procs))
+			rep, err := home.CheckCompiled(comp, cfg.homeOptions(procs))
 			if err != nil {
 				return nil, fmt.Errorf("%v procs=%d: %w", bench, procs, err)
 			}

@@ -20,7 +20,6 @@ import (
 	"home"
 	"home/internal/chaos"
 	"home/internal/faults"
-	"home/internal/minic"
 	"home/internal/sched"
 	"home/internal/spec"
 )
@@ -148,13 +147,14 @@ func ChaosSoak(cfg Config, seeds []int64) (*ChaosReport, error) {
 	report := &ChaosReport{Baselines: map[spec.Kind][]string{}}
 
 	for _, kind := range faults.AllKinds() {
-		prog, err := minic.Parse(faults.Program(kind))
+		comp, err := cfg.compileSource(faults.Program(kind))
 		if err != nil {
 			return nil, fmt.Errorf("%v corpus program: %w", kind, err)
 		}
+		prog := comp.Program()
 
 		// Unperturbed baseline.
-		base, err := home.CheckProgram(prog, cfg.homeOptions(cfg.TableProcs))
+		base, err := home.CheckCompiled(comp, cfg.homeOptions(cfg.TableProcs))
 		if err != nil {
 			return nil, fmt.Errorf("%v baseline: %w", kind, err)
 		}
@@ -169,7 +169,7 @@ func ChaosSoak(cfg Config, seeds []int64) (*ChaosReport, error) {
 			opts.Chaos = plan
 			rec := sched.NewRecorder()
 			opts.RecordSchedule = rec
-			rep, err := home.CheckProgram(prog, opts)
+			rep, err := home.CheckCompiled(comp, opts)
 			if err != nil {
 				out.Err = err.Error()
 				report.Failures = append(report.Failures,
@@ -213,7 +213,7 @@ func ChaosSoak(cfg Config, seeds []int64) (*ChaosReport, error) {
 			opts.Chaos = plan
 			rec := sched.NewRecorder()
 			opts.RecordSchedule = rec
-			rep, err := home.CheckProgram(prog, opts)
+			rep, err := home.CheckCompiled(comp, opts)
 			if err != nil {
 				out.Err = err.Error()
 				report.Failures = append(report.Failures,

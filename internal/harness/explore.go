@@ -15,7 +15,6 @@ import (
 	"home/internal/chaos"
 	"home/internal/explore"
 	"home/internal/faults"
-	"home/internal/minic"
 	"home/internal/obs"
 	"home/internal/sched"
 	"home/internal/spec"
@@ -87,12 +86,13 @@ func RunExplore(cfg Config, budget int) (*ExploreReport, error) {
 // exploreKind runs one corpus kind's campaign: record the seed
 // schedule under the cell plan, then explore its neighborhood.
 func exploreKind(kind spec.Kind, plan *chaos.Plan, cfg Config, budget int) (*explore.Result, *home.StatsSnapshot, error) {
-	prog, err := minic.Parse(faults.Program(kind))
+	comp, err := cfg.compileSource(faults.Program(kind))
 	if err != nil {
 		return nil, nil, fmt.Errorf("parse %s: %w", kind, err)
 	}
+	prog := comp.Program()
 	rec := sched.NewRecorder()
-	if _, err := home.CheckProgram(prog, home.Options{
+	if _, err := home.CheckCompiled(comp, home.Options{
 		Procs:          cfg.TableProcs,
 		Threads:        cfg.Threads,
 		Chaos:          plan,

@@ -24,9 +24,9 @@ import (
 
 	"home"
 	"home/internal/baseline"
-	"home/internal/minic"
 	"home/internal/npb"
 	"home/internal/obs/live"
+	"home/internal/serve"
 	"home/internal/spec"
 )
 
@@ -57,6 +57,23 @@ type Config struct {
 	// observable over homebench -introspect and feeds the progress
 	// ticker. Publication never perturbs run artifacts.
 	Live *live.Plane
+	// Cache, when non-nil, resolves every generated or corpus program
+	// through the shared compiled-artifact cache (internal/serve), so
+	// experiments revisiting the same source skip parse, sema and the
+	// instrumentation analysis. Reuse is observable as
+	// serve.cache_hits / serve.cache_misses on the cache's registry.
+	Cache *serve.Cache
+}
+
+// compileSource resolves source text to a compiled handle — through
+// the shared artifact cache when the config carries one, else a fresh
+// one-shot compile.
+func (c Config) compileSource(src string) (*home.Compiled, error) {
+	if c.Cache != nil {
+		comp, _, err := c.Cache.Get(src)
+		return comp, err
+	}
+	return home.Compile(src)
 }
 
 // homeOptions builds the options for one HOME run, attaching a stats
@@ -143,10 +160,11 @@ func Table1(cfg Config) ([]TableRow, error) {
 		o := npb.PaperInjections(bench)
 		o.Class = cfg.Class
 		src := npb.Generate(bench, o)
-		prog, err := minic.Parse(src.Text)
+		comp, err := cfg.compileSource(src.Text)
 		if err != nil {
 			return nil, fmt.Errorf("%v: %w", bench, err)
 		}
+		prog := comp.Program()
 
 		row := TableRow{
 			Benchmark: bench,
@@ -155,7 +173,7 @@ func Table1(cfg Config) ([]TableRow, error) {
 		}
 
 		// HOME.
-		homeRep, err := home.CheckProgram(prog, cfg.homeOptions(cfg.TableProcs))
+		homeRep, err := home.CheckCompiled(comp, cfg.homeOptions(cfg.TableProcs))
 		if err != nil {
 			return nil, err
 		}
@@ -231,10 +249,11 @@ func Figure(bench npb.Benchmark, cfg Config) (*FigureSeries, error) {
 	o := npb.PaperInjections(bench)
 	o.Class = cfg.Class
 	src := npb.Generate(bench, o)
-	prog, err := minic.Parse(src.Text)
+	comp, err := cfg.compileSource(src.Text)
 	if err != nil {
 		return nil, err
 	}
+	prog := comp.Program()
 
 	fs := &FigureSeries{Benchmark: bench}
 	for _, procs := range cfg.Procs {
@@ -244,7 +263,7 @@ func Figure(bench npb.Benchmark, cfg Config) (*FigureSeries, error) {
 		}
 		fs.Points = append(fs.Points, TimingPoint{Procs: procs, Tool: baseline.ToolBase, Makespan: base.Makespan})
 
-		homeRep, err := home.CheckProgram(prog, cfg.homeOptions(procs))
+		homeRep, err := home.CheckCompiled(comp, cfg.homeOptions(procs))
 		if err != nil {
 			return nil, err
 		}
@@ -348,18 +367,19 @@ func Ablation(cfg Config) ([]AblationPoint, error) {
 	o := npb.PaperInjections(npb.LU)
 	o.Class = cfg.Class
 	src := npb.Generate(npb.LU, o)
-	prog, err := minic.Parse(src.Text)
+	comp, err := cfg.compileSource(src.Text)
 	if err != nil {
 		return nil, err
 	}
+	prog := comp.Program()
 	var out []AblationPoint
 	for _, procs := range cfg.Procs {
 		base := baseline.RunBase(prog, baseline.Options{Procs: procs, Threads: cfg.Threads, Seed: cfg.Seed})
-		withFilter, err := home.CheckProgram(prog, home.Options{Procs: procs, Threads: cfg.Threads, Seed: cfg.Seed})
+		withFilter, err := home.CheckCompiled(comp, home.Options{Procs: procs, Threads: cfg.Threads, Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}
-		noFilter, err := home.CheckProgram(prog, home.Options{
+		noFilter, err := home.CheckCompiled(comp, home.Options{
 			Procs: procs, Threads: cfg.Threads, Seed: cfg.Seed, InstrumentAll: true,
 		})
 		if err != nil {

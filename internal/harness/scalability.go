@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"home"
-	"home/internal/minic"
 	"home/internal/npb"
 	"home/internal/spec"
 )
@@ -42,17 +41,18 @@ func Scalability(cfg Config, procs []int) ([]ScalePoint, error) {
 	o := npb.PaperInjections(npb.BT)
 	o.Class = cfg.Class
 	src := npb.Generate(npb.BT, o)
-	prog, err := minic.Parse(src.Text)
+	comp, err := cfg.compileSource(src.Text)
 	if err != nil {
 		return nil, err
 	}
+	prog := comp.Program()
 	var out []ScalePoint
 	for _, n := range procs {
 		base, err := home.RunBase(prog, home.Options{Procs: n, Threads: cfg.Threads, Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}
-		rep, err := home.CheckProgram(prog, cfg.homeOptions(n))
+		rep, err := home.CheckCompiled(comp, cfg.homeOptions(n))
 		if err != nil {
 			return nil, err
 		}

@@ -89,9 +89,11 @@ type RunStatus struct {
 }
 
 // Event is one SSE payload: a run registration, a phase transition, a
-// snapshot delta, or a final verdict.
+// snapshot delta, a final verdict, or the plane's terminal shutdown
+// notice.
 type Event struct {
-	// Type is "run", "phase", "delta" or "verdict".
+	// Type is "run", "phase", "delta", "verdict" or "shutdown" (the
+	// last event every subscriber receives when the plane closes).
 	Type string `json:"type"`
 	// Run is the subject run's id.
 	Run string `json:"run"`
@@ -119,6 +121,7 @@ type Plane struct {
 	subMu   sync.Mutex
 	subs    map[int64]chan Event
 	subID   int64
+	closed  bool    // set by Shutdown; no further subscriptions or broadcasts
 	backlog []Event // ring of the most recent events, replayed to new subscribers
 	backOff int     // backlog[backOff] is the oldest entry once the ring wrapped
 
@@ -240,6 +243,15 @@ func (p *Plane) Subscribe() (<-chan Event, func()) {
 		return ch, func() {}
 	}
 	p.subMu.Lock()
+	if p.closed {
+		// A subscription after Shutdown sees the terminal event and an
+		// immediately closed stream — never a hang.
+		p.subMu.Unlock()
+		ch := make(chan Event, 1)
+		ch <- Event{Type: "shutdown"}
+		close(ch)
+		return ch, func() {}
+	}
 	p.subID++
 	id := p.subID
 	ch := make(chan Event, subscriberBuffer)
@@ -267,6 +279,13 @@ func (p *Plane) broadcast(ev Event) {
 		return
 	}
 	p.subMu.Lock()
+	if p.closed {
+		// Shutdown already closed every subscriber channel; a late
+		// publisher (an abandoned budget-exceeded run, say) must not
+		// send on them.
+		p.subMu.Unlock()
+		return
+	}
 	if len(p.backlog) < subscriberBuffer {
 		p.backlog = append(p.backlog, ev)
 	} else {
@@ -280,6 +299,33 @@ func (p *Plane) broadcast(ev Event) {
 		}
 	}
 	p.subMu.Unlock()
+}
+
+// Shutdown closes the plane's event feed gracefully: every live
+// subscriber receives a terminal "shutdown" event (space permitting —
+// a stalled consumer drops it like any other) and then its channel is
+// closed, so SSE handlers end their streams cleanly instead of being
+// cut mid-connection. Run state (/runs, snapshots, flight dumps)
+// remains readable; only the feed closes. Idempotent and nil-safe.
+func (p *Plane) Shutdown() {
+	if p == nil {
+		return
+	}
+	p.subMu.Lock()
+	defer p.subMu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	term := Event{Type: "shutdown"}
+	for id, ch := range p.subs {
+		select {
+		case ch <- term:
+		default:
+		}
+		close(ch)
+		delete(p.subs, id)
+	}
 }
 
 // LiveStatNames is the plane's own counter inventory, registered on

@@ -393,3 +393,99 @@ func TestServerSmoke(t *testing.T) {
 		t.Fatalf("SSE replay order = %v, want %v", types, want)
 	}
 }
+
+// TestPlaneShutdownTerminalEvent: Shutdown delivers exactly one
+// terminal "shutdown" event to every live subscriber and then closes
+// its channel; late subscribers see the same terminal-then-closed
+// stream, and publications after shutdown are dropped, not panics.
+func TestPlaneShutdownTerminalEvent(t *testing.T) {
+	p := NewPlane()
+	ch, cancel := p.Subscribe()
+	defer cancel()
+	h := p.Register(RunInfo{Program: "prog"})
+	h.Phase("execute")
+	p.Shutdown()
+	p.Shutdown() // idempotent
+	var got []string
+	for ev := range ch {
+		got = append(got, ev.Type)
+	}
+	if len(got) == 0 || got[len(got)-1] != "shutdown" {
+		t.Fatalf("subscriber stream must end with the terminal event, got %v", got)
+	}
+	// Publications from a still-running (abandoned) run must be safe.
+	h.Phase("analyze")
+	h.Finish("clean")
+	// A subscription after shutdown sees terminal-then-closed.
+	late, lateCancel := p.Subscribe()
+	defer lateCancel()
+	ev, ok := <-late
+	if !ok || ev.Type != "shutdown" {
+		t.Fatalf("late subscriber: got (%v, %v), want terminal event", ev, ok)
+	}
+	if _, ok := <-late; ok {
+		t.Fatal("late subscriber channel must be closed after the terminal event")
+	}
+}
+
+// TestServerGracefulClose: closing the server with an active /events
+// subscriber ends the stream with the terminal shutdown event and a
+// clean EOF — the regression pinned by the shutdown-paths bugfix —
+// instead of cutting the connection mid-stream.
+func TestServerGracefulClose(t *testing.T) {
+	p := NewPlane()
+	srv, err := Serve("127.0.0.1:0", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.Register(RunInfo{Program: "prog"})
+	h.Phase("execute")
+	h.Finish("clean")
+
+	resp, err := http.Get("http://" + srv.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	type result struct {
+		types []string
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		var types []string
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "event: "); ok {
+				types = append(types, rest)
+			}
+		}
+		done <- result{types, sc.Err()}
+	}()
+	// Let the subscriber attach before closing (the handler subscribes
+	// after the response headers are written).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p.subMu.Lock()
+		n := len(p.subs)
+		p.subMu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("stream must end cleanly, got %v", r.err)
+		}
+		if len(r.types) == 0 || r.types[len(r.types)-1] != "shutdown" {
+			t.Fatalf("stream must end with the shutdown event, got %v", r.types)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscriber stream did not end after Close")
+	}
+}

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -9,7 +10,8 @@ import (
 )
 
 // Server is the embedded introspection endpoint: the exact streaming
-// surface the future homeserve daemon mounts. Endpoints:
+// surface the homeserve daemon (internal/serve) mounts via Routes.
+// Endpoints:
 //
 //	GET /healthz              liveness + campaign progress
 //	GET /runs                 retained runs, registration order
@@ -26,6 +28,38 @@ type Server struct {
 	srv   *http.Server
 }
 
+// closeGrace bounds how long Close waits for in-flight responses to
+// drain after the plane's terminal event before forcing the listener
+// shut.
+const closeGrace = 2 * time.Second
+
+// Routes registers the plane's introspection endpoints on mux. This is
+// the mount point shared by the embedded -introspect server below and
+// the homeserve daemon (internal/serve), which adds its job endpoints
+// on the same mux.
+func Routes(mux *http.ServeMux, plane *Plane) {
+	h := &handlers{plane: plane}
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /runs", h.runs)
+	mux.HandleFunc("GET /runs/{id}/stats", h.runStats)
+	mux.HandleFunc("GET /runs/{id}/blocked", h.runBlocked)
+	mux.HandleFunc("GET /runs/{id}/flight", h.runFlight)
+	mux.HandleFunc("GET /events", h.events)
+}
+
+// Endpoints lists the introspection route patterns Routes registers,
+// for documentation drift gates.
+func Endpoints() []string {
+	return []string{
+		"GET /healthz",
+		"GET /runs",
+		"GET /runs/{id}/stats",
+		"GET /runs/{id}/blocked",
+		"GET /runs/{id}/flight",
+		"GET /events",
+	}
+}
+
 // Serve starts the introspection server on addr ("127.0.0.1:0" picks
 // a free port) and returns once the listener is bound.
 func Serve(addr string, plane *Plane) (*Server, error) {
@@ -35,12 +69,7 @@ func Serve(addr string, plane *Plane) (*Server, error) {
 	}
 	s := &Server{plane: plane, ln: ln}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.healthz)
-	mux.HandleFunc("GET /runs", s.runs)
-	mux.HandleFunc("GET /runs/{id}/stats", s.runStats)
-	mux.HandleFunc("GET /runs/{id}/blocked", s.runBlocked)
-	mux.HandleFunc("GET /runs/{id}/flight", s.runFlight)
-	mux.HandleFunc("GET /events", s.events)
+	Routes(mux, plane)
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln)
 	return s, nil
@@ -49,8 +78,30 @@ func Serve(addr string, plane *Plane) (*Server, error) {
 // Addr returns the bound listen address (host:port).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the listener down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Shutdown closes the server gracefully: the plane sends every SSE
+// subscriber a terminal "shutdown" event and closes its stream, then
+// the HTTP listener drains in-flight responses until ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.plane.Shutdown()
+	return s.srv.Shutdown(ctx)
+}
+
+// Close shuts the server down, preferring the graceful path: in-flight
+// SSE subscribers get the terminal event and connections drain for up
+// to closeGrace before the listener is forced shut.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// handlers serves the introspection endpoints for one plane.
+type handlers struct {
+	plane *Plane
+}
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -59,19 +110,19 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
-func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
-	done, expected, events := s.plane.Progress()
+func (h *handlers) healthz(w http.ResponseWriter, r *http.Request) {
+	done, expected, events := h.plane.Progress()
 	writeJSON(w, map[string]any{
 		"ok":       true,
-		"runs":     len(s.plane.Runs()),
+		"runs":     len(h.plane.Runs()),
 		"done":     done,
 		"expected": expected,
 		"events":   events,
 	})
 }
 
-func (s *Server) runs(w http.ResponseWriter, r *http.Request) {
-	handles := s.plane.Runs()
+func (h *handlers) runs(w http.ResponseWriter, r *http.Request) {
+	handles := h.plane.Runs()
 	out := make([]RunStatus, 0, len(handles))
 	for _, h := range handles {
 		out = append(out, h.Status())
@@ -80,56 +131,57 @@ func (s *Server) runs(w http.ResponseWriter, r *http.Request) {
 }
 
 // lookup resolves the {id} path wildcard, writing a 404 on a miss.
-func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *RunHandle {
-	h := s.plane.Run(r.PathValue("id"))
-	if h == nil {
+func (h *handlers) lookup(w http.ResponseWriter, r *http.Request) *RunHandle {
+	run := h.plane.Run(r.PathValue("id"))
+	if run == nil {
 		http.Error(w, `{"error":"unknown run"}`, http.StatusNotFound)
 	}
-	return h
+	return run
 }
 
-func (s *Server) runStats(w http.ResponseWriter, r *http.Request) {
-	h := s.lookup(w, r)
-	if h == nil {
+func (h *handlers) runStats(w http.ResponseWriter, r *http.Request) {
+	run := h.lookup(w, r)
+	if run == nil {
 		return
 	}
 	writeJSON(w, map[string]any{
-		"status":   h.Status(),
-		"snapshot": h.Snapshot(),
+		"status":   run.Status(),
+		"snapshot": run.Snapshot(),
 	})
 }
 
-func (s *Server) runBlocked(w http.ResponseWriter, r *http.Request) {
-	h := s.lookup(w, r)
-	if h == nil {
+func (h *handlers) runBlocked(w http.ResponseWriter, r *http.Request) {
+	run := h.lookup(w, r)
+	if run == nil {
 		return
 	}
-	blocked := h.Blocked()
+	blocked := run.Blocked()
 	writeJSON(w, map[string]any{
-		"run":     h.ID(),
+		"run":     run.ID(),
 		"blocked": blocked,
 	})
 }
 
-func (s *Server) runFlight(w http.ResponseWriter, r *http.Request) {
-	h := s.lookup(w, r)
-	if h == nil {
+func (h *handlers) runFlight(w http.ResponseWriter, r *http.Request) {
+	run := h.lookup(w, r)
+	if run == nil {
 		return
 	}
 	// Prefer the automatic dump (it froze the blocked table at the
 	// moment of failure); fall back to a live capture.
-	d := h.LastDump()
+	d := run.LastDump()
 	if d == nil {
-		d = h.Flight().Dump("request")
+		d = run.Flight().Dump("request")
 	}
 	writeJSON(w, d)
 }
 
 // events streams the plane's event feed as SSE. Grammar: each event
 // is "event: <type>\ndata: <one-line JSON Event>\n\n" with type one
-// of run, phase, delta, verdict; a ": keepalive" comment line is sent
-// every 15s of silence.
-func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+// of run, phase, delta, verdict, shutdown (terminal); a ": keepalive"
+// comment line is sent every 15s of silence. The stream ends after
+// the shutdown event — the plane closes the channel right behind it.
+func (h *handlers) events(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
@@ -139,7 +191,7 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
-	ch, cancel := s.plane.Subscribe()
+	ch, cancel := h.plane.Subscribe()
 	defer cancel()
 	keepalive := time.NewTicker(15 * time.Second)
 	defer keepalive.Stop()

@@ -1,0 +1,116 @@
+// Package serve is the homeserve daemon: HTTP/JSON job intake, a
+// bounded worker pool running checks under per-job virtual-time
+// budgets and wall-clock watchdogs, an LRU artifact cache of compiled
+// program handles keyed by source hash, and the live telemetry plane's
+// introspection endpoints mounted on the same listener so every job's
+// phase/delta/verdict stream is observable over SSE while it runs.
+// See docs/SERVING.md.
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"home"
+	"home/internal/obs"
+)
+
+// DefaultCacheEntries bounds the artifact cache when the caller does
+// not choose a size.
+const DefaultCacheEntries = 64
+
+// Cache is a size-bounded LRU of compiled-program handles keyed by the
+// source text's SHA-256. One handle per distinct program means every
+// check after the first — across jobs, workers, or harness runs —
+// skips parse, sema and the instrumentation analysis entirely
+// (home.Compiled caches them per plan variant). Safe for concurrent
+// use; compilation happens outside the lock so a large submission
+// never stalls unrelated lookups.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+	stats *obs.Registry
+}
+
+// cacheEntry is one resident handle.
+type cacheEntry struct {
+	key string
+	c   *home.Compiled
+}
+
+// NewCache returns an empty cache bounded to max entries (<=0 means
+// DefaultCacheEntries). The registry (nil-safe) receives the
+// serve.cache_hits / serve.cache_misses / serve.cache_evictions
+// counters.
+func NewCache(max int, stats *obs.Registry) *Cache {
+	if max <= 0 {
+		max = DefaultCacheEntries
+	}
+	return &Cache{max: max, ll: list.New(), byKey: map[string]*list.Element{}, stats: stats}
+}
+
+// Key is the cache key for a source text: its hex SHA-256. Identical
+// to home.Compiled.Hash for a source-compiled handle, so a client can
+// predict the key of its own submission.
+func Key(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:])
+}
+
+// Get resolves source text to a compiled handle: a resident handle is
+// a hit (front-end already done), a miss compiles and inserts,
+// evicting the least-recently-used entries past the bound. The hit
+// flag is the cache's observable — homeserve surfaces it per job.
+// Parse failures are returned as *home.ParseError and cache nothing.
+func (c *Cache) Get(src string) (comp *home.Compiled, hit bool, err error) {
+	key := Key(src)
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		c.stats.Counter("serve.cache_hits").Inc()
+		return el.Value.(*cacheEntry).c, true, nil
+	}
+	c.mu.Unlock()
+	c.stats.Counter("serve.cache_misses").Inc()
+	fresh, err := home.Compile(src)
+	if err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		// A racing miss compiled the same program first; keep the
+		// resident handle, whose front-end may already be warm.
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).c, false, nil
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, c: fresh})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.stats.Counter("serve.cache_evictions").Inc()
+	}
+	return fresh, false, nil
+}
+
+// Len returns the number of resident handles.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// HitsMisses reads the cache's counters (0, 0 with a nil registry).
+func (c *Cache) HitsMisses() (hits, misses int64) {
+	if c.stats == nil {
+		return 0, 0
+	}
+	snap := c.stats.Snapshot()
+	return snap.Counters["serve.cache_hits"], snap.Counters["serve.cache_misses"]
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// readDoc loads a docs/ file relative to this package.
+func readDoc(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestServeStatDocDrift is the doc-drift gate over daemon counters:
+// every name StatNames pre-registers must be documented in
+// docs/OBSERVABILITY.md, and every documented serve.* name must be in
+// the inventory — the doc and the daemon cannot diverge silently.
+func TestServeStatDocDrift(t *testing.T) {
+	doc := map[string]bool{}
+	for _, m := range regexp.MustCompile("`(serve\\.[a-z_]+)`").FindAllStringSubmatch(readDoc(t, "OBSERVABILITY.md"), -1) {
+		doc[m[1]] = true
+	}
+	if len(doc) == 0 {
+		t.Fatal("no serve.* names found in docs/OBSERVABILITY.md")
+	}
+	inventory := map[string]bool{}
+	for _, name := range StatNames() {
+		inventory[name] = true
+		if !doc[name] {
+			t.Errorf("stat %q is registered by the daemon but undocumented in docs/OBSERVABILITY.md", name)
+		}
+	}
+	for name := range doc {
+		if !inventory[name] {
+			t.Errorf("stat %q is documented in docs/OBSERVABILITY.md but not in serve.StatNames", name)
+		}
+	}
+
+	// The pre-registration contract: a fresh daemon's /stats snapshot
+	// carries the full inventory, zeros included.
+	s := New(Config{})
+	snap := s.stats.Snapshot()
+	for _, name := range StatNames() {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("StatNames entry %q is not pre-registered by New", name)
+		}
+	}
+	if len(snap.Counters) != len(StatNames()) {
+		t.Errorf("fresh daemon registers %d counters, StatNames lists %d", len(snap.Counters), len(StatNames()))
+	}
+}
+
+// TestServeEndpointDocDrift pins the docs/SERVING.md endpoint table to
+// serve.Endpoints(): every route the daemon mounts is documented, and
+// every documented route exists.
+func TestServeEndpointDocDrift(t *testing.T) {
+	doc := map[string]bool{}
+	for _, line := range strings.Split(readDoc(t, "SERVING.md"), "\n") {
+		if !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		rest := line[len("| `"):]
+		end := strings.IndexByte(rest, '`')
+		if end < 0 {
+			continue
+		}
+		doc[rest[:end]] = true
+	}
+	if len(doc) == 0 {
+		t.Fatal("no endpoint table rows found in docs/SERVING.md")
+	}
+	mounted := map[string]bool{}
+	for _, ep := range Endpoints() {
+		mounted[ep] = true
+		if !doc[ep] {
+			t.Errorf("endpoint %q is mounted but undocumented in docs/SERVING.md", ep)
+		}
+	}
+	for ep := range doc {
+		if !mounted[ep] {
+			t.Errorf("endpoint %q is documented in docs/SERVING.md but not mounted", ep)
+		}
+	}
+}
